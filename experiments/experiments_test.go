@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"testing"
+
+	"squall"
+	"squall/internal/dataflow"
+	"squall/internal/datagen"
+)
+
+// TestFigure6ShapeMultiwayBeatsPipeline: the multi-way join must ship fewer
+// tuples than the pipeline of 2-way joins when the intermediate result is
+// large relative to the inputs (§7.2: 132.6M vs 160.6M at paper scale), and
+// both must produce identical aggregates.
+func TestFigure6ShapeMultiwayBeatsPipeline(t *testing.T) {
+	// Dense sample: 2000 hosts, 20000 arcs gives |W1⋈W2| ≈ arcs²/hosts =
+	// 200k >> 20k inputs, the paper's regime.
+	w := datagen.NewWebGraph(3, 2000, 20000, 0)
+	const machines = 8
+
+	multi := Reachability3(w, squall.HashHypercube, squall.DBToaster, machines)
+	mres, err := multi.Run(squall.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := Reachability3Pipeline(w, squall.DBToaster, machines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical results.
+	mrows := mres.SortedRows()
+	prows := pres.Rows
+	if len(mrows) == 0 {
+		t.Fatal("reachability produced no groups")
+	}
+	pm := map[string]int64{}
+	for _, r := range prows {
+		pm[r[0].Str] = r[1].I
+	}
+	for _, r := range mrows {
+		if pm[r[0].Str] != r[1].I {
+			t.Fatalf("group %v: multiway %d, pipeline %d", r[0], r[1].I, pm[r[0].Str])
+		}
+	}
+	// Network shape: the multi-way join ships fewer tuple copies because it
+	// never shuffles the intermediate W1⋈W2.
+	msent := mres.Metrics.TotalSent()
+	psent := pres.TotalSent
+	if msent >= psent {
+		t.Errorf("multiway shipped %d tuples, pipeline %d — multiway must ship less", msent, psent)
+	}
+	t.Logf("network: multiway %d vs pipeline %d (ratio %.2f)", msent, psent, float64(psent)/float64(msent))
+}
+
+// TestFigure7ShapeSchemesOnWebAnalytics: Hybrid must beat Hash on max load
+// and Random on total load for the WebAnalytics query.
+func TestFigure7ShapeSchemesOnWebAnalytics(t *testing.T) {
+	// Paper ratios: W1 : W2 : C ≈ 1 : 3.8 : 42. With 20k hosts and 60k arcs,
+	// InS=1.1 gives W1 ≈ 0.1·arcs, OutS=1.5 gives W2 ≈ 0.35·arcs, C = 20k.
+	cfg := WebAnalyticsConfig{Seed: 5, Hosts: 20000, Arcs: 60000, InS: 1.1, OutS: 1.5}
+	loads := map[squall.SchemeKind][3]float64{} // max, avg, repl
+	var rows map[string]int64
+	for _, scheme := range []squall.SchemeKind{squall.HashHypercube, squall.RandomHypercube, squall.HybridHypercube} {
+		q := WebAnalytics(cfg, scheme, squall.DBToaster, 8)
+		res, err := q.Run(squall.Options{Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		cm := res.Metrics.Component(res.JoinerComponent)
+		loads[scheme] = [3]float64{float64(cm.MaxLoad()), cm.AvgLoad(),
+			res.Metrics.ReplicationFactor(res.JoinerComponent)}
+		got := map[string]int64{}
+		for _, r := range res.Rows {
+			got[r[0].AsString()+"|"+r[1].AsString()] = r[2].I
+		}
+		if rows == nil {
+			rows = got
+		} else if len(rows) != len(got) {
+			t.Fatalf("%v: %d groups, reference %d", scheme, len(got), len(rows))
+		}
+	}
+	hash, random, hybrid := loads[squall.HashHypercube], loads[squall.RandomHypercube], loads[squall.HybridHypercube]
+	if hybrid[0] >= hash[0] {
+		t.Errorf("hybrid max load %.0f must beat hash %.0f (hub skew)", hybrid[0], hash[0])
+	}
+	if hybrid[1] >= random[1] {
+		t.Errorf("hybrid avg load %.0f must beat random %.0f (replication)", hybrid[1], random[1])
+	}
+	if hybrid[2] >= random[2] {
+		t.Errorf("hybrid replication %.2f must beat random %.2f", hybrid[2], random[2])
+	}
+}
+
+// TestFigure8ShapeGoogleTaskCount: both local joins compute the same result;
+// the schemes coincide (no significant skew, §7.4).
+func TestFigure8ShapeGoogleTaskCount(t *testing.T) {
+	gen := &datagen.GoogleTrace{Seed: 11, TaskEvents: 30000}
+	var ref []squall.Tuple
+	for _, local := range []squall.LocalJoinKind{squall.DBToaster, squall.Traditional} {
+		q := GoogleTaskCount(gen, squall.HybridHypercube, local, 8)
+		res, err := q.Run(squall.Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", local, err)
+		}
+		rows := res.SortedRows()
+		if len(rows) == 0 {
+			t.Fatal("TaskCount produced no groups")
+		}
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		if len(rows) != len(ref) {
+			t.Fatalf("%v: %d rows vs %d", local, len(rows), len(ref))
+		}
+		for i := range rows {
+			if !rows[i].Equal(ref[i]) {
+				t.Fatalf("row %d: %v vs %v", i, rows[i], ref[i])
+			}
+		}
+	}
+	// Hash and Hybrid coincide on this skew-free query.
+	hq := GoogleTaskCount(gen, squall.HashHypercube, squall.DBToaster, 8)
+	hhc, err := hq.BuildScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	yq := GoogleTaskCount(gen, squall.HybridHypercube, squall.DBToaster, 8)
+	yhc, err := yq.BuildScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hhc.String() != yhc.String() {
+		t.Errorf("Hash %v and Hybrid %v must coincide without skew", hhc, yhc)
+	}
+}
+
+// TestQ3SchemesAgree: Q3 under zipf custkey skew across schemes.
+func TestQ3SchemesAgree(t *testing.T) {
+	gen := datagen.NewTPCH(21, 30000, 2)
+	var refCount int64 = -1
+	for _, scheme := range []squall.SchemeKind{squall.HashHypercube, squall.HybridHypercube, squall.RandomHypercube} {
+		q := Q3(gen, scheme, squall.DBToaster, 8)
+		res, err := q.Run(squall.Options{Seed: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if refCount < 0 {
+			refCount = res.RowCount
+			if refCount == 0 {
+				t.Fatal("Q3 produced no groups")
+			}
+			continue
+		}
+		if res.RowCount != refCount {
+			t.Fatalf("%v: %d groups, reference %d", scheme, res.RowCount, refCount)
+		}
+	}
+}
+
+// TestFigure5StagesOrdering: the bars must be monotone in the documented
+// way — date selection costs more than int selection; the network hop adds
+// visible cost over the int selection.
+func TestFigure5StagesOrdering(t *testing.T) {
+	gen := datagen.NewTPCH(31, 120000, 0)
+	stages := Figure5Stages(gen, 4, 9)
+	if len(stages) != 5 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	durs := map[string]float64{}
+	for _, s := range stages {
+		best := 1e18
+		for rep := 0; rep < 3; rep++ { // min-of-3 to de-noise
+			d, err := s.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name, err)
+			}
+			if sec := d.Seconds(); sec < best {
+				best = sec
+			}
+		}
+		durs[s.Name] = best
+	}
+	if durs["RF+sel(date)"] <= durs["RF+sel(int)"] {
+		t.Errorf("date selection (%.4fs) must cost more than int selection (%.4fs)",
+			durs["RF+sel(date)"], durs["RF+sel(int)"])
+	}
+	if durs["RF+sel(int),network"] <= durs["RF+sel(int)"] {
+		t.Errorf("network hop (%.4fs) must cost more than no network (%.4fs)",
+			durs["RF+sel(int),network"], durs["RF+sel(int)"])
+	}
+}
+
+func TestHashImperfection(t *testing.T) {
+	// d=15, p=8: the paper's example — hashing very likely gives some
+	// machine 3+ keys (1.5x optimum); round-robin caps at ceil(15/8)=2.
+	res := HashImperfection(15, 8, 300)
+	if res.RoundRobinMaxKeys != 2 {
+		t.Errorf("round-robin max keys = %g, want exactly 2", res.RoundRobinMaxKeys)
+	}
+	if res.HashMaxKeys <= res.RoundRobinMaxKeys {
+		t.Errorf("hash mean max keys %.2f must exceed round robin %.2f", res.HashMaxKeys, res.RoundRobinMaxKeys)
+	}
+	if res.HashSuboptimal < 0.5 {
+		t.Errorf("hash suboptimal in only %.0f%% of trials; the paper says 'very likely'", 100*res.HashSuboptimal)
+	}
+	// d == p: round robin gives exactly 1 key per machine (perfect); hash
+	// almost surely idles a machine (the §5 d=p argument).
+	res = HashImperfection(8, 8, 300)
+	if res.RoundRobinMaxKeys != 1 || res.RoundRobinSkew != 1.0 {
+		t.Errorf("d=p round robin: keys=%g skew=%.3f, want 1/1.0", res.RoundRobinMaxKeys, res.RoundRobinSkew)
+	}
+	if res.HashMaxKeys < 1.5 {
+		t.Errorf("d=p hash mean max keys %.2f, want ~2 (some machine doubled up)", res.HashMaxKeys)
+	}
+}
+
+func TestTemporalSkew(t *testing.T) {
+	// Sorted arrival, 64 keys x 500 tuples over 8 machines.
+	hash := TemporalSkew(dataflow.Fields(0), 64, 500, 8, 1)
+	shuffle := TemporalSkew(dataflow.Shuffle(), 64, 500, 8, 1)
+	// Hash: each burst goes to ONE machine: burst skew = 8 (sequential).
+	if hash.BurstSkew < 7.9 {
+		t.Errorf("hash burst skew = %.2f, want 8 (one machine at a time)", hash.BurstSkew)
+	}
+	// Overall it can still look balanced — the §5 point that data
+	// distribution alone does not reveal temporal skew.
+	if hash.OverallSkew > 2 {
+		t.Errorf("hash overall skew = %.2f, should look moderate", hash.OverallSkew)
+	}
+	if shuffle.BurstSkew > 1.3 {
+		t.Errorf("shuffle burst skew = %.2f, want ≈1 (content-insensitive)", shuffle.BurstSkew)
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"squall"
+	"squall/internal/dataflow"
+	"squall/internal/datagen"
+	"squall/internal/expr"
+	"squall/internal/ops"
+	"squall/internal/types"
+)
+
+// Figure5Stage is one bar of Figure 5: a query-plan prefix whose runtime
+// isolates one cost component (reading, int selection, date selection,
+// network, join).
+type Figure5Stage struct {
+	Name string
+	Run  func() (time.Duration, error)
+}
+
+// Figure5Stages builds the five bars over Customer ⋈ Orders (§6):
+//
+//	ReadFile (RF)        — read + parse the Orders lines, no network cost
+//	RF+sel(int)          — plus a no-op selection over an int field
+//	RF+sel(date)         — plus a no-op selection parsing the date field
+//	RF+sel(int),network  — int selection plus a serialized network hop
+//	Full join            — Customer ⋈ Orders, hash partitioned, DBToaster
+//
+// The paper's findings to reproduce: sel(int) is ~1–2% of the run, sel(date)
+// is ~10x sel(int) (Date instances are created from strings), the network
+// hop dominates (~60%), and join computation is a small share (~14%).
+func Figure5Stages(gen *datagen.TPCH, machines int, seed int64) []Figure5Stage {
+	noopInt := expr.Cmp{Op: expr.Ge, L: expr.C(1), R: expr.I(0)}                          // custkey >= 0: keeps all
+	noopDate := expr.Cmp{Op: expr.Ge, L: expr.Date{Inner: expr.C(2)}, R: expr.I(-100000)} // parses orderdate, keeps all
+
+	readStage := func(name string, sel expr.Pred, serialize bool) Figure5Stage {
+		return Figure5Stage{Name: name, Run: func() (time.Duration, error) {
+			lines, err := gen.LineSpout("orders")
+			if err != nil {
+				return 0, err
+			}
+			pipe := ops.Pipeline{parseOp{datagen.OrdersSchema}}
+			if sel != nil {
+				pipe = append(pipe, ops.Select{P: sel})
+			}
+			count := func(int, int) dataflow.Bolt {
+				n := 0
+				return dataflow.FuncBolt{OnTuple: func(dataflow.Input, *dataflow.Collector) error {
+					n++
+					return nil
+				}}
+			}
+			b := dataflow.NewBuilder().
+				Spout("orders", machines, wrapPipe(lines, pipe)).
+				Bolt("sink", machines, count).
+				Input("sink", "orders", dataflow.Shuffle())
+			topo, err := b.Build()
+			if err != nil {
+				return 0, err
+			}
+			m, err := dataflow.Run(topo, dataflow.Options{Seed: seed, NoSerialize: !serialize})
+			if err != nil {
+				return 0, err
+			}
+			return m.Elapsed, nil
+		}}
+	}
+
+	fullJoin := Figure5Stage{Name: "Full join", Run: func() (time.Duration, error) {
+		graph := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 1)) // C.custkey = O.custkey
+		q := &squall.JoinQuery{
+			Sources: []squall.Source{
+				{Name: "CUSTOMER", Schema: datagen.CustomerSchema, Spout: lineParsedSpout(gen, "customer"), Size: gen.Customers()},
+				{Name: "ORDERS", Schema: datagen.OrdersSchema, Spout: lineParsedSpout(gen, "orders"), Size: gen.Orders()},
+			},
+			Graph:    graph,
+			Scheme:   squall.HashHypercube,
+			Machines: machines,
+			Local:    squall.DBToaster,
+			Agg: &squall.AggSpec{
+				GroupBy: nil,
+				Kind:    squall.Count,
+			},
+		}
+		res, err := q.Run(squall.Options{Seed: seed, SourcePar: machines})
+		if err != nil {
+			return 0, err
+		}
+		return res.Metrics.Elapsed, nil
+	}}
+
+	return []Figure5Stage{
+		readStage("ReadFile (RF)", nil, false),
+		readStage("RF+sel(int)", noopInt, false),
+		readStage("RF+sel(date)", noopDate, false),
+		readStage("RF+sel(int),network", noopInt, true),
+		fullJoin,
+	}
+}
+
+// parseOp converts a raw text line into a typed tuple (the cost of reading a
+// .tbl file row).
+type parseOp struct{ schema *types.Schema }
+
+// Apply parses the line in column 0.
+func (p parseOp) Apply(t types.Tuple) ([]types.Tuple, error) {
+	parsed, err := types.ParseLine(p.schema, t[0].Str, '|')
+	if err != nil {
+		return nil, err
+	}
+	return []types.Tuple{parsed}, nil
+}
+
+// wrapPipe co-locates a pipeline with a spout factory.
+func wrapPipe(f dataflow.SpoutFactory, p ops.Pipeline) dataflow.SpoutFactory {
+	return func(task, ntasks int) dataflow.Spout {
+		return &pipeSpout{inner: f(task, ntasks), p: p}
+	}
+}
+
+type pipeSpout struct {
+	inner dataflow.Spout
+	p     ops.Pipeline
+	queue []types.Tuple
+}
+
+func (s *pipeSpout) Next() (types.Tuple, bool) {
+	for {
+		if len(s.queue) > 0 {
+			t := s.queue[0]
+			s.queue = s.queue[1:]
+			return t, true
+		}
+		t, ok := s.inner.Next()
+		if !ok {
+			return nil, false
+		}
+		out, err := s.p.Apply(t)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: source pipeline: %v", err))
+		}
+		if len(out) > 0 {
+			s.queue = out
+		}
+	}
+}
+
+// lineParsedSpout streams a table through the text-line + parse path, so the
+// full-join stage pays the same read cost as the RF stages.
+func lineParsedSpout(gen *datagen.TPCH, table string) dataflow.SpoutFactory {
+	lines, err := gen.LineSpout(table)
+	if err != nil {
+		panic(err)
+	}
+	var schema *types.Schema
+	switch table {
+	case "customer":
+		schema = datagen.CustomerSchema
+	case "orders":
+		schema = datagen.OrdersSchema
+	default:
+		schema = datagen.LineitemSchema
+	}
+	return wrapPipe(lines, ops.Pipeline{parseOp{schema}})
+}

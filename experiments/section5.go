@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"squall/internal/dataflow"
+	"squall/internal/types"
+)
+
+// ImperfectionResult compares key-to-machine assignments for a small key
+// domain (§5, "skew due to hash imperfections"), averaged over many random
+// key domains (a key domain is whatever distinct values the data happens to
+// contain — its hash placement is luck; round-robin assignment is not).
+type ImperfectionResult struct {
+	Distinct int
+	Machines int
+	// Mean over trials of the largest number of keys any machine owns.
+	HashMaxKeys, RoundRobinMaxKeys float64
+	// Mean skew degree (max load / avg load) for a uniform stream.
+	HashSkew, RoundRobinSkew float64
+	// Fraction of trials where hashing was worse than the optimal
+	// ceil(d/p) keys per machine.
+	HashSuboptimal float64
+}
+
+// HashImperfection routes a uniform stream over d distinct keys to p
+// machines with plain hashing and with Squall's round-robin key map, over
+// `trials` random key domains. The paper's claim: for d close to p (TPC-H
+// Q4/Q12/Q5 have 5/7/25 distinct values), hashing very likely assigns some
+// machine ≥ 2x its share, while round-robin guarantees key counts differ by
+// at most one.
+func HashImperfection(d, p int, trials int) ImperfectionResult {
+	if trials <= 0 {
+		trials = 200
+	}
+	rng := rand.New(rand.NewSource(int64(d)*1000 + int64(p)))
+	res := ImperfectionResult{Distinct: d, Machines: p}
+	optimal := (d + p - 1) / p
+	for trial := 0; trial < trials; trial++ {
+		keys := make([]types.Tuple, d)
+		for i := range keys {
+			keys[i] = types.Tuple{types.Int(rng.Int63())}
+		}
+		rr := dataflow.RoundRobinKeyMap(keys, []int{0}, p)
+		hash := dataflow.Fields(0)
+		count := func(g dataflow.Grouping) []int {
+			owned := make([]int, p)
+			var buf []int
+			for _, k := range keys {
+				buf = g.Targets(k, p, nil, buf[:0])
+				owned[buf[0]]++
+			}
+			return owned
+		}
+		hOwned := count(hash)
+		rOwned := count(rr)
+		res.HashMaxKeys += float64(maxInt(hOwned))
+		res.RoundRobinMaxKeys += float64(maxInt(rOwned))
+		res.HashSkew += skewDegree(hOwned)
+		res.RoundRobinSkew += skewDegree(rOwned)
+		if maxInt(hOwned) > optimal {
+			res.HashSuboptimal++
+		}
+	}
+	n := float64(trials)
+	res.HashMaxKeys /= n
+	res.RoundRobinMaxKeys /= n
+	res.HashSkew /= n
+	res.RoundRobinSkew /= n
+	res.HashSuboptimal /= n
+	return res
+}
+
+// TemporalResult reports the §5 temporal-skew experiment.
+type TemporalResult struct {
+	// BurstSkew is the mean over key bursts of (max task load within the
+	// burst / avg task load within the burst): 1.0 means every machine works
+	// during every burst, `machines` means one machine at a time (serialized
+	// execution).
+	BurstSkew float64
+	// OverallSkew is the whole-run skew degree (content-sensitive schemes
+	// can look balanced overall while being serialized in time).
+	OverallSkew float64
+}
+
+// TemporalSkew streams tuples in sorted key order (bursts of `perKey` tuples
+// per key) through a grouping and measures how concentrated each burst is.
+// Content-sensitive groupings (hash) send a whole burst to one machine —
+// equivalent to sequential execution — while content-insensitive groupings
+// (shuffle / random partitioning) spread every burst (§5: "only
+// content-insensitive schemes can address temporal skew").
+func TemporalSkew(g dataflow.Grouping, keys, perKey, machines int, seed int64) TemporalResult {
+	rng := rand.New(rand.NewSource(seed))
+	total := make([]int, machines)
+	var burstSkews float64
+	var buf []int
+	for k := 0; k < keys; k++ {
+		burst := make([]int, machines)
+		for i := 0; i < perKey; i++ {
+			t := types.Tuple{types.Int(int64(k)), types.Int(int64(i))}
+			buf = g.Targets(t, machines, rng, buf[:0])
+			for _, m := range buf {
+				burst[m]++
+				total[m]++
+			}
+		}
+		burstSkews += skewDegree(burst)
+	}
+	return TemporalResult{
+		BurstSkew:   burstSkews / float64(keys),
+		OverallSkew: skewDegree(total),
+	}
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func skewDegree(load []int) float64 {
+	sum, maxv := 0, 0
+	for _, x := range load {
+		sum += x
+		if x > maxv {
+			maxv = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	avg := float64(sum) / float64(len(load))
+	return float64(maxv) / avg
+}

@@ -1,0 +1,169 @@
+// Package adaptive implements Squall's Adaptive 1-Bucket operator [32]
+// (§5, "Hypercube sizes"): a 2-way random-partitioned (1-Bucket) join whose
+// matrix shape tracks the relative relation sizes at run time. When the
+// observed |R| : |S| ratio makes another integer matrix strictly better, the
+// operator reshapes and migrates only the state that changes cells —
+// non-blocking in the paper (new tuples keep flowing); here migration cost
+// is accounted explicitly so benchmarks can weigh it against the load
+// improvement.
+package adaptive
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Matrix is a 1-Bucket partitioning: rows x cols = machines, R tuples pick a
+// random row and replicate across columns, S tuples pick a random column and
+// replicate across rows.
+type Matrix struct {
+	Rows, Cols int
+}
+
+// Machines returns rows*cols.
+func (m Matrix) Machines() int { return m.Rows * m.Cols }
+
+// LoadPerMachine estimates tuples stored per machine for sizes (r, s): each
+// machine holds R/rows + S/cols.
+func (m Matrix) LoadPerMachine(r, s float64) float64 {
+	return r/float64(m.Rows) + s/float64(m.Cols)
+}
+
+// OptimalMatrix picks the integer matrix with rows*cols <= machines
+// minimizing the per-machine load for relation sizes (r, s) — dimension
+// sizes proportional to relation sizes [74].
+func OptimalMatrix(machines int, r, s float64) Matrix {
+	best := Matrix{Rows: 1, Cols: 1}
+	bestLoad := best.LoadPerMachine(r, s)
+	for rows := 1; rows <= machines; rows++ {
+		cols := machines / rows
+		m := Matrix{Rows: rows, Cols: cols}
+		if load := m.LoadPerMachine(r, s); load < bestLoad-1e-12 {
+			best, bestLoad = m, load
+		}
+	}
+	return best
+}
+
+// Operator is the adaptive 1-Bucket join operator's partitioner side: it
+// routes tuples, tracks observed sizes, and reshapes when beneficial.
+type Operator struct {
+	machines int
+	matrix   Matrix
+	// Observed sizes.
+	seenR, seenS int64
+	// CheckEvery controls how often (in tuples) the shape is re-evaluated.
+	CheckEvery int64
+	// MinGain is the relative load improvement required to reshape
+	// (hysteresis against oscillation). Default 0.2.
+	MinGain float64
+	// Migration accounting.
+	reshapes     int
+	migrated     int64
+	storedR      []int64 // per row: R tuples stored
+	storedS      []int64 // per col: S tuples stored
+	sinceCheck   int64
+	totalStored  int64
+	lastPredLoad float64
+}
+
+// NewOperator starts with the square-ish matrix for equal sizes.
+func NewOperator(machines int) *Operator {
+	if machines < 1 {
+		machines = 1
+	}
+	m := OptimalMatrix(machines, 1, 1)
+	op := &Operator{machines: machines, matrix: m, CheckEvery: 1024, MinGain: 0.2}
+	op.storedR = make([]int64, m.Rows)
+	op.storedS = make([]int64, m.Cols)
+	return op
+}
+
+// Matrix returns the current shape.
+func (o *Operator) Matrix() Matrix { return o.matrix }
+
+// Reshapes returns how many times the operator changed shape.
+func (o *Operator) Reshapes() int { return o.reshapes }
+
+// Migrated returns the total tuples moved between machines by reshaping.
+func (o *Operator) Migrated() int64 { return o.migrated }
+
+// RouteR assigns an R tuple: one random row, all columns of that row. The
+// returned slice is machine indexes (row-major).
+func (o *Operator) RouteR(rng *rand.Rand, buf []int) []int {
+	row := rng.Intn(o.matrix.Rows)
+	o.storedR[row]++
+	o.seenR++
+	buf = buf[:0]
+	for c := 0; c < o.matrix.Cols; c++ {
+		buf = append(buf, row*o.matrix.Cols+c)
+	}
+	o.maybeReshape()
+	return buf
+}
+
+// RouteS assigns an S tuple: one random column, all rows of that column.
+func (o *Operator) RouteS(rng *rand.Rand, buf []int) []int {
+	col := rng.Intn(o.matrix.Cols)
+	o.storedS[col]++
+	o.seenS++
+	buf = buf[:0]
+	for r := 0; r < o.matrix.Rows; r++ {
+		buf = append(buf, r*o.matrix.Cols+col)
+	}
+	o.maybeReshape()
+	return buf
+}
+
+func (o *Operator) maybeReshape() {
+	o.sinceCheck++
+	if o.sinceCheck < o.CheckEvery {
+		return
+	}
+	o.sinceCheck = 0
+	cur := o.matrix.LoadPerMachine(float64(o.seenR), float64(o.seenS))
+	opt := OptimalMatrix(o.machines, float64(o.seenR), float64(o.seenS))
+	if opt == o.matrix {
+		return
+	}
+	if load := opt.LoadPerMachine(float64(o.seenR), float64(o.seenS)); load > cur*(1-o.MinGain) {
+		return // not worth the migration
+	}
+	o.reshape(opt)
+}
+
+// reshape switches to the new matrix. State migration cost: a stored R tuple
+// lives on `cols` machines; after reshaping to cols' columns it must live on
+// cols' machines of its (new) row — in the worst case every stored tuple
+// copy moves; we account the post-reshape placement volume, matching the
+// paper's observation that adaptation trades migration traffic for balance.
+func (o *Operator) reshape(next Matrix) {
+	o.migrated += o.seenR*int64(next.Cols) + o.seenS*int64(next.Rows)
+	o.matrix = next
+	o.reshapes++
+	o.storedR = make([]int64, next.Rows)
+	o.storedS = make([]int64, next.Cols)
+	// Redistribute observed counts uniformly (random partitioning).
+	for i := range o.storedR {
+		o.storedR[i] = o.seenR / int64(next.Rows)
+	}
+	for i := range o.storedS {
+		o.storedS[i] = o.seenS / int64(next.Cols)
+	}
+}
+
+// PredictedLoad returns the current per-machine stored load estimate.
+func (o *Operator) PredictedLoad() float64 {
+	return o.matrix.LoadPerMachine(float64(o.seenR), float64(o.seenS))
+}
+
+// StaticLoad returns what a fixed matrix would hold per machine for the
+// sizes seen so far — the baseline the adaptive operator is compared with.
+func StaticLoad(m Matrix, r, s int64) float64 {
+	return m.LoadPerMachine(float64(r), float64(s))
+}
+
+// String renders the shape.
+func (o *Operator) String() string {
+	return fmt.Sprintf("1-Bucket{%dx%d of %d}", o.matrix.Rows, o.matrix.Cols, o.machines)
+}

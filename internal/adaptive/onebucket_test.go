@@ -1,0 +1,138 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOptimalMatrixProportionalToSizes(t *testing.T) {
+	// Equal sizes, 64 machines: 8x8.
+	m := OptimalMatrix(64, 1000, 1000)
+	if m.Rows != 8 || m.Cols != 8 {
+		t.Errorf("equal sizes: %dx%d, want 8x8", m.Rows, m.Cols)
+	}
+	// R 4x bigger: 16x4 (§4: dimension sizes in proportion to relation
+	// sizes).
+	m = OptimalMatrix(64, 4000, 1000)
+	if m.Rows != 16 || m.Cols != 4 {
+		t.Errorf("4:1 sizes: %dx%d, want 16x4", m.Rows, m.Cols)
+	}
+	// Degenerate: tiny S is broadcast.
+	m = OptimalMatrix(16, 1_000_000, 1)
+	if m.Rows != 16 || m.Cols != 1 {
+		t.Errorf("huge R: %dx%d, want 16x1", m.Rows, m.Cols)
+	}
+}
+
+func TestOptimalMatrixSevenMachines(t *testing.T) {
+	// Integer search must keep using ~7 machines (no rounding collapse).
+	m := OptimalMatrix(7, 1000, 1000)
+	if m.Machines() < 6 {
+		t.Errorf("7 machines: %dx%d uses %d", m.Rows, m.Cols, m.Machines())
+	}
+}
+
+func TestRoutingShapes(t *testing.T) {
+	op := NewOperator(16)
+	rng := rand.New(rand.NewSource(1))
+	r := op.RouteR(rng, nil)
+	if len(r) != op.Matrix().Cols {
+		t.Errorf("R fanout %d, want cols %d", len(r), op.Matrix().Cols)
+	}
+	s := op.RouteS(rng, nil)
+	if len(s) != op.Matrix().Rows {
+		t.Errorf("S fanout %d, want rows %d", len(s), op.Matrix().Rows)
+	}
+	// R row and S column must intersect on exactly one machine.
+	common := 0
+	for _, a := range r {
+		for _, b := range s {
+			if a == b {
+				common++
+			}
+		}
+	}
+	if common != 1 {
+		t.Errorf("row x column intersection = %d machines, want exactly 1", common)
+	}
+}
+
+// TestAdaptsToDriftingRatio reproduces the §5 adaptivity claim: when the
+// size ratio drifts from 1:1 to 16:1, the adaptive operator reshapes toward
+// the optimal matrix and ends with a far lower per-machine load than the
+// frozen initial square.
+func TestAdaptsToDriftingRatio(t *testing.T) {
+	op := NewOperator(64)
+	op.CheckEvery = 512
+	rng := rand.New(rand.NewSource(2))
+	initial := op.Matrix()
+	var buf []int
+	// Phase 1: balanced trickle.
+	for i := 0; i < 2000; i++ {
+		buf = op.RouteR(rng, buf)
+		buf = op.RouteS(rng, buf)
+	}
+	// Phase 2: R floods in.
+	for i := 0; i < 60000; i++ {
+		buf = op.RouteR(rng, buf)
+		if i%16 == 0 {
+			buf = op.RouteS(rng, buf)
+		}
+	}
+	if op.Reshapes() == 0 {
+		t.Fatal("operator never reshaped under a 16:1 drift")
+	}
+	final := op.Matrix()
+	if final.Rows <= initial.Rows {
+		t.Errorf("R-heavy drift must grow rows: %dx%d -> %dx%d",
+			initial.Rows, initial.Cols, final.Rows, final.Cols)
+	}
+	adaptive := op.PredictedLoad()
+	static := StaticLoad(initial, 62000, 5750)
+	if adaptive >= static {
+		t.Errorf("adaptive load %.0f must beat static %.0f", adaptive, static)
+	}
+	if op.Migrated() == 0 {
+		t.Error("reshaping must account migration traffic")
+	}
+}
+
+// TestHysteresisPreventsOscillation: with MinGain set, alternating small
+// imbalances must not cause reshape thrash (the §5 adversary argument for
+// random partitioning also applies to shape changes).
+func TestHysteresisPreventsOscillation(t *testing.T) {
+	op := NewOperator(16)
+	op.CheckEvery = 256
+	op.MinGain = 0.2
+	rng := rand.New(rand.NewSource(3))
+	var buf []int
+	for round := 0; round < 50; round++ {
+		// Mild alternating drift (~1.3:1 either way) — not worth moving for.
+		n := 300
+		for i := 0; i < n; i++ {
+			if round%2 == 0 {
+				buf = op.RouteR(rng, buf)
+				if i%4 != 0 {
+					buf = op.RouteS(rng, buf)
+				}
+			} else {
+				buf = op.RouteS(rng, buf)
+				if i%4 != 0 {
+					buf = op.RouteR(rng, buf)
+				}
+			}
+		}
+	}
+	if op.Reshapes() > 2 {
+		t.Errorf("hysteresis failed: %d reshapes under mild oscillation", op.Reshapes())
+	}
+}
+
+func TestNewOperatorDegenerate(t *testing.T) {
+	op := NewOperator(0)
+	rng := rand.New(rand.NewSource(4))
+	targets := op.RouteR(rng, nil)
+	if len(targets) != 1 || targets[0] != 0 {
+		t.Errorf("single machine routing = %v", targets)
+	}
+}

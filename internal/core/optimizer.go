@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// optProblem is the dimension-sizing problem handed to the optimizer: for
+// each relation, its size and the set of candidate dimensions it owns; for
+// hash dimensions, optionally the top-key frequency used in the skewed load
+// model of §3.4.
+type optProblem struct {
+	sizes    []int64     // per relation
+	dims     [][]int     // per relation: indexes into attrs of owned dims
+	topFreq  [][]float64 // parallel to dims: top-key fraction (0 = uniform)
+	modes    []PartMode  // per attribute
+	nattrs   int
+	machines int
+}
+
+// optResult is the chosen configuration.
+type optResult struct {
+	sizes   []int   // per attribute
+	maxLoad float64 // predicted maximum load per machine (tuples)
+	avgLoad float64 // predicted average load per machine (tuples)
+	sent    float64 // predicted total tuple copies shipped
+}
+
+// optimize enumerates every integer dimension-size vector whose product is
+// at most p and keeps the one minimizing the uniform-model load per machine,
+// breaking ties by total communication (tuple copies shipped), then by using
+// fewer machines. This is the always-integer search of Chu et al. [26],
+// which avoids the fractional-dimension pitfall of the original HyperCube
+// algorithm [8, 18] (rounding 7^(1/3) down to 1 per dimension would waste 6
+// of 7 machines, §4).
+//
+// Sizing uses the uniform model — like the paper's implementation, which
+// "assumes uniform distribution for the attributes marked as non-skewed"
+// (footnote 16); skew is handled by marking keys skewed (random
+// partitioning), not by skew-aware sizing. The returned maxLoad, however, is
+// evaluated WITH the top-key frequency model of §3.4, so callers (the
+// offline scheme chooser, Table 1 predictions) see the skew-aware estimate
+// for the chosen sizes.
+func optimize(p optProblem) (optResult, error) {
+	if p.machines < 1 {
+		return optResult{}, fmt.Errorf("core: need at least 1 machine, got %d", p.machines)
+	}
+	if p.nattrs == 0 {
+		return optResult{}, fmt.Errorf("core: no dimension candidates")
+	}
+	if p.nattrs > 12 {
+		return optResult{}, fmt.Errorf("core: %d dimensions exceed the optimizer's search limit", p.nattrs)
+	}
+	best := optResult{maxLoad: math.Inf(1), avgLoad: math.Inf(1), sent: math.Inf(1)}
+	bestMachines := 0
+	cur := make([]int, p.nattrs)
+	var rec func(dim, budget int)
+	rec = func(dim, budget int) {
+		if dim == p.nattrs {
+			r := evaluate(p, cur)
+			m := product(cur)
+			if better(r, m, best, bestMachines) {
+				r.sizes = append([]int(nil), cur...)
+				best = r
+				bestMachines = m
+			}
+			return
+		}
+		for s := 1; s <= budget; s++ {
+			cur[dim] = s
+			rec(dim+1, budget/s)
+		}
+		cur[dim] = 1
+	}
+	rec(0, p.machines)
+	return best, nil
+}
+
+func better(r optResult, m int, best optResult, bestM int) bool {
+	const eps = 1e-9
+	if math.IsInf(best.avgLoad, 1) {
+		return true
+	}
+	// Relative epsilon keeps ties stable across magnitudes.
+	tol := eps * (1 + best.avgLoad)
+	switch {
+	case r.avgLoad < best.avgLoad-tol:
+		return true
+	case r.avgLoad > best.avgLoad+tol:
+		return false
+	case r.sent < best.sent-eps*(1+best.sent):
+		return true
+	case r.sent > best.sent+eps*(1+best.sent):
+		return false
+	default:
+		return m < bestM
+	}
+}
+
+func product(sizes []int) int {
+	m := 1
+	for _, s := range sizes {
+		m *= s
+	}
+	return m
+}
+
+// evaluate computes the load model for one dimension-size vector.
+//
+// Uniform model (§4): a relation partitioned over dimensions with size
+// product P contributes |R|/P per machine; its replication is the product of
+// the remaining dimensions.
+//
+// Skewed hash model (§3.4): when a hash dimension's key has top frequency f,
+// all f·|R| heavy tuples share one coordinate on that dimension and spread
+// only over the relation's other dimensions (product P_rest = P/size). The
+// paper's estimate (L - Lmf)/p + Lmf is the special case with one dimension.
+func evaluate(p optProblem, sizes []int) optResult {
+	machines := product(sizes)
+	var maxLoad, avgLoad, sent float64
+	for i, relSize := range p.sizes {
+		sz := float64(relSize)
+		partitions := 1.0
+		for _, d := range p.dims[i] {
+			partitions *= float64(sizes[d])
+		}
+		uniform := sz / partitions
+		worst := uniform
+		for k, d := range p.dims[i] {
+			f := p.topFreq[i][k]
+			if f <= 0 || p.modes[d] != ModeHash || sizes[d] <= 1 {
+				continue
+			}
+			pRest := partitions / float64(sizes[d])
+			if load := f*sz/pRest + (1-f)*sz/partitions; load > worst {
+				worst = load
+			}
+		}
+		maxLoad += worst
+		avgLoad += uniform
+		sent += sz * float64(machines) / partitions
+	}
+	return optResult{maxLoad: maxLoad, avgLoad: avgLoad, sent: sent}
+}

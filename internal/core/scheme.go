@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"squall/internal/expr"
+)
+
+// SchemeKind selects a hypercube partitioning scheme.
+type SchemeKind uint8
+
+const (
+	// HashHypercube [8]: one dimension per join-key equivalence class, hash
+	// partitioning everywhere. No replication beyond what correctness
+	// requires, but prone to data, temporal and hash-imperfection skew, and
+	// limited to equi-join keys (sides of non-equi conjuncts get their own
+	// hash dimensions, which is only safe when they are skew-free).
+	HashHypercube SchemeKind = iota
+	// RandomHypercube [74]: one dimension per relation, random partitioning
+	// everywhere (the multi-way generalization of the 1-Bucket scheme [54]).
+	// Perfect load balance and support for arbitrary theta-joins, at the
+	// price of the highest replication.
+	RandomHypercube
+	// HybridHypercube (this paper): hash partitioning on skew-free join
+	// keys, random partitioning (with renaming, §4) exactly where skew
+	// demands it. Subsumes the other two schemes: with no skew declared it
+	// equals the Hash-Hypercube; with everything skewed it degenerates to
+	// Random-Hypercube behaviour.
+	HybridHypercube
+)
+
+// String names the scheme like the paper.
+func (k SchemeKind) String() string {
+	switch k {
+	case HashHypercube:
+		return "Hash-Hypercube"
+	case RandomHypercube:
+		return "Random-Hypercube"
+	case HybridHypercube:
+		return "Hybrid-Hypercube"
+	default:
+		return fmt.Sprintf("SchemeKind(%d)", uint8(k))
+	}
+}
+
+// BuildScheme constructs the partitioning for a multi-way join over at most
+// `machines` joiner tasks (§4). The returned hypercube may use fewer
+// machines when that minimizes the maximum load per machine.
+func BuildScheme(kind SchemeKind, spec JoinSpec, machines int) (*Hypercube, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	var attrs []attribute
+	switch kind {
+	case HashHypercube:
+		attrs = buildAttributes(&spec, false, func(KeySlot) bool { return false })
+	case RandomHypercube:
+		attrs = buildAttributes(&spec, true, nil)
+	case HybridHypercube:
+		attrs = buildAttributes(&spec, false, spec.isSkewed)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme kind %d", kind)
+	}
+	res, err := solveDims(&spec, attrs, machines)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(kind, &spec, attrs, res), nil
+}
+
+// solveDims translates attributes into the optimizer problem and solves it.
+// Only join keys become dimensions (§4's observation that non-join
+// attributes never reduce the load), which the attribute construction
+// already guarantees.
+func solveDims(spec *JoinSpec, attrs []attribute, machines int) (optResult, error) {
+	n := spec.Graph.NumRels
+	p := optProblem{
+		sizes:    spec.Sizes,
+		dims:     make([][]int, n),
+		topFreq:  make([][]float64, n),
+		modes:    make([]PartMode, len(attrs)),
+		nattrs:   len(attrs),
+		machines: machines,
+	}
+	for ai, a := range attrs {
+		p.modes[ai] = a.mode
+		seen := map[int]bool{}
+		for _, s := range a.slots {
+			if seen[s.rel] {
+				continue
+			}
+			seen[s.rel] = true
+			p.dims[s.rel] = append(p.dims[s.rel], ai)
+			f := 0.0
+			if a.mode == ModeHash {
+				// Worst top-key frequency among this relation's slots on the
+				// attribute (usually one slot).
+				for _, s2 := range a.slots {
+					if s2.rel == s.rel && s2.e != nil {
+						if tf := spec.topFreq(s2.key()); tf > f {
+							f = tf
+						}
+					}
+				}
+			}
+			p.topFreq[s.rel] = append(p.topFreq[s.rel], f)
+		}
+	}
+	return optimize(p)
+}
+
+// ChooseSkewedOffline implements the offline scheme chooser of §3.4: for
+// every join-key slot with known top-key frequency, it runs the optimizer
+// twice — once with the slot marked skewed (forcing random partitioning) and
+// once marked uniform (hash, with the top-frequency load model) — and keeps
+// the marking with the smaller predicted maximum load per machine. The
+// returned map is a Skewed assignment for BuildScheme(HybridHypercube, ...).
+func ChooseSkewedOffline(spec JoinSpec, machines int) (map[KeySlot]bool, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	chosen := map[KeySlot]bool{}
+	for k := range spec.Skewed {
+		if spec.Skewed[k] {
+			chosen[k] = true
+		}
+	}
+	// Greedy per-slot decision in deterministic order over TopFreq keys.
+	slots := make([]KeySlot, 0, len(spec.TopFreq))
+	for k := range spec.TopFreq {
+		slots = append(slots, k)
+	}
+	sortSlots(slots)
+	evalWith := func(m map[KeySlot]bool) (float64, error) {
+		s2 := spec
+		s2.Skewed = m
+		attrs := buildAttributes(&s2, false, s2.isSkewed)
+		res, err := solveDims(&s2, attrs, machines)
+		if err != nil {
+			return 0, err
+		}
+		return res.maxLoad, nil
+	}
+	for _, slot := range slots {
+		if chosen[slot] {
+			continue
+		}
+		asUniform, err := evalWith(chosen)
+		if err != nil {
+			return nil, err
+		}
+		trial := map[KeySlot]bool{slot: true}
+		for k, v := range chosen {
+			trial[k] = v
+		}
+		asSkewed, err := evalWith(trial)
+		if err != nil {
+			return nil, err
+		}
+		if asSkewed < asUniform {
+			chosen[slot] = true
+		}
+	}
+	return chosen, nil
+}
+
+func sortSlots(slots []KeySlot) {
+	for i := 1; i < len(slots); i++ {
+		for j := i; j > 0; j-- {
+			a, b := slots[j-1], slots[j]
+			if a.Rel < b.Rel || (a.Rel == b.Rel && a.Expr <= b.Expr) {
+				break
+			}
+			slots[j-1], slots[j] = slots[j], slots[j-1]
+		}
+	}
+}
+
+// FewDistinctSkewed is the §3.4 rule for relations with only a few distinct
+// join keys: if the distinct count is below the machine budget, hash
+// partitioning would idle most machines, so the key should be treated as
+// skewed (random partitioning).
+func FewDistinctSkewed(distinct int64, machines int) bool {
+	return distinct > 0 && distinct < int64(machines)
+}
+
+// TwoWayHash is the 2-way specialization of the Hash-Hypercube: plain hash
+// partitioning on the equi-join key (§3.1, "2-way join schemes").
+func TwoWayHash(spec JoinSpec, machines int) (*Hypercube, error) {
+	if spec.Graph.NumRels != 2 {
+		return nil, fmt.Errorf("core: TwoWayHash needs exactly 2 relations")
+	}
+	if !spec.Graph.IsEquiOnly() {
+		return nil, fmt.Errorf("core: hash partitioning supports only equi-joins; use OneBucket")
+	}
+	return BuildScheme(HashHypercube, spec, machines)
+}
+
+// OneBucket is the 2-way specialization of the Random-Hypercube: random
+// partitioning over a matrix [54]. It supports arbitrary theta-joins and is
+// resilient to data and temporal skew.
+func OneBucket(spec JoinSpec, machines int) (*Hypercube, error) {
+	if spec.Graph.NumRels != 2 {
+		return nil, fmt.Errorf("core: OneBucket needs exactly 2 relations")
+	}
+	return BuildScheme(RandomHypercube, spec, machines)
+}
+
+// Ensure expr is linked in the doc example below.
+var _ = expr.Eq

@@ -1,0 +1,586 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"squall/internal/expr"
+)
+
+// chainSpec builds the paper's §3.1 running example R(x,y) ⋈ S(y,z) ⋈ T(z,t)
+// with equal relation sizes H.
+func chainSpec(h int64) JoinSpec {
+	return JoinSpec{
+		Graph: expr.MustJoinGraph(3,
+			expr.EquiCol(0, 1, 1, 0), // R.y = S.y
+			expr.EquiCol(1, 1, 2, 0), // S.z = T.z
+		),
+		Names: []string{"R", "S", "T"},
+		Sizes: []int64{h, h, h},
+	}
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func dimSizes(hc *Hypercube) map[string]int {
+	m := map[string]int{}
+	for _, d := range hc.Dims {
+		m[d.Name] = d.Size
+	}
+	return m
+}
+
+// TestSection31HashHypercubeUniform reproduces Figure 2a: with 64 machines
+// and uniform data the Hash-Hypercube picks y×z = 8×8 and the load per
+// machine is |R|/8 + |S|/64 + |T|/8 ≈ 0.26H.
+func TestSection31HashHypercubeUniform(t *testing.T) {
+	const h = 1 << 20
+	hc, err := BuildScheme(HashHypercube, chainSpec(h), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Machines() != 64 || len(hc.Dims) != 2 {
+		t.Fatalf("scheme = %v, want 8x8 over 64 machines", hc)
+	}
+	for _, d := range hc.Dims {
+		if d.Size != 8 || d.Mode != ModeHash {
+			t.Errorf("dim %+v, want hash size 8", d)
+		}
+	}
+	approx(t, "avg load", hc.PredictedAvgLoad()/h, 0.2656, 0.001)
+	// No replication beyond: R and T replicate 8x, S none: total 17H.
+	approx(t, "replication", hc.PredictedReplicationFactor(), 17.0/3.0, 0.01)
+}
+
+// TestSection31RandomHypercube reproduces Figure 2b: dimensions 4×4×4 and
+// load 3·H/4 = 0.75H regardless of skew; total load 48H.
+func TestSection31RandomHypercube(t *testing.T) {
+	const h = 1 << 20
+	hc, err := BuildScheme(RandomHypercube, chainSpec(h), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Machines() != 64 || len(hc.Dims) != 3 {
+		t.Fatalf("scheme = %v, want 4x4x4", hc)
+	}
+	for _, d := range hc.Dims {
+		if d.Size != 4 || d.Mode != ModeRandom {
+			t.Errorf("dim %+v, want random size 4", d)
+		}
+	}
+	approx(t, "avg load", hc.PredictedAvgLoad()/h, 0.75, 0.001)
+	approx(t, "replication", hc.PredictedReplicationFactor(), 16.0, 0.01)
+	if hc.ContentSensitive() {
+		t.Error("Random-Hypercube must be content-insensitive")
+	}
+}
+
+// TestSection31HashUnderSkew reproduces Figure 2c: with the most frequent z
+// key holding half the mass in S and T, the 8×8 Hash-Hypercube's maximum
+// load estimate is |R|/8 + ((1-f)|S|/64 + f|S|/8) + ((1-f)|T|/8 + f|T|) ≈
+// 0.76H — the same ballpark as the paper's cruder ≈0.69H estimate, and far
+// above the uniform 0.26H.
+func TestSection31HashUnderSkew(t *testing.T) {
+	const h = 1 << 20
+	spec := chainSpec(h)
+	spec.TopFreq = map[KeySlot]float64{
+		SlotCol(1, 1): 0.5, // S.z
+		SlotCol(2, 0): 0.5, // T.z
+	}
+	hc, err := BuildScheme(HashHypercube, spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sizing stays the uniform-optimal 8×8 (the scheme is skew-oblivious).
+	for _, d := range hc.Dims {
+		if d.Size != 8 {
+			t.Fatalf("scheme = %v, want 8x8", hc)
+		}
+	}
+	approx(t, "max load under skew", hc.PredictedMaxLoad()/h, 0.7578, 0.01)
+	approx(t, "avg load", hc.PredictedAvgLoad()/h, 0.2656, 0.001)
+}
+
+// TestSection31HybridHypercube reproduces Figure 2d: S.z and T.z are skewed,
+// so both are renamed to random singleton dimensions; y stays a shared hash
+// dimension. The optimizer drops z' (S is already partitioned via y) and
+// chooses y=9 × z”=7 (63 of 64 machines) with max load (|R|+|S|)/9 + |T|/7
+// ≈ 0.365H — the paper's "≈ 0.36H", about 2× better than both the
+// Random-Hypercube (0.75H) and the skewed Hash-Hypercube (≈0.7H), matching
+// the quoted 2.08× / 1.92× improvements. (The paper's prose prints the
+// formula with denominators swapped; 0.36H is only reachable as 2H/9 + H/7.)
+func TestSection31HybridHypercube(t *testing.T) {
+	const h = 1 << 20
+	spec := chainSpec(h)
+	spec.Skewed = map[KeySlot]bool{
+		SlotCol(1, 1): true, // S.z zipfian
+		SlotCol(2, 0): true, // T.z zipfian
+	}
+	hc, err := BuildScheme(HybridHypercube, spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Machines() != 63 || len(hc.Dims) != 2 {
+		t.Fatalf("scheme = %v, want 9x7 over 63 machines", hc)
+	}
+	var hashDims, randDims int
+	for _, d := range hc.Dims {
+		switch d.Mode {
+		case ModeHash:
+			hashDims++
+			if d.Size != 9 {
+				t.Errorf("hash dim %+v, want y of size 9", d)
+			}
+		case ModeRandom:
+			randDims++
+			if d.Size != 7 {
+				t.Errorf("random dim %+v, want z'' of size 7", d)
+			}
+		}
+	}
+	if hashDims != 1 || randDims != 1 {
+		t.Errorf("want one hash (y) and one random (z'') dim, got %v", hc)
+	}
+	approx(t, "max load", hc.PredictedMaxLoad()/h, 0.3651, 0.001)
+	// Hybrid beats Random by ~2.05x (paper: 2.08x).
+	if ratio := 0.75 * h / hc.PredictedMaxLoad(); ratio < 1.9 {
+		t.Errorf("Hybrid/Random improvement = %.2fx, want ~2x", ratio)
+	}
+}
+
+// TestHybridSubsumesHash: with no skew declared and equi-joins only, the
+// Hybrid-Hypercube produces exactly the Hash-Hypercube partitioning (§3.1).
+func TestHybridSubsumesHash(t *testing.T) {
+	spec := chainSpec(1 << 20)
+	hhc, err := BuildScheme(HashHypercube, spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yhc, err := BuildScheme(HybridHypercube, spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hhc.String() != yhc.String() {
+		t.Errorf("Hybrid %v != Hash %v with no skew", yhc, hhc)
+	}
+}
+
+// TestHybridAllSkewedActsLikeRandom: with every join key skewed the Hybrid
+// scheme uses random partitioning on every dimension (content-insensitive),
+// the Random-Hypercube's defining property.
+func TestHybridAllSkewedActsLikeRandom(t *testing.T) {
+	spec := chainSpec(1 << 20)
+	spec.Skewed = map[KeySlot]bool{
+		SlotCol(0, 1): true, SlotCol(1, 0): true,
+		SlotCol(1, 1): true, SlotCol(2, 0): true,
+	}
+	hc, err := BuildScheme(HybridHypercube, spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.ContentSensitive() {
+		t.Errorf("all-skewed Hybrid must be content-insensitive: %v", hc)
+	}
+}
+
+// tpch9Spec is the TPCH9-Partial join Lineitem ⋈ PartSupp ⋈ Part:
+// L.pk = PS.pk = P.pk and L.sk = PS.sk. Columns: L=(pk, sk, ...),
+// PS=(pk, sk, ...), P=(pk, ...). Sizes follow TPC-H with the Q9 Part filter
+// applied (Part ≈ 0.1M at 10G scale; see EXPERIMENTS.md).
+func tpch9Spec(l, ps, p int64) JoinSpec {
+	return JoinSpec{
+		Graph: expr.MustJoinGraph(3,
+			expr.EquiCol(0, 0, 1, 0), // L.pk = PS.pk
+			expr.EquiCol(0, 1, 1, 1), // L.sk = PS.sk
+			expr.EquiCol(0, 0, 2, 0), // L.pk = P.pk
+		),
+		Names: []string{"LINEITEM", "PARTSUPP", "PART"},
+		Sizes: []int64{l, ps, p},
+	}
+}
+
+// TestTPCH9Partial10G reproduces the 10G/8J row of Tables 1 and 2:
+// Hash picks pk=8 (replication 1.0, avg 8.5M), Random picks 1×1×8
+// (load 15.6M, replication 1.83), Hybrid renames the skewed L.pk and picks
+// sk=8 (avg 8.6M, replication 1.01).
+func TestTPCH9Partial10G(t *testing.T) {
+	const l, ps, p = 60_000_000, 8_000_000, 100_000
+	spec := tpch9Spec(l, ps, p)
+
+	hash, err := BuildScheme(HashHypercube, spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "hash avg (Table 1: 8.5M)", hash.PredictedAvgLoad(), 8.5125e6, 1e4)
+	approx(t, "hash replication (Table 2: 1)", hash.PredictedReplicationFactor(), 1.0, 0.01)
+
+	random, err := BuildScheme(RandomHypercube, spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "random load (Table 1: 15.6M)", random.PredictedAvgLoad(), 15.6e6, 2e4)
+	approx(t, "random replication (Table 2: 1.83)", random.PredictedReplicationFactor(), 1.83, 0.01)
+
+	spec.Skewed = map[KeySlot]bool{SlotCol(0, 0): true} // L.Partkey zipfian
+	hybrid, err := BuildScheme(HybridHypercube, spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "hybrid avg (Table 1: 8.6M)", hybrid.PredictedAvgLoad(), 8.6e6, 2e4)
+	approx(t, "hybrid replication (Table 2: 1.01)", hybrid.PredictedReplicationFactor(), 1.01, 0.01)
+}
+
+// TestTPCH9Partial80G reproduces the 80G/100J row: Random picks Part ×
+// PartSupp × Lineitem = 1×4×25 with load 36M and replication ≈6.6 (paper:
+// 35M, 6.19); Hybrid picks sk=100 with avg ≈6.2M and replication ≈1.15
+// (paper: 6.3M, 1.11); Hash's predicted max load under zipf(2) skew explodes
+// (the run dies of memory overflow in Figure 7).
+func TestTPCH9Partial80G(t *testing.T) {
+	const l, ps, p = 480_000_000, 64_000_000, 800_000
+	spec := tpch9Spec(l, ps, p)
+	spec.TopFreq = map[KeySlot]float64{SlotCol(0, 0): 0.6} // zipf(2) top key
+
+	random, err := BuildScheme(RandomHypercube, spec, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: {1x4x25}. The PART dimension of size 1 is dropped from the cube.
+	ds := dimSizes(random)
+	if ds["PART"] != 0 || ds["PARTSUPP"] != 4 || ds["LINEITEM"] != 25 {
+		t.Errorf("random dims = %v, want {1x4x25}", random)
+	}
+	approx(t, "random load (Table 1: 35M)", random.PredictedAvgLoad(), 36e6, 1e6)
+	approx(t, "random replication (Table 2: 6.19)", random.PredictedReplicationFactor(), 6.6, 0.1)
+
+	spec.Skewed = map[KeySlot]bool{SlotCol(0, 0): true}
+	hybrid, err := BuildScheme(HybridHypercube, spec, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "hybrid avg (Table 1: 6.3M)", hybrid.PredictedAvgLoad(), 6.24e6, 1e5)
+	approx(t, "hybrid replication (Table 2: 1.11)", hybrid.PredictedReplicationFactor(), 1.145, 0.01)
+
+	spec.Skewed = nil
+	hash, err := BuildScheme(HashHypercube, spec, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash.PredictedMaxLoad() < 0.5*float64(l)*0.6 {
+		t.Errorf("hash max load %g must reflect the 60%% heavy key", hash.PredictedMaxLoad())
+	}
+}
+
+// webAnalyticsSpec: W1 ⋈ W2 ⋈ C with W1.ToUrl = W2.FromUrl (after the
+// 'blogspot.com' selections this key has ONE distinct value) and
+// W1.FromUrl = C.Url (C.Url is a primary key, skew-free). Columns:
+// W1=(FromUrl, ToUrl), W2=(FromUrl, ToUrl), C=(Url, Score).
+func webAnalyticsSpec() JoinSpec {
+	return JoinSpec{
+		Graph: expr.MustJoinGraph(3,
+			expr.EquiCol(0, 1, 1, 0), // W1.ToUrl = W2.FromUrl
+			expr.EquiCol(0, 0, 2, 0), // W1.FromUrl = C.Url
+		),
+		Names: []string{"W1", "W2", "C"},
+		Sizes: []int64{1_030_000, 3_900_000, 43_000_000},
+	}
+}
+
+// TestWebAnalyticsSchemes reproduces §7.3's hypercube properties: Hash and
+// Hybrid both pick a 20×2 cube; Random picks W1×W2×C = 1×2×20 replicating W1
+// everywhere.
+func TestWebAnalyticsSchemes(t *testing.T) {
+	spec := webAnalyticsSpec()
+
+	hash, err := BuildScheme(HashHypercube, spec, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash.Machines() != 40 || len(hash.Dims) != 2 {
+		t.Fatalf("hash scheme = %v, want 20x2", hash)
+	}
+
+	random, err := BuildScheme(RandomHypercube, spec, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: {1x2x20}; the W1 dimension of size 1 is dropped from the cube.
+	ds := dimSizes(random)
+	if ds["W1"] != 0 || ds["W2"] != 2 || ds["C"] != 20 {
+		t.Errorf("random dims = %v, want {1x2x20}", random)
+	}
+
+	spec.Skewed = map[KeySlot]bool{
+		SlotCol(0, 1): true, // W1.ToUrl: single distinct value
+		SlotCol(1, 0): true, // W2.FromUrl: single distinct value
+	}
+	hybrid, err := BuildScheme(HybridHypercube, spec, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.Machines() != 40 || len(hybrid.Dims) != 2 {
+		t.Fatalf("hybrid scheme = %v, want 20x2", hybrid)
+	}
+	var randomDim *Dim
+	for i := range hybrid.Dims {
+		if hybrid.Dims[i].Mode == ModeRandom {
+			randomDim = &hybrid.Dims[i]
+		}
+	}
+	if randomDim == nil || randomDim.Size != 2 {
+		t.Errorf("hybrid = %v, want the W2 random dim of size 2", hybrid)
+	}
+	// Hybrid must beat both on predicted max load under the skew model.
+	spec.TopFreq = map[KeySlot]float64{SlotCol(1, 0): 1.0}
+	hashSkew, err := BuildScheme(HashHypercube, spec, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.PredictedMaxLoad() >= hashSkew.PredictedMaxLoad() {
+		t.Errorf("hybrid max %g must beat hash-under-skew max %g",
+			hybrid.PredictedMaxLoad(), hashSkew.PredictedMaxLoad())
+	}
+	if hybrid.PredictedMaxLoad() >= random.PredictedAvgLoad() {
+		t.Errorf("hybrid max %g must beat random load %g",
+			hybrid.PredictedMaxLoad(), random.PredictedAvgLoad())
+	}
+}
+
+// TestStarSchemaSpecialCase (§3.2): with one big fact table and tiny
+// dimension tables, hypercube optimization degenerates to p×1×1 — partition
+// the fact table, broadcast the dimensions.
+func TestStarSchemaSpecialCase(t *testing.T) {
+	spec := JoinSpec{
+		Graph: expr.MustJoinGraph(3,
+			expr.EquiCol(0, 0, 1, 0), // F.d1 = D1.k
+			expr.EquiCol(0, 1, 2, 0), // F.d2 = D2.k
+		),
+		Names: []string{"FACT", "D1", "D2"},
+		Sizes: []int64{10_000_000, 1_000, 2_000},
+	}
+	for _, kind := range []SchemeKind{HashHypercube, RandomHypercube, HybridHypercube} {
+		hc, err := BuildScheme(kind, spec, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The fact table must be partitioned 16 ways with no replication; the
+		// dimension tables are broadcast.
+		if hc.Machines() != 16 {
+			t.Errorf("%v: machines = %d", kind, hc.Machines())
+		}
+		factParts := 1
+		for d := range hc.Dims {
+			if hc.owns[0][d] {
+				factParts *= hc.Dims[d].Size
+			}
+		}
+		if factParts != 16 {
+			t.Errorf("%v: fact table split %d ways, want 16 (%v)", kind, factParts, hc)
+		}
+	}
+}
+
+// TestSameKeyMultiJoin (§3.2): when all relations join on the same key, the
+// Hash-Hypercube yields a 1-dimensional cube with no replication at all.
+func TestSameKeyMultiJoin(t *testing.T) {
+	spec := JoinSpec{
+		Graph: expr.MustJoinGraph(3,
+			expr.EquiCol(0, 0, 1, 0),
+			expr.EquiCol(1, 0, 2, 0),
+		),
+		Names: []string{"A", "B", "C"},
+		Sizes: []int64{1000, 1000, 1000},
+	}
+	hc, err := BuildScheme(HashHypercube, spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hc.Dims) != 1 || hc.Machines() != 8 {
+		t.Fatalf("scheme = %v, want single dim of 8", hc)
+	}
+	approx(t, "replication", hc.PredictedReplicationFactor(), 1.0, 1e-9)
+}
+
+// TestNonEquiJoinSchemes (§4): for R.x = S.x AND S.x < T.y with everything
+// skew-free, the Hybrid uses hash dimensions (x shared by R,S; y owned by T)
+// — hash on a skew-free attribute simulates random distribution for the
+// 1-Bucket side. Hash-Hypercube on a pure inequality falls back the same
+// way; Random handles it natively.
+func TestNonEquiJoinSchemes(t *testing.T) {
+	spec := JoinSpec{
+		Graph: expr.MustJoinGraph(3,
+			expr.EquiCol(0, 0, 1, 0),           // R.x = S.x
+			expr.ThetaCol(1, 0, expr.Lt, 2, 0), // S.x < T.y
+		),
+		Names: []string{"R", "S", "T"},
+		Sizes: []int64{100_000, 100_000, 100_000},
+	}
+	hc, err := BuildScheme(HybridHypercube, spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hc.Dims) != 2 {
+		t.Fatalf("scheme = %v, want dims (x, y)", hc)
+	}
+	for _, d := range hc.Dims {
+		if d.Mode != ModeHash {
+			t.Errorf("skew-free non-equi dims use hash: %v", hc)
+		}
+	}
+	// With skew on S.x, it is renamed to x' (random) and R.x gets its own
+	// hash dimension (§4's last example).
+	spec.Skewed = map[KeySlot]bool{SlotCol(1, 0): true}
+	hc2, err := BuildScheme(HybridHypercube, spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRandom := false
+	for _, d := range hc2.Dims {
+		if d.Mode == ModeRandom {
+			foundRandom = true
+		}
+	}
+	if !foundRandom {
+		t.Errorf("S.x skew must force a random dimension: %v", hc2)
+	}
+}
+
+// TestDimensionalityReduction (§4): in R(x,y) ⋈ S(y,z) ⋈ T(z,t) ⋈ U(t) with
+// only z skewed, Random uses 4 dimensions but Hybrid needs only 2 (y and t):
+// R,S hash on y; T,U hash on t; S⋈T is the implied 1-Bucket join.
+func TestDimensionalityReduction(t *testing.T) {
+	const h = 1_000_000
+	spec := JoinSpec{
+		Graph: expr.MustJoinGraph(4,
+			expr.EquiCol(0, 1, 1, 0), // R.y = S.y
+			expr.EquiCol(1, 1, 2, 0), // S.z = T.z
+			expr.EquiCol(2, 1, 3, 0), // T.t = U.t
+		),
+		Names:  []string{"R", "S", "T", "U"},
+		Sizes:  []int64{h, h, h, h},
+		Skewed: map[KeySlot]bool{SlotCol(1, 1): true, SlotCol(2, 0): true},
+	}
+	random, err := BuildScheme(RandomHypercube, spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(random.Dims) != 4 {
+		t.Errorf("random = %v, want 4 dims", random)
+	}
+	hybrid, err := BuildScheme(HybridHypercube, spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hybrid.Dims) != 2 {
+		t.Errorf("hybrid = %v, want 2 dims (y, t): z' and z'' dropped", hybrid)
+	}
+	if hybrid.PredictedReplicationFactor() >= random.PredictedReplicationFactor() {
+		t.Errorf("hybrid replication %g must beat random %g",
+			hybrid.PredictedReplicationFactor(), random.PredictedReplicationFactor())
+	}
+}
+
+// TestSevenMachinesIntegerSizes: the Chu et al. concern — with 7 machines
+// and a 3-relation chain the optimizer must not round 7^(1/3) down to 1×1×1;
+// it must keep using several machines.
+func TestSevenMachinesIntegerSizes(t *testing.T) {
+	hc, err := BuildScheme(RandomHypercube, chainSpec(1_000_000), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Machines() < 6 {
+		t.Errorf("with 7 machines the scheme uses %d; integer search must use ≥6", hc.Machines())
+	}
+}
+
+func TestBuildSchemeValidation(t *testing.T) {
+	spec := chainSpec(100)
+	if _, err := BuildScheme(HybridHypercube, spec, 0); err == nil {
+		t.Error("0 machines must fail")
+	}
+	bad := spec
+	bad.Sizes = []int64{1, 2}
+	if _, err := BuildScheme(HashHypercube, bad, 8); err == nil {
+		t.Error("size/relation mismatch must fail")
+	}
+	bad2 := spec
+	bad2.Sizes = []int64{0, 1, 1}
+	if _, err := BuildScheme(HashHypercube, bad2, 8); err == nil {
+		t.Error("zero size must fail")
+	}
+	if _, err := BuildScheme(SchemeKind(99), spec, 8); err == nil {
+		t.Error("unknown scheme must fail")
+	}
+}
+
+func TestChooseSkewedOffline(t *testing.T) {
+	// TPCH9 10G with a 60% heavy key on L.pk: marking L.pk skewed must win;
+	// the mild PS keys stay uniform.
+	spec := tpch9Spec(60_000_000, 8_000_000, 100_000)
+	spec.TopFreq = map[KeySlot]float64{
+		SlotCol(0, 0): 0.6,   // L.pk: zipf(2)
+		SlotCol(1, 0): 0.001, // PS.pk: uniform
+	}
+	chosen, err := ChooseSkewedOffline(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chosen[SlotCol(0, 0)] {
+		t.Error("L.pk with 60% top key must be marked skewed")
+	}
+	if chosen[SlotCol(1, 0)] {
+		t.Error("uniform PS.pk must stay hash-partitioned")
+	}
+}
+
+func TestFewDistinctSkewed(t *testing.T) {
+	if !FewDistinctSkewed(5, 8) {
+		t.Error("5 distinct keys over 8 machines must count as skewed")
+	}
+	if FewDistinctSkewed(1000, 8) {
+		t.Error("1000 distinct keys over 8 machines is fine for hashing")
+	}
+	if FewDistinctSkewed(0, 8) {
+		t.Error("unknown distinct count must not force skew")
+	}
+}
+
+func TestTwoWaySpecializations(t *testing.T) {
+	two := JoinSpec{
+		Graph: expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0)),
+		Names: []string{"R", "S"},
+		Sizes: []int64{1000, 1000},
+	}
+	hc, err := TwoWayHash(two, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hc.Dims) != 1 || hc.Dims[0].Mode != ModeHash {
+		t.Errorf("TwoWayHash = %v", hc)
+	}
+	ob, err := OneBucket(two, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ob.Dims) != 2 || ob.Machines() != 16 {
+		t.Errorf("OneBucket = %v, want 4x4 matrix", ob)
+	}
+	theta := JoinSpec{
+		Graph: expr.MustJoinGraph(2, expr.ThetaCol(0, 0, expr.Lt, 1, 0)),
+		Names: []string{"R", "S"},
+		Sizes: []int64{1000, 1000},
+	}
+	if _, err := TwoWayHash(theta, 8); err == nil {
+		t.Error("TwoWayHash on a theta join must fail")
+	}
+	if _, err := OneBucket(theta, 8); err != nil {
+		t.Errorf("OneBucket on a theta join: %v", err)
+	}
+	if _, err := TwoWayHash(chainSpec(10), 8); err == nil {
+		t.Error("TwoWayHash on 3 relations must fail")
+	}
+}

@@ -1,0 +1,280 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"squall/internal/types"
+	"squall/internal/wire"
+)
+
+// ErrMemoryOverflow is returned (wrapped) when a task's state exceeds the
+// per-task memory budget — the paper's "Memory Overflow" outcome in Figure 7.
+var ErrMemoryOverflow = errors.New("memory overflow")
+
+// Options configure one topology execution.
+type Options struct {
+	// Seed makes shuffle/random groupings and spout factories deterministic.
+	Seed int64
+	// ChannelBuf is the per-task inbox capacity (backpressure depth).
+	// Default 1024.
+	ChannelBuf int
+	// MemLimitPerTask, when > 0, aborts the run with ErrMemoryOverflow if any
+	// MemReporter bolt's state exceeds this many bytes.
+	MemLimitPerTask int
+	// NoSerialize skips the per-hop tuple (de)serialization. Used by tests
+	// and by analytical benches where network cost must be excluded
+	// (Figure 5 isolates it explicitly instead).
+	NoSerialize bool
+}
+
+type envelope struct {
+	tuple  types.Tuple
+	stream string
+	from   int
+	eos    bool
+}
+
+// Collector routes a task's emitted tuples to the downstream tasks chosen by
+// each outgoing edge's grouping. One Collector belongs to one task; it is
+// not safe for concurrent use.
+type Collector struct {
+	ex      *execution
+	node    *node
+	task    int
+	rng     *rand.Rand
+	metrics *TaskMetrics
+	scratch []byte
+	tbuf    []int
+}
+
+// Emit ships t to all subscribed downstream components.
+func (c *Collector) Emit(t types.Tuple) error {
+	c.metrics.Emitted.Add(1)
+	for _, e := range c.node.outputs {
+		c.tbuf = c.tbuf[:0]
+		c.tbuf = e.grouping.Targets(t, e.to.par, c.rng, c.tbuf)
+		if !c.ex.opts.NoSerialize {
+			c.scratch = wire.Encode(c.scratch[:0], t)
+		}
+		for _, target := range c.tbuf {
+			if target < 0 || target >= e.to.par {
+				return fmt.Errorf("dataflow: grouping on edge %s->%s chose task %d of %d", e.from.name, e.to.name, target, e.to.par)
+			}
+			out := t
+			if !c.ex.opts.NoSerialize {
+				// Each destination receives its own deserialized copy,
+				// exactly as on a real network.
+				var err error
+				out, _, err = wire.Decode(c.scratch)
+				if err != nil {
+					return fmt.Errorf("dataflow: wire corruption on %s->%s: %w", e.from.name, e.to.name, err)
+				}
+				c.metrics.BytesOut.Add(int64(len(c.scratch)))
+			}
+			c.metrics.Sent.Add(1)
+			if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, tuple: out}) {
+				return c.ex.abortErr()
+			}
+		}
+	}
+	return nil
+}
+
+// eos broadcasts end-of-stream to every task of every downstream component.
+func (c *Collector) eos() {
+	for _, e := range c.node.outputs {
+		for target := 0; target < e.to.par; target++ {
+			if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, eos: true}) {
+				return
+			}
+		}
+	}
+}
+
+// execution is the runtime state of one Run call.
+type execution struct {
+	topo    *Topology
+	opts    Options
+	inboxes map[*node][]chan envelope
+	metrics *RunMetrics
+	abort   chan struct{}
+	once    sync.Once
+	err     error
+}
+
+func (ex *execution) fail(err error) {
+	ex.once.Do(func() {
+		ex.err = err
+		close(ex.abort)
+	})
+}
+
+func (ex *execution) abortErr() error {
+	select {
+	case <-ex.abort:
+		if ex.err != nil {
+			return ex.err
+		}
+		return errors.New("dataflow: aborted")
+	default:
+		return errors.New("dataflow: send failed without abort")
+	}
+}
+
+// send delivers an envelope unless the run has been aborted; it reports
+// whether delivery happened.
+func (ex *execution) send(to *node, task int, env envelope) bool {
+	select {
+	case ex.inboxes[to][task] <- env:
+		return true
+	case <-ex.abort:
+		return false
+	}
+}
+
+func taskSeed(base int64, comp string, task int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%d", base, comp, task)
+	return int64(h.Sum64())
+}
+
+// Run executes the topology to completion: spouts drain, EOS propagates
+// through every bolt (triggering Finish), and per-task metrics are returned.
+// On error (bolt failure, memory overflow) the run aborts and the partial
+// metrics are still returned alongside the error, which is how the paper
+// extrapolates runtimes for configurations that die of memory overflow.
+func Run(t *Topology, opts Options) (*RunMetrics, error) {
+	if opts.ChannelBuf <= 0 {
+		opts.ChannelBuf = 1024
+	}
+	ex := &execution{
+		topo:    t,
+		opts:    opts,
+		inboxes: make(map[*node][]chan envelope, len(t.nodes)),
+		abort:   make(chan struct{}),
+		metrics: &RunMetrics{Components: make(map[string]*ComponentMetrics, len(t.nodes)), topo: t},
+	}
+	for _, n := range t.nodes {
+		cm := &ComponentMetrics{Name: n.name, Par: n.par, Tasks: make([]*TaskMetrics, n.par)}
+		chans := make([]chan envelope, n.par)
+		for i := range chans {
+			chans[i] = make(chan envelope, opts.ChannelBuf)
+			cm.Tasks[i] = &TaskMetrics{}
+		}
+		ex.inboxes[n] = chans
+		ex.metrics.Components[n.name] = cm
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, n := range t.nodes {
+		for task := 0; task < n.par; task++ {
+			wg.Add(1)
+			if n.spout != nil {
+				go ex.runSpout(&wg, n, task)
+			} else {
+				go ex.runBolt(&wg, n, task)
+			}
+		}
+	}
+	wg.Wait()
+	ex.metrics.Elapsed = time.Since(start)
+	return ex.metrics, ex.err
+}
+
+func (ex *execution) collector(n *node, task int) *Collector {
+	return &Collector{
+		ex:      ex,
+		node:    n,
+		task:    task,
+		rng:     rand.New(rand.NewSource(taskSeed(ex.opts.Seed, n.name, task))),
+		metrics: ex.metrics.Components[n.name].Tasks[task],
+	}
+}
+
+func (ex *execution) runSpout(wg *sync.WaitGroup, n *node, task int) {
+	defer wg.Done()
+	col := ex.collector(n, task)
+	defer col.eos()
+	sp := n.spout(task, n.par)
+	for {
+		select {
+		case <-ex.abort:
+			return
+		default:
+		}
+		tuple, ok := sp.Next()
+		if !ok {
+			return
+		}
+		if err := col.Emit(tuple); err != nil {
+			ex.fail(fmt.Errorf("dataflow: spout %s[%d]: %w", n.name, task, err))
+			return
+		}
+	}
+}
+
+func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
+	defer wg.Done()
+	col := ex.collector(n, task)
+	bolt := n.bolt(task, n.par)
+	mem, hasMem := bolt.(MemReporter)
+	tm := col.metrics
+
+	expectEOS := 0
+	for _, e := range n.inputs {
+		expectEOS += e.from.par
+	}
+	inbox := ex.inboxes[n][task]
+	processed := 0
+	for expectEOS > 0 {
+		var env envelope
+		select {
+		case env = <-inbox:
+		case <-ex.abort:
+			return
+		}
+		if env.eos {
+			expectEOS--
+			continue
+		}
+		tm.Received.Add(1)
+		if err := bolt.Execute(Input{Stream: env.stream, FromTask: env.from, Tuple: env.tuple}, col); err != nil {
+			ex.fail(fmt.Errorf("dataflow: bolt %s[%d]: %w", n.name, task, err))
+			return
+		}
+		processed++
+		if hasMem && processed%256 == 0 {
+			ex.checkMem(n, task, tm, mem)
+			select {
+			case <-ex.abort:
+				return
+			default:
+			}
+		}
+	}
+	if hasMem {
+		ex.checkMem(n, task, tm, mem)
+	}
+	if err := bolt.Finish(col); err != nil {
+		ex.fail(fmt.Errorf("dataflow: bolt %s[%d] finish: %w", n.name, task, err))
+		return
+	}
+	col.eos()
+}
+
+func (ex *execution) checkMem(n *node, task int, tm *TaskMetrics, mem MemReporter) {
+	sz := int64(mem.MemSize())
+	if sz > tm.MaxMem.Load() {
+		tm.MaxMem.Store(sz)
+	}
+	if ex.opts.MemLimitPerTask > 0 && sz > int64(ex.opts.MemLimitPerTask) {
+		ex.fail(fmt.Errorf("dataflow: bolt %s[%d] state %dB exceeds budget %dB: %w",
+			n.name, task, sz, ex.opts.MemLimitPerTask, ErrMemoryOverflow))
+	}
+}

@@ -1,0 +1,90 @@
+package dataflow
+
+import (
+	"math/rand"
+
+	"squall/internal/types"
+)
+
+// Grouping decides, for each tuple crossing an edge, which tasks of the
+// downstream component receive it. It is Storm's stream grouping (§2): hash
+// ("fields"), shuffle, all (broadcast) and custom groupings are provided;
+// the hypercube partitioning schemes in internal/core implement this
+// interface as custom groupings.
+//
+// Targets appends destination task indexes (in [0, ntasks)) to buf and
+// returns it; implementations may be called concurrently from different
+// producer tasks, but always with that task's private rng and buf.
+type Grouping interface {
+	Targets(t types.Tuple, ntasks int, rng *rand.Rand, buf []int) []int
+}
+
+// GroupingFunc adapts a function to the Grouping interface.
+type GroupingFunc func(t types.Tuple, ntasks int, rng *rand.Rand, buf []int) []int
+
+// Targets calls the function.
+func (f GroupingFunc) Targets(t types.Tuple, ntasks int, rng *rand.Rand, buf []int) []int {
+	return f(t, ntasks, rng, buf)
+}
+
+// Shuffle distributes tuples uniformly at random: the content-insensitive
+// grouping, resilient to data and temporal skew (§5).
+func Shuffle() Grouping {
+	return GroupingFunc(func(_ types.Tuple, ntasks int, rng *rand.Rand, buf []int) []int {
+		return append(buf, rng.Intn(ntasks))
+	})
+}
+
+// Fields hashes the values at the given columns: the content-sensitive
+// grouping used for equi-joins and group-bys on skew-free keys.
+func Fields(cols ...int) Grouping {
+	return GroupingFunc(func(t types.Tuple, ntasks int, _ *rand.Rand, buf []int) []int {
+		return append(buf, int(t.Hash(cols...)%uint64(ntasks)))
+	})
+}
+
+// All broadcasts every tuple to every task (dimension-table replication in
+// the star-schema special case, §3.2).
+func All() Grouping {
+	return GroupingFunc(func(_ types.Tuple, ntasks int, _ *rand.Rand, buf []int) []int {
+		for i := 0; i < ntasks; i++ {
+			buf = append(buf, i)
+		}
+		return buf
+	})
+}
+
+// Global routes everything to task 0 (final single-task aggregations).
+func Global() Grouping {
+	return GroupingFunc(func(_ types.Tuple, _ int, _ *rand.Rand, buf []int) []int {
+		return append(buf, 0)
+	})
+}
+
+// KeyMapped routes by an explicit key->task assignment built ahead of time.
+// Squall uses this when the key domain is small and known (TPC-H Q4/Q5/Q12
+// final aggregations): a round-robin assignment guarantees task loads differ
+// by at most one key, fixing the hash-imperfection skew of §5. Keys not in
+// the map fall back to hashing.
+type KeyMapped struct {
+	Cols []int
+	M    map[string]int
+}
+
+// RoundRobinKeyMap assigns the given distinct keys to ntasks tasks round-
+// robin; any two tasks receive key counts differing by at most one.
+func RoundRobinKeyMap(keys []types.Tuple, cols []int, ntasks int) *KeyMapped {
+	m := make(map[string]int, len(keys))
+	for i, k := range keys {
+		m[k.Key(cols...)] = i % ntasks
+	}
+	return &KeyMapped{Cols: cols, M: m}
+}
+
+// Targets looks up the precomputed assignment.
+func (k *KeyMapped) Targets(t types.Tuple, ntasks int, _ *rand.Rand, buf []int) []int {
+	if task, ok := k.M[t.Key(k.Cols...)]; ok && task < ntasks {
+		return append(buf, task)
+	}
+	return append(buf, int(t.Hash(k.Cols...)%uint64(ntasks)))
+}

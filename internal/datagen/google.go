@@ -1,0 +1,109 @@
+package datagen
+
+import (
+	"squall/internal/dataflow"
+	"squall/internal/types"
+)
+
+// GoogleTrace generates a synthetic Google cluster-monitoring dataset (§6):
+// JOB_EVENTS, TASK_EVENTS and MACHINE_EVENTS with the trace's structure —
+// TASK_EVENTS dominates, the two dimension-like relations total ≈14.5% of
+// it (§7.4), task failures are a minority event type, and every task event
+// references a job and a machine.
+type GoogleTrace struct {
+	Seed       uint64
+	TaskEvents int64
+}
+
+// EventFail is the eventType value the TaskCount query filters on.
+const EventFail = int64(3)
+
+// Event type domain: SUBMIT=0, SCHEDULE=1, FINISH=2, FAIL=3, EVICT=4.
+const numEventTypes = 5
+
+// Platforms in MACHINE_EVENTS.
+var Platforms = []string{"HpVn", "Kx3a", "zQw9"}
+
+// JobEvents returns the JOB_EVENTS row count (≈9.5% of TASK_EVENTS).
+func (g *GoogleTrace) JobEvents() int64 { return max64(g.TaskEvents*95/1000, 1) }
+
+// MachineEvents returns the MACHINE_EVENTS row count (≈5% of TASK_EVENTS).
+func (g *GoogleTrace) MachineEvents() int64 { return max64(g.TaskEvents*50/1000, 1) }
+
+// Jobs is the jobID domain (each job has ~2 job events).
+func (g *GoogleTrace) Jobs() int64 { return max64(g.JobEvents()/2, 1) }
+
+// Machines is the machineID domain (each machine has ~2 machine events).
+func (g *GoogleTrace) Machines() int64 { return max64(g.MachineEvents()/2, 1) }
+
+// Schemas.
+var (
+	JobEventsSchema = types.NewSchema("job_events",
+		types.Column{Name: "jobid", Kind: types.KindInt},
+		types.Column{Name: "eventtype", Kind: types.KindInt},
+		types.Column{Name: "schedulingclass", Kind: types.KindInt},
+	)
+	TaskEventsSchema = types.NewSchema("task_events",
+		types.Column{Name: "jobid", Kind: types.KindInt},
+		types.Column{Name: "machineid", Kind: types.KindInt},
+		types.Column{Name: "eventtype", Kind: types.KindInt},
+		types.Column{Name: "priority", Kind: types.KindInt},
+	)
+	MachineEventsSchema = types.NewSchema("machine_events",
+		types.Column{Name: "machineid", Kind: types.KindInt},
+		types.Column{Name: "platform", Kind: types.KindString},
+		types.Column{Name: "capacity", Kind: types.KindFloat},
+	)
+)
+
+// JobEvent returns row i of JOB_EVENTS.
+func (g *GoogleTrace) JobEvent(i int64) types.Tuple {
+	r := newRng(g.Seed, "job_events", i)
+	return types.Tuple{
+		types.Int(i/2 + 1), // ~2 events per job
+		types.Int(r.Intn(numEventTypes)),
+		types.Int(r.Intn(4)),
+	}
+}
+
+// TaskEvent returns row i of TASK_EVENTS; ~12% are FAIL events.
+func (g *GoogleTrace) TaskEvent(i int64) types.Tuple {
+	r := newRng(g.Seed, "task_events", i)
+	et := r.Intn(numEventTypes)
+	if r.Intn(100) < 12 {
+		et = EventFail
+	} else if et == EventFail {
+		et = 2
+	}
+	return types.Tuple{
+		types.Int(r.Intn(g.Jobs()) + 1),
+		types.Int(r.Intn(g.Machines()) + 1),
+		types.Int(et),
+		types.Int(r.Intn(12)),
+	}
+}
+
+// MachineEvent returns row i of MACHINE_EVENTS.
+func (g *GoogleTrace) MachineEvent(i int64) types.Tuple {
+	r := newRng(g.Seed, "machine_events", i)
+	return types.Tuple{
+		types.Int(i/2 + 1),
+		types.Str(Platforms[r.Intn(int64(len(Platforms)))]),
+		types.Float(float64(r.Intn(100)) / 100),
+	}
+}
+
+// JobEventsSpout streams JOB_EVENTS.
+func (g *GoogleTrace) JobEventsSpout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(g.JobEvents()), func(i int) types.Tuple { return g.JobEvent(int64(i)) })
+}
+
+// TaskEventsSpout streams TASK_EVENTS.
+func (g *GoogleTrace) TaskEventsSpout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(g.TaskEvents), func(i int) types.Tuple { return g.TaskEvent(int64(i)) })
+}
+
+// MachineEventsSpout streams MACHINE_EVENTS.
+func (g *GoogleTrace) MachineEventsSpout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(g.MachineEvents()), func(i int) types.Tuple { return g.MachineEvent(int64(i)) })
+}

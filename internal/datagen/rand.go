@@ -1,0 +1,104 @@
+// Package datagen generates the paper's evaluation workloads synthetically
+// and deterministically: a TPC-H subset with optional zipfian foreign-key
+// skew (§7.3, §7.4), the WebGraph/CrawlContent datasets (§7.2, §7.3) and the
+// Google cluster-monitoring trace (§6, §7.4). Generation is stateless per
+// row — row i of a table is a pure function of (seed, table, i) — so spouts
+// can stream disjoint slices from any number of tasks without coordination.
+package datagen
+
+import (
+	"math"
+	"sort"
+)
+
+// splitmix64 is the per-row seed scrambler (Steele et al.); it turns
+// (seed, row) into an independent stream of 64-bit values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rng is a tiny counter-based generator: cheap to construct per row.
+type rng struct {
+	state uint64
+	ctr   uint64
+}
+
+func newRng(seed uint64, stream string, row int64) *rng {
+	h := seed
+	for i := 0; i < len(stream); i++ {
+		h = splitmix64(h ^ uint64(stream[i]))
+	}
+	return &rng{state: splitmix64(h ^ uint64(row))}
+}
+
+func (r *rng) next() uint64 {
+	r.ctr++
+	return splitmix64(r.state + r.ctr*0x9e3779b97f4a7c15)
+}
+
+// Intn returns a uniform int64 in [0, n).
+func (r *rng) Intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Zipf samples ranks 1..n with P(k) ∝ k^(-s) via a precomputed CDF. It is
+// immutable after construction and safe for concurrent use with caller-owned
+// rngs. The paper's skewed TPC-H datasets use s = 2 ("zipfian distribution
+// and skew factor of 2", §7.3).
+type Zipf struct {
+	cdf []float64
+	n   int64
+}
+
+// NewZipf precomputes the distribution over ranks 1..n.
+func NewZipf(n int64, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipf{cdf: make([]float64, n), n: n}
+	total := 0.0
+	for k := int64(1); k <= n; k++ {
+		total += math.Pow(float64(k), -s)
+		z.cdf[k-1] = total
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	return z
+}
+
+// Rank draws a rank in [1, n].
+func (z *Zipf) Rank(r *rng) int64 {
+	return z.RankFrom(r.Float64())
+}
+
+// RankFrom maps a uniform u in [0, 1) to a rank in [1, n] — the inverse-CDF
+// sampler for callers bringing their own randomness.
+func (z *Zipf) RankFrom(u float64) int64 {
+	i := sort.SearchFloat64s(z.cdf, u)
+	if int64(i) >= z.n {
+		i = int(z.n - 1)
+	}
+	return int64(i) + 1
+}
+
+// TopFreq returns the probability mass of rank 1 — the top-key frequency the
+// offline sampler would estimate (§3.4).
+func (z *Zipf) TopFreq() float64 {
+	if len(z.cdf) == 0 {
+		return 1
+	}
+	return z.cdf[0]
+}

@@ -1,0 +1,273 @@
+package datagen
+
+import (
+	"fmt"
+
+	"squall/internal/dataflow"
+	"squall/internal/types"
+)
+
+// TPCH generates a deterministic TPC-H subset. Row counts follow the
+// official ratios scaled from the Lineitem count: at scale factor 1,
+// Lineitem has 6M rows, Orders 1.5M, Customer 150k, Part 200k, PartSupp
+// 800k, Supplier 10k. ZipfS > 0 skews Lineitem's Partkey zipfian with that
+// exponent (the paper's skewed datasets use 2); Suppkey inherits part of the
+// skew through the TPC-H partkey→suppkey correlation, which is what makes
+// the Hybrid-Hypercube's measured max load exceed its average in Table 1.
+type TPCH struct {
+	Seed      uint64
+	Lineitems int64
+	ZipfS     float64
+
+	zipf     *Zipf
+	zipfCust *Zipf
+}
+
+// NewTPCH builds a generator with the given Lineitem count. When zipfS > 0,
+// Orders.Custkey is drawn from the same zipfian family (hot customers), so
+// skewed runs of Q3-style queries exercise a skewed Customer ⋈ Orders join.
+func NewTPCH(seed uint64, lineitems int64, zipfS float64) *TPCH {
+	t := &TPCH{Seed: seed, Lineitems: lineitems, ZipfS: zipfS}
+	if zipfS > 0 {
+		t.zipf = NewZipf(t.Parts(), zipfS)
+		t.zipfCust = NewZipf(t.Customers(), zipfS)
+	}
+	return t
+}
+
+// Derived table cardinalities (TPC-H ratios).
+
+// Orders returns the Orders row count (Lineitem/4).
+func (t *TPCH) Orders() int64 { return max64(t.Lineitems/4, 1) }
+
+// Customers returns the Customer row count (Lineitem/40).
+func (t *TPCH) Customers() int64 { return max64(t.Lineitems/40, 1) }
+
+// Parts returns the Part row count (Lineitem/30).
+func (t *TPCH) Parts() int64 { return max64(t.Lineitems/30, 1) }
+
+// PartSupps returns the PartSupp row count (4 suppliers per part).
+func (t *TPCH) PartSupps() int64 { return 4 * t.Parts() }
+
+// Suppliers returns the Supplier row count (Lineitem/600).
+func (t *TPCH) Suppliers() int64 { return max64(t.Lineitems/600, 4) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TopPartkeyFreq returns the generated frequency of the most popular
+// Partkey in Lineitem (0 when uniform) — what the §3.4 sampler would see.
+func (t *TPCH) TopPartkeyFreq() float64 {
+	if t.zipf == nil {
+		return 1 / float64(t.Parts())
+	}
+	return t.zipf.TopFreq()
+}
+
+// Schemas for the generated tables. Dates are strings, as read from .tbl
+// files (expression DATE() parses them, reproducing Figure 5's costs).
+var (
+	CustomerSchema = types.NewSchema("customer",
+		types.Column{Name: "custkey", Kind: types.KindInt},
+		types.Column{Name: "mktsegment", Kind: types.KindString},
+		types.Column{Name: "nationkey", Kind: types.KindInt},
+	)
+	OrdersSchema = types.NewSchema("orders",
+		types.Column{Name: "orderkey", Kind: types.KindInt},
+		types.Column{Name: "custkey", Kind: types.KindInt},
+		types.Column{Name: "orderdate", Kind: types.KindString},
+		types.Column{Name: "shippriority", Kind: types.KindInt},
+		types.Column{Name: "totalprice", Kind: types.KindFloat},
+	)
+	LineitemSchema = types.NewSchema("lineitem",
+		types.Column{Name: "orderkey", Kind: types.KindInt},
+		types.Column{Name: "partkey", Kind: types.KindInt},
+		types.Column{Name: "suppkey", Kind: types.KindInt},
+		types.Column{Name: "quantity", Kind: types.KindInt},
+		types.Column{Name: "extendedprice", Kind: types.KindFloat},
+		types.Column{Name: "shipdate", Kind: types.KindString},
+	)
+	PartSchema = types.NewSchema("part",
+		types.Column{Name: "partkey", Kind: types.KindInt},
+		types.Column{Name: "color", Kind: types.KindString},
+		types.Column{Name: "retailprice", Kind: types.KindFloat},
+	)
+	PartSuppSchema = types.NewSchema("partsupp",
+		types.Column{Name: "partkey", Kind: types.KindInt},
+		types.Column{Name: "suppkey", Kind: types.KindInt},
+		types.Column{Name: "supplycost", Kind: types.KindFloat},
+	)
+	SupplierSchema = types.NewSchema("supplier",
+		types.Column{Name: "suppkey", Kind: types.KindInt},
+		types.Column{Name: "nationkey", Kind: types.KindInt},
+	)
+)
+
+var segments = []string{"BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"}
+
+// PartColors: "green" parts are the Q9-style 5% filter target.
+var PartColors = []string{"green", "red", "blue", "ivory", "khaki", "plum", "puff",
+	"azure", "beige", "coral", "cream", "cyan", "lemon", "linen", "mint", "navy",
+	"olive", "peach", "rose", "snow"}
+
+func dateString(day int64) string {
+	// Map day 0..2400 onto 1992-01-01 .. 1999-02-17 in a simplified calendar
+	// (12 x 28-day months, so every produced date is valid for time.Parse);
+	// only ordering and parse cost matter.
+	y := 1992 + day/336
+	m := (day%336)/28 + 1
+	d := day%28 + 1
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// Customer returns row i of Customer.
+func (t *TPCH) Customer(i int64) types.Tuple {
+	r := newRng(t.Seed, "customer", i)
+	return types.Tuple{
+		types.Int(i + 1),
+		types.Str(segments[r.Intn(int64(len(segments)))]),
+		types.Int(r.Intn(25)),
+	}
+}
+
+// Order returns row i of Orders. Custkey is zipfian when ZipfS > 0.
+func (t *TPCH) Order(i int64) types.Tuple {
+	r := newRng(t.Seed, "orders", i)
+	var custkey int64
+	if t.zipfCust != nil {
+		custkey = t.zipfCust.Rank(r)
+	} else {
+		custkey = r.Intn(t.Customers()) + 1
+	}
+	return types.Tuple{
+		types.Int(i + 1),
+		types.Int(custkey),
+		types.Str(dateString(r.Intn(2400))),
+		types.Int(r.Intn(5)),
+		types.Float(float64(r.Intn(500000)) / 100),
+	}
+}
+
+// TopCustkeyFreq returns the top Custkey frequency in Orders.
+func (t *TPCH) TopCustkeyFreq() float64 {
+	if t.zipfCust == nil {
+		return 1 / float64(t.Customers())
+	}
+	return t.zipfCust.TopFreq()
+}
+
+// Lineitem returns row i of Lineitem. Partkey is zipfian when ZipfS > 0;
+// Suppkey is one of the part's 4 suppliers (TPC-H correlation).
+func (t *TPCH) Lineitem(i int64) types.Tuple {
+	r := newRng(t.Seed, "lineitem", i)
+	var partkey int64
+	if t.zipf != nil {
+		partkey = t.zipf.Rank(r)
+	} else {
+		partkey = r.Intn(t.Parts()) + 1
+	}
+	suppkey := t.suppOfPart(partkey, r.Intn(4))
+	return types.Tuple{
+		types.Int(r.Intn(t.Orders()) + 1),
+		types.Int(partkey),
+		types.Int(suppkey),
+		types.Int(r.Intn(50) + 1),
+		types.Float(float64(r.Intn(100000)) / 100),
+		types.Str(dateString(r.Intn(2400))),
+	}
+}
+
+// suppOfPart reproduces dbgen's partkey→suppkey correlation: each part has 4
+// fixed suppliers spread across the supplier domain.
+func (t *TPCH) suppOfPart(partkey, i int64) int64 {
+	s := t.Suppliers()
+	return (partkey+i*(s/4+(partkey-1)/s))%s + 1
+}
+
+// Part returns row i of Part. Colors cycle, so selecting color='green'
+// keeps 1/len(PartColors) = 5% of parts, matching the Q9 LIKE filter.
+func (t *TPCH) Part(i int64) types.Tuple {
+	r := newRng(t.Seed, "part", i)
+	return types.Tuple{
+		types.Int(i + 1),
+		types.Str(PartColors[i%int64(len(PartColors))]),
+		types.Float(float64(r.Intn(200000)) / 100),
+	}
+}
+
+// PartSupp returns row i of PartSupp: part i/4, supplier slot i%4.
+func (t *TPCH) PartSupp(i int64) types.Tuple {
+	r := newRng(t.Seed, "partsupp", i)
+	partkey := i/4 + 1
+	return types.Tuple{
+		types.Int(partkey),
+		types.Int(t.suppOfPart(partkey, i%4)),
+		types.Float(float64(r.Intn(100000)) / 100),
+	}
+}
+
+// Supplier returns row i of Supplier.
+func (t *TPCH) Supplier(i int64) types.Tuple {
+	r := newRng(t.Seed, "supplier", i)
+	return types.Tuple{
+		types.Int(i + 1),
+		types.Int(r.Intn(25)),
+	}
+}
+
+// Spout builders, one per table.
+
+// CustomerSpout streams the Customer table.
+func (t *TPCH) CustomerSpout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(t.Customers()), func(i int) types.Tuple { return t.Customer(int64(i)) })
+}
+
+// OrdersSpout streams the Orders table.
+func (t *TPCH) OrdersSpout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(t.Orders()), func(i int) types.Tuple { return t.Order(int64(i)) })
+}
+
+// LineitemSpout streams the Lineitem table.
+func (t *TPCH) LineitemSpout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(t.Lineitems), func(i int) types.Tuple { return t.Lineitem(int64(i)) })
+}
+
+// PartSpout streams the Part table.
+func (t *TPCH) PartSpout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(t.Parts()), func(i int) types.Tuple { return t.Part(int64(i)) })
+}
+
+// PartSuppSpout streams the PartSupp table.
+func (t *TPCH) PartSuppSpout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(t.PartSupps()), func(i int) types.Tuple { return t.PartSupp(int64(i)) })
+}
+
+// SupplierSpout streams the Supplier table.
+func (t *TPCH) SupplierSpout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(t.Suppliers()), func(i int) types.Tuple { return t.Supplier(int64(i)) })
+}
+
+// LineSpout streams raw pipe-separated text lines of a table — the
+// "ReadFile" stage of Figure 5, where parsing happens in the consumer.
+func (t *TPCH) LineSpout(table string) (dataflow.SpoutFactory, error) {
+	switch table {
+	case "customer":
+		return dataflow.GenSpout(int(t.Customers()), func(i int) types.Tuple {
+			return types.Tuple{types.Str(types.FormatLine(t.Customer(int64(i)), '|'))}
+		}), nil
+	case "orders":
+		return dataflow.GenSpout(int(t.Orders()), func(i int) types.Tuple {
+			return types.Tuple{types.Str(types.FormatLine(t.Order(int64(i)), '|'))}
+		}), nil
+	case "lineitem":
+		return dataflow.GenSpout(int(t.Lineitems), func(i int) types.Tuple {
+			return types.Tuple{types.Str(types.FormatLine(t.Lineitem(int64(i)), '|'))}
+		}), nil
+	default:
+		return nil, fmt.Errorf("datagen: no line spout for table %q", table)
+	}
+}

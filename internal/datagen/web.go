@@ -1,0 +1,125 @@
+package datagen
+
+import (
+	"fmt"
+
+	"squall/internal/dataflow"
+	"squall/internal/types"
+)
+
+// HubName is the designated maximum-in-degree host, standing in for
+// 'blogspot.com' in the Common Crawl hyperlink graph (§7.3).
+const HubName = "blogspot.com"
+
+// WebGraph generates a power-law hyperlink graph {FromUrl, ToUrl}. ToUrl is
+// drawn zipfian with exponent InS, so rank-1 (HubName) dominates in-degree
+// exactly like blogspot.com does in the Pay-Level-Domain dataset; FromUrl
+// uses exponent OutS (real web graphs are power-law in both directions, and
+// §7.3's W2 — links leaving the hub — is 3.8x larger than W1). Exponent 0
+// means uniform. Host rank r is named "host<r>" except rank 1.
+type WebGraph struct {
+	Seed  uint64
+	Hosts int64
+	Arcs  int64
+	InS   float64
+	OutS  float64
+
+	in  *Zipf
+	out *Zipf
+}
+
+// NewWebGraph builds a graph generator with in-degree exponent inS and
+// uniform out-degree (the 3-Reachability configuration).
+func NewWebGraph(seed uint64, hosts, arcs int64, inS float64) *WebGraph {
+	return NewWebGraphBi(seed, hosts, arcs, inS, 0)
+}
+
+// NewWebGraphBi builds a graph generator with both degree exponents.
+func NewWebGraphBi(seed uint64, hosts, arcs int64, inS, outS float64) *WebGraph {
+	w := &WebGraph{Seed: seed, Hosts: hosts, Arcs: arcs, InS: inS, OutS: outS}
+	if inS > 0 {
+		w.in = NewZipf(hosts, inS)
+	}
+	if outS > 0 {
+		w.out = NewZipf(hosts, outS)
+	}
+	return w
+}
+
+// HubInFreq returns the fraction of arcs pointing at the hub.
+func (w *WebGraph) HubInFreq() float64 {
+	if w.in == nil {
+		return 1 / float64(w.Hosts)
+	}
+	return w.in.TopFreq()
+}
+
+// HubOutFreq returns the fraction of arcs leaving the hub.
+func (w *WebGraph) HubOutFreq() float64 {
+	if w.out == nil {
+		return 1 / float64(w.Hosts)
+	}
+	return w.out.TopFreq()
+}
+
+// WebGraphSchema is {FromUrl, ToUrl}.
+var WebGraphSchema = types.NewSchema("webgraph",
+	types.Column{Name: "fromurl", Kind: types.KindString},
+	types.Column{Name: "tourl", Kind: types.KindString},
+)
+
+// HostName names host rank r (1-based); rank 1 is the hub.
+func HostName(r int64) string {
+	if r == 1 {
+		return HubName
+	}
+	return fmt.Sprintf("host%d", r)
+}
+
+// Arc returns arc i.
+func (w *WebGraph) Arc(i int64) types.Tuple {
+	r := newRng(w.Seed, "webgraph", i)
+	var from, to string
+	if w.out != nil {
+		from = HostName(w.out.Rank(r))
+	} else {
+		from = HostName(r.Intn(w.Hosts) + 1)
+	}
+	if w.in != nil {
+		to = HostName(w.in.Rank(r))
+	} else {
+		to = HostName(r.Intn(w.Hosts) + 1)
+	}
+	return types.Tuple{types.Str(from), types.Str(to)}
+}
+
+// Spout streams the arc list.
+func (w *WebGraph) Spout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(w.Arcs), func(i int) types.Tuple { return w.Arc(int64(i)) })
+}
+
+// CrawlContentSchema is {Url, Score}; Score is synthesized, as in the paper
+// ("the text analysis tools are out of the scope of this work ... we
+// synthesize them").
+var CrawlContentSchema = types.NewSchema("crawlcontent",
+	types.Column{Name: "url", Kind: types.KindString},
+	types.Column{Name: "score", Kind: types.KindInt},
+)
+
+// CrawlContent generates one {Url, Score} row per distinct host; Url is the
+// primary key (skew-free, §7.3).
+type CrawlContent struct {
+	Seed  uint64
+	Hosts int64
+}
+
+// Row returns row i (host rank i+1).
+func (c *CrawlContent) Row(i int64) types.Tuple {
+	r := newRng(c.Seed, "crawlcontent", i)
+	return types.Tuple{types.Str(HostName(i + 1)), types.Int(r.Intn(100))}
+}
+
+// Spout streams the relation.
+func (c *CrawlContent) Spout() dataflow.SpoutFactory {
+	return dataflow.GenSpout(int(c.Hosts), func(i int) types.Tuple { return c.Row(int64(i)) })
+}

@@ -1,0 +1,416 @@
+package dbtoaster
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"squall/internal/expr"
+	"squall/internal/types"
+)
+
+// AggKind selects the maintained aggregate.
+type AggKind uint8
+
+const (
+	// AggCount maintains COUNT(*).
+	AggCount AggKind = iota
+	// AggSum maintains SUM(expr) (and the count, so AVG = Sum/Cnt is free).
+	AggSum
+)
+
+// ColRef names an expression over one relation's tuples.
+type ColRef struct {
+	Rel int
+	E   expr.Expr
+}
+
+// AggSpec describes the aggregation query the operator maintains:
+// SELECT GroupBy..., AGG(...) FROM joined relations GROUP BY GroupBy...
+type AggSpec struct {
+	GroupBy []ColRef
+	Kind    AggKind
+	Sum     *ColRef // required when Kind == AggSum
+}
+
+// AggDelta is one increment to the query result: the group key, a count
+// delta and a sum delta.
+type AggDelta struct {
+	Group types.Tuple
+	Cnt   int64
+	Sum   float64
+}
+
+// slotSpec describes one signature slot of a view: either the inside side of
+// a boundary-crossing conjunct or a group-by column of an inside relation.
+type slotSpec struct {
+	rel int
+	e   expr.Expr
+	// identity for wiring: conjunct id (>=0) or -1-groupIdx for group slots.
+	id int
+}
+
+// aggEntry aggregates all join combinations of a view sharing one signature.
+type aggEntry struct {
+	sig types.Tuple
+	cnt int64
+	sum float64
+}
+
+// aview is one aggregate-annotated materialized view.
+type aview struct {
+	mask    uint64
+	sig     []slotSpec
+	entries map[string]*aggEntry
+	// probe[r] indexes entries by the values of the conjuncts connecting
+	// this view to outside relation r.
+	probe map[int]map[string][]*aggEntry
+	// probeSlots[r] lists sig slot positions forming probe[r]'s key.
+	probeSlots map[int][]int
+	mem        int
+}
+
+// wiring precomputes, for one (target view V, arriving relation rel) pair,
+// how to assemble V's delta from the arriving tuple and the component views.
+type wiring struct {
+	target *aview
+	comps  []*aview
+	// probeFromT[j] are the rel-side expressions (ordered by conjunct id)
+	// whose values form the probe key into comps[j].
+	probeFromT [][]expr.Expr
+	// sigSrc maps each target sig slot to its source: fromT expression, or
+	// (component index, slot index).
+	sigFromT []expr.Expr // nil if sourced from a component
+	sigComp  []int
+	sigSlot  []int
+	// sumComp is the component index holding the SUM expression's relation
+	// (-1 when it is the arriving relation or absent).
+	sumComp int
+}
+
+// AggJoin is the aggregate-view DBToaster operator for equi-joins. Its
+// per-tuple cost scales with the number of distinct signatures (groups ×
+// boundary keys) touched rather than the number of matching combinations —
+// the higher-order delta idea of [9].
+type AggJoin struct {
+	g      *expr.JoinGraph
+	spec   AggSpec
+	views  map[uint64]*aview
+	wires  [][]*wiring // per relation, ascending popcount of target view
+	full   uint64
+	result *aview
+}
+
+// NewAggJoin builds the operator. The join must be equi-only (theta joins go
+// through TupleJoin plus external aggregation).
+func NewAggJoin(g *expr.JoinGraph, spec AggSpec) (*AggJoin, error) {
+	if !g.IsEquiOnly() {
+		return nil, fmt.Errorf("dbtoaster: AggJoin supports equi-joins only")
+	}
+	if spec.Kind == AggSum && spec.Sum == nil {
+		return nil, fmt.Errorf("dbtoaster: AggSum needs a Sum expression")
+	}
+	for _, gcol := range spec.GroupBy {
+		if gcol.Rel < 0 || gcol.Rel >= g.NumRels {
+			return nil, fmt.Errorf("dbtoaster: group-by relation %d out of range", gcol.Rel)
+		}
+	}
+	a := &AggJoin{g: g, spec: spec, views: map[uint64]*aview{}, full: (uint64(1) << g.NumRels) - 1}
+	for mask := uint64(1); mask <= a.full; mask++ {
+		if !g.Connected(mask) {
+			continue
+		}
+		a.views[mask] = a.newView(mask)
+	}
+	if a.views[a.full] == nil {
+		return nil, fmt.Errorf("dbtoaster: join graph is disconnected; AggJoin needs a connected query")
+	}
+	a.result = a.views[a.full]
+	a.wires = make([][]*wiring, g.NumRels)
+	var masks []uint64
+	for mask := range a.views {
+		masks = append(masks, mask)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		if pa, pb := bits.OnesCount64(masks[i]), bits.OnesCount64(masks[j]); pa != pb {
+			return pa < pb
+		}
+		return masks[i] < masks[j]
+	})
+	for rel := 0; rel < g.NumRels; rel++ {
+		for _, mask := range masks {
+			if mask&(1<<rel) == 0 {
+				continue
+			}
+			w, err := a.wire(mask, rel)
+			if err != nil {
+				return nil, err
+			}
+			a.wires[rel] = append(a.wires[rel], w)
+		}
+	}
+	return a, nil
+}
+
+// newView lays out a view's signature: the inside sides of boundary-crossing
+// conjuncts (by conjunct id) then the inside group-by columns (by position).
+func (a *AggJoin) newView(mask uint64) *aview {
+	v := &aview{mask: mask, entries: map[string]*aggEntry{},
+		probe: map[int]map[string][]*aggEntry{}, probeSlots: map[int][]int{}}
+	for ci, c := range a.g.Conjuncts {
+		lin := mask&(1<<c.LRel) != 0
+		rin := mask&(1<<c.RRel) != 0
+		if lin && !rin {
+			v.sig = append(v.sig, slotSpec{rel: c.LRel, e: c.Left, id: ci})
+		} else if rin && !lin {
+			v.sig = append(v.sig, slotSpec{rel: c.RRel, e: c.Right, id: ci})
+		}
+	}
+	for gi, gcol := range a.spec.GroupBy {
+		if mask&(1<<gcol.Rel) != 0 {
+			v.sig = append(v.sig, slotSpec{rel: gcol.Rel, e: gcol.E, id: -1 - gi})
+		}
+	}
+	// Probe indexes: one per adjacent outside relation.
+	for r := 0; r < a.g.NumRels; r++ {
+		if mask&(1<<r) != 0 {
+			continue
+		}
+		var slots []int
+		for si, s := range v.sig {
+			if s.id < 0 {
+				continue
+			}
+			c := a.g.Conjuncts[s.id]
+			if c.LRel == r || c.RRel == r {
+				slots = append(slots, si)
+			}
+		}
+		if len(slots) > 0 {
+			v.probeSlots[r] = slots
+			v.probe[r] = map[string][]*aggEntry{}
+		}
+	}
+	return v
+}
+
+// wire precomputes the delta propagation for target view `mask` on arrival
+// of relation rel.
+func (a *AggJoin) wire(mask uint64, rel int) (*wiring, error) {
+	w := &wiring{target: a.views[mask], sumComp: -1}
+	compMasks := a.g.Components(mask &^ (1 << rel))
+	for _, cm := range compMasks {
+		cv := a.views[cm]
+		if cv == nil {
+			return nil, fmt.Errorf("dbtoaster: component %b has no view", cm)
+		}
+		w.comps = append(w.comps, cv)
+		// Probe key from t: rel-side expressions of conjuncts between rel and
+		// the component, ordered by conjunct id (matching probeSlots order).
+		var exprs []expr.Expr
+		for ci, c := range a.g.Conjuncts {
+			switch {
+			case c.LRel == rel && cm&(1<<c.RRel) != 0:
+				exprs = append(exprs, c.Left)
+			case c.RRel == rel && cm&(1<<c.LRel) != 0:
+				exprs = append(exprs, c.Right)
+			}
+			_ = ci
+		}
+		if len(exprs) != len(cv.probeSlots[rel]) {
+			return nil, fmt.Errorf("dbtoaster: probe arity mismatch for view %b from rel %d", cm, rel)
+		}
+		w.probeFromT = append(w.probeFromT, exprs)
+		if a.spec.Sum != nil && cm&(1<<a.spec.Sum.Rel) != 0 {
+			w.sumComp = len(w.comps) - 1
+		}
+	}
+	// Signature wiring.
+	for _, s := range w.target.sig {
+		if s.rel == rel {
+			w.sigFromT = append(w.sigFromT, s.e)
+			w.sigComp = append(w.sigComp, -1)
+			w.sigSlot = append(w.sigSlot, -1)
+			continue
+		}
+		found := false
+		for j, cv := range w.comps {
+			if cv.mask&(1<<s.rel) == 0 {
+				continue
+			}
+			for si, cs := range cv.sig {
+				if cs.id == s.id && cs.rel == s.rel {
+					w.sigFromT = append(w.sigFromT, nil)
+					w.sigComp = append(w.sigComp, j)
+					w.sigSlot = append(w.sigSlot, si)
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("dbtoaster: signature slot (rel %d, id %d) of view %b unreachable from rel %d",
+				s.rel, s.id, mask, rel)
+		}
+	}
+	return w, nil
+}
+
+// OnTuple feeds one tuple and returns the per-group aggregate increments of
+// the full join result.
+func (a *AggJoin) OnTuple(rel int, t types.Tuple) ([]AggDelta, error) {
+	if rel < 0 || rel >= a.g.NumRels {
+		return nil, fmt.Errorf("dbtoaster: relation %d out of range", rel)
+	}
+	var out []AggDelta
+	// Collect deltas per target first (all reads hit views without rel), then
+	// merge, preserving incremental semantics.
+	type pending struct {
+		w      *wiring
+		deltas []aggEntry
+	}
+	var pend []pending
+	for _, w := range a.wires[rel] {
+		deltas, err := a.deltasFor(w, rel, t)
+		if err != nil {
+			return nil, err
+		}
+		pend = append(pend, pending{w, deltas})
+	}
+	for _, p := range pend {
+		for _, d := range p.deltas {
+			if p.w.target == a.result {
+				// Full view: signature is exactly the group-by columns.
+				out = append(out, AggDelta{Group: d.sig, Cnt: d.cnt, Sum: d.sum})
+			}
+			a.merge(p.w.target, d)
+		}
+	}
+	return out, nil
+}
+
+// deltasFor computes the delta entries of one target view for tuple t.
+func (a *AggJoin) deltasFor(w *wiring, rel int, t types.Tuple) ([]aggEntry, error) {
+	// Probe each component.
+	lists := make([][]*aggEntry, len(w.comps))
+	for j, cv := range w.comps {
+		key := make(types.Tuple, 0, len(w.probeFromT[j]))
+		for _, e := range w.probeFromT[j] {
+			v, err := e.Eval(t)
+			if err != nil {
+				return nil, fmt.Errorf("dbtoaster: probe key %s: %w", e, err)
+			}
+			key = append(key, v)
+		}
+		lists[j] = cv.probe[rel][key.Key()]
+		if len(lists[j]) == 0 {
+			return nil, nil
+		}
+	}
+	var tSum float64
+	if a.spec.Sum != nil && a.spec.Sum.Rel == rel {
+		v, err := a.spec.Sum.E.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("dbtoaster: sum expr: %w", err)
+		}
+		f, ok := v.AsFloat()
+		if !ok && !v.IsNull() {
+			return nil, fmt.Errorf("dbtoaster: sum expr %s yields non-numeric %v", a.spec.Sum.E, v)
+		}
+		tSum = f
+	}
+	// Cross product over component entries (usually 1 component).
+	var out []aggEntry
+	combo := make([]*aggEntry, len(w.comps))
+	var rec func(j int) error
+	rec = func(j int) error {
+		if j == len(w.comps) {
+			cnt := int64(1)
+			for _, e := range combo {
+				cnt *= e.cnt
+			}
+			sum := 0.0
+			switch {
+			case a.spec.Sum == nil:
+			case a.spec.Sum.Rel == rel:
+				sum = tSum * float64(cnt)
+			case w.sumComp >= 0:
+				sum = combo[w.sumComp].sum
+				for l, e := range combo {
+					if l != w.sumComp {
+						sum *= float64(e.cnt)
+					}
+				}
+			}
+			sig := make(types.Tuple, len(w.target.sig))
+			for si := range w.target.sig {
+				if e := w.sigFromT[si]; e != nil {
+					v, err := e.Eval(t)
+					if err != nil {
+						return err
+					}
+					sig[si] = v
+				} else {
+					sig[si] = combo[w.sigComp[si]].sig[w.sigSlot[si]]
+				}
+			}
+			out = append(out, aggEntry{sig: sig, cnt: cnt, sum: sum})
+			return nil
+		}
+		for _, e := range lists[j] {
+			combo[j] = e
+			if err := rec(j + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// merge folds a delta entry into a view, registering new signatures in the
+// probe indexes.
+func (a *AggJoin) merge(v *aview, d aggEntry) {
+	key := d.sig.Key()
+	if e, ok := v.entries[key]; ok {
+		e.cnt += d.cnt
+		e.sum += d.sum
+		return
+	}
+	e := &aggEntry{sig: d.sig, cnt: d.cnt, sum: d.sum}
+	v.entries[key] = e
+	v.mem += d.sig.MemSize() + len(key) + 32
+	for r, slots := range v.probeSlots {
+		pk := make(types.Tuple, len(slots))
+		for i, si := range slots {
+			pk[i] = d.sig[si]
+		}
+		ks := pk.Key()
+		v.probe[r][ks] = append(v.probe[r][ks], e)
+	}
+}
+
+// Result returns the current full-join aggregates, one per group, in
+// unspecified order.
+func (a *AggJoin) Result() []AggDelta {
+	out := make([]AggDelta, 0, len(a.result.entries))
+	for _, e := range a.result.entries {
+		out = append(out, AggDelta{Group: e.sig, Cnt: e.cnt, Sum: e.sum})
+	}
+	return out
+}
+
+// MemSize approximates total view state.
+func (a *AggJoin) MemSize() int {
+	n := 0
+	for _, v := range a.views {
+		n += v.mem + 64
+	}
+	return n
+}

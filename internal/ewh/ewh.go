@@ -1,0 +1,314 @@
+// Package ewh implements the Equi-Weight-Histogram partitioning scheme for
+// 2-way band and inequality joins (Vitorovic, Elseidy, Koch — ICDE 2016,
+// [66] in the paper; summarized in §3.1). The join's output space is a
+// matrix over bucket boundaries of the two join keys; for low-selectivity
+// band/inequality conditions, large contiguous portions of the matrix
+// provably produce no output, so — unlike the 1-Bucket scheme, which
+// replicates over the whole matrix — the scheme only assigns machines to
+// potentially-productive cells, tiled into near-equal-weight rectangles.
+//
+// An M-Bucket-style baseline [54] (equal input rows per region, oblivious
+// to output weight) is included; it suffers join-product skew exactly as
+// the paper describes.
+package ewh
+
+import (
+	"fmt"
+	"sort"
+
+	"squall/internal/types"
+)
+
+// Band describes the join condition R.a θ S.b supported by the scheme:
+// Lo <= a - b <= Hi (inclusive). Band joins |a-b| <= w are {-w, w};
+// inequality a < b is {Lo: -inf, Hi: -1} for integers, expressed with
+// Unbounded flags.
+type Band struct {
+	Lo, Hi int64
+	LoOpen bool // true: no lower bound (a - b can be arbitrarily small)
+	HiOpen bool // true: no upper bound
+}
+
+// LessThan returns the condition a < b (for integer keys).
+func LessThan() Band { return Band{LoOpen: true, Hi: -1} }
+
+// Within returns |a - b| <= w.
+func Within(w int64) Band { return Band{Lo: -w, Hi: w} }
+
+// mayMatch reports whether any a in [aLo,aHi] and b in [bLo,bHi] can satisfy
+// the band condition — the provable-emptiness test that lets the scheme
+// prune matrix cells.
+func (bd Band) mayMatch(aLo, aHi, bLo, bHi int64) bool {
+	// a - b ranges over [aLo-bHi, aHi-bLo]; float64 avoids overflow at the
+	// ±inf sentinels of the outermost buckets.
+	dLo, dHi := float64(aLo)-float64(bHi), float64(aHi)-float64(bLo)
+	if !bd.HiOpen && dLo > float64(bd.Hi) {
+		return false
+	}
+	if !bd.LoOpen && dHi < float64(bd.Lo) {
+		return false
+	}
+	return true
+}
+
+// Matches evaluates the condition on concrete keys.
+func (bd Band) Matches(a, b int64) bool {
+	d := a - b
+	if !bd.HiOpen && d > bd.Hi {
+		return false
+	}
+	if !bd.LoOpen && d < bd.Lo {
+		return false
+	}
+	return true
+}
+
+// Region is one machine's share: a rectangle of histogram buckets.
+type Region struct {
+	Row0, Row1 int // bucket range on R's axis, inclusive
+	Col0, Col1 int // bucket range on S's axis, inclusive
+	Weight     float64
+}
+
+// Scheme is a built EWH partitioning.
+type Scheme struct {
+	band    Band
+	rBounds []int64 // ascending split points: bucket i covers (rBounds[i-1], rBounds[i]]
+	sBounds []int64
+	regions []Region
+	// cellRegion[row][col] is the owning region (-1 = provably empty cell).
+	cellRegion [][]int
+}
+
+// Build constructs the scheme from key samples of both relations: equi-depth
+// histograms with `buckets` buckets per axis, cell weights estimated from
+// the sample cross product, and a recursive guillotine tiling into at most
+// `machines` near-equal-weight regions.
+func Build(rSample, sSample []int64, buckets, machines int, band Band) (*Scheme, error) {
+	if len(rSample) == 0 || len(sSample) == 0 {
+		return nil, fmt.Errorf("ewh: empty sample")
+	}
+	if buckets < 1 || machines < 1 {
+		return nil, fmt.Errorf("ewh: need buckets >= 1 and machines >= 1")
+	}
+	s := &Scheme{band: band}
+	s.rBounds = equiDepth(rSample, buckets)
+	s.sBounds = equiDepth(sSample, buckets)
+	nr, ns := len(s.rBounds), len(s.sBounds)
+
+	// Estimated per-bucket input counts from the samples.
+	rCnt := bucketCounts(rSample, s.rBounds)
+	sCnt := bucketCounts(sSample, s.sBounds)
+
+	// Cell weights: estimated join output (product of bucket counts) for
+	// cells that may produce output; provably empty cells weigh nothing and
+	// are never assigned.
+	weights := make([][]float64, nr)
+	for i := range weights {
+		weights[i] = make([]float64, ns)
+		aLo, aHi := s.bucketRange(s.rBounds, i)
+		for j := range weights[i] {
+			bLo, bHi := s.bucketRange(s.sBounds, j)
+			if band.mayMatch(aLo, aHi, bLo, bHi) {
+				weights[i][j] = float64(rCnt[i]) * float64(sCnt[j])
+				if weights[i][j] == 0 {
+					weights[i][j] = 1e-9 // keep coverable, nearly free
+				}
+			}
+		}
+	}
+
+	s.cellRegion = make([][]int, nr)
+	for i := range s.cellRegion {
+		s.cellRegion[i] = make([]int, ns)
+		for j := range s.cellRegion[i] {
+			s.cellRegion[i][j] = -1
+		}
+	}
+	s.tile(weights, 0, nr-1, 0, ns-1, machines)
+	return s, nil
+}
+
+// bucketRange returns the key range covered by bucket i of bounds.
+func (s *Scheme) bucketRange(bounds []int64, i int) (int64, int64) {
+	const inf = int64(1) << 62
+	lo := -inf
+	if i > 0 {
+		lo = bounds[i-1] + 1
+	}
+	hi := bounds[i]
+	if i == len(bounds)-1 {
+		hi = inf
+	}
+	return lo, hi
+}
+
+// tile recursively splits the rectangle [r0..r1]x[c0..c1] into up to k
+// regions of near-equal weight using guillotine cuts along the axis whose
+// split best balances the halves.
+func (s *Scheme) tile(w [][]float64, r0, r1, c0, c1, k int) {
+	total := rectWeight(w, r0, r1, c0, c1)
+	if k <= 1 || total == 0 || (r0 == r1 && c0 == c1) {
+		if total > 0 {
+			idx := len(s.regions)
+			s.regions = append(s.regions, Region{Row0: r0, Row1: r1, Col0: c0, Col1: c1, Weight: total})
+			for i := r0; i <= r1; i++ {
+				for j := c0; j <= c1; j++ {
+					if w[i][j] > 0 {
+						s.cellRegion[i][j] = idx
+					}
+				}
+			}
+		}
+		return
+	}
+	k1 := k / 2
+	want := total * float64(k1) / float64(k)
+	// Best row cut.
+	bestRow, bestRowErr := -1, total
+	acc := 0.0
+	for i := r0; i < r1; i++ {
+		acc += rectWeight(w, i, i, c0, c1)
+		if e := abs(acc - want); e < bestRowErr {
+			bestRowErr, bestRow = e, i
+		}
+	}
+	// Best column cut.
+	bestCol, bestColErr := -1, total
+	acc = 0.0
+	for j := c0; j < c1; j++ {
+		acc += rectWeight(w, r0, r1, j, j)
+		if e := abs(acc - want); e < bestColErr {
+			bestColErr, bestCol = e, j
+		}
+	}
+	switch {
+	case bestRow < 0 && bestCol < 0:
+		s.tile(w, r0, r1, c0, c1, 1)
+	case bestCol < 0 || (bestRow >= 0 && bestRowErr <= bestColErr):
+		s.tile(w, r0, bestRow, c0, c1, k1)
+		s.tile(w, bestRow+1, r1, c0, c1, k-k1)
+	default:
+		s.tile(w, r0, r1, c0, bestCol, k1)
+		s.tile(w, r0, r1, bestCol+1, c1, k-k1)
+	}
+}
+
+func rectWeight(w [][]float64, r0, r1, c0, c1 int) float64 {
+	t := 0.0
+	for i := r0; i <= r1; i++ {
+		for j := c0; j <= c1; j++ {
+			t += w[i][j]
+		}
+	}
+	return t
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// Machines returns the number of regions (machines used).
+func (s *Scheme) Machines() int { return len(s.regions) }
+
+// Regions exposes the tiling for inspection.
+func (s *Scheme) Regions() []Region { return s.regions }
+
+// bucketOf locates a key's bucket via binary search.
+func bucketOf(bounds []int64, key int64) int {
+	i := sort.Search(len(bounds), func(i int) bool { return bounds[i] >= key })
+	if i >= len(bounds) {
+		i = len(bounds) - 1
+	}
+	return i
+}
+
+// RouteR returns the regions an R tuple with key a must reach: every region
+// owning a non-pruned cell of a's bucket row.
+func (s *Scheme) RouteR(a int64) []int {
+	row := bucketOf(s.rBounds, a)
+	return distinctRegions(s.cellRegion[row])
+}
+
+// RouteS returns the regions an S tuple with key b must reach.
+func (s *Scheme) RouteS(b int64) []int {
+	col := bucketOf(s.sBounds, b)
+	seen := map[int]bool{}
+	var out []int
+	for row := range s.cellRegion {
+		if r := s.cellRegion[row][col]; r >= 0 && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MeetRegion returns the single region where keys (a, b) meet, or -1 when
+// the cell is pruned (provably no match).
+func (s *Scheme) MeetRegion(a, b int64) int {
+	return s.cellRegion[bucketOf(s.rBounds, a)][bucketOf(s.sBounds, b)]
+}
+
+func distinctRegions(cells []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range cells {
+		if r >= 0 && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// equiDepth computes b equi-depth upper bounds from a sample.
+func equiDepth(sample []int64, b int) []int64 {
+	sorted := append([]int64(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	bounds := make([]int64, 0, b)
+	for i := 1; i <= b; i++ {
+		idx := i*len(sorted)/b - 1
+		if idx < 0 {
+			idx = 0
+		}
+		v := sorted[idx]
+		if n := len(bounds); n > 0 && bounds[n-1] >= v {
+			continue // collapse duplicate boundaries (heavy keys)
+		}
+		bounds = append(bounds, v)
+	}
+	if len(bounds) == 0 {
+		bounds = append(bounds, sorted[len(sorted)-1])
+	}
+	return bounds
+}
+
+func bucketCounts(sample []int64, bounds []int64) []int64 {
+	counts := make([]int64, len(bounds))
+	for _, v := range sample {
+		counts[bucketOf(bounds, v)]++
+	}
+	return counts
+}
+
+// OneBucketGrid is the 1-Bucket baseline on the same metric: an rxc grid
+// with random placement replicates each R tuple c times and each S tuple r
+// times regardless of the condition — no pruning.
+func OneBucketGrid(machines int) (rows, cols int) {
+	best := 1
+	for r := 1; r*r <= machines; r++ {
+		if machines%r == 0 {
+			best = r
+		}
+	}
+	return best, machines / best
+}
+
+// Ensure types is used (key extraction helpers may grow here).
+var _ = types.KindInt

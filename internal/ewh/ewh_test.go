@@ -1,0 +1,208 @@
+package ewh
+
+import (
+	"math/rand"
+	"testing"
+
+	"squall/internal/datagen"
+)
+
+func sample(r *rand.Rand, n int, domain int64, zipf *datagen.Zipf) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		if zipf != nil {
+			out[i] = zipf.RankFrom(r.Float64())
+		} else {
+			out[i] = r.Int63n(domain)
+		}
+	}
+	return out
+}
+
+func TestBandPredicates(t *testing.T) {
+	w := Within(2)
+	if !w.Matches(5, 4) || !w.Matches(4, 6) || w.Matches(1, 5) {
+		t.Error("Within(2) misbehaves")
+	}
+	lt := LessThan()
+	if !lt.Matches(1, 2) || lt.Matches(2, 2) || lt.Matches(3, 1) {
+		t.Error("LessThan misbehaves")
+	}
+	if !lt.mayMatch(0, 10, 5, 6) {
+		t.Error("ranges [0,10] vs [5,6] may satisfy a<b")
+	}
+	if lt.mayMatch(10, 20, 0, 5) {
+		t.Error("[10,20] < [0,5] is impossible")
+	}
+	if !Within(1).mayMatch(0, 3, 4, 8) { // a=3,b=4 works
+		t.Error("adjacent ranges may band-match")
+	}
+	if Within(1).mayMatch(0, 3, 5, 8) {
+		t.Error("gap of 2 cannot band-match within 1")
+	}
+}
+
+// TestMeetExactlyOnce: every matching (a, b) pair meets in exactly one
+// region, and that region appears in both tuples' routing lists.
+func TestMeetExactlyOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, band := range []Band{Within(3), LessThan(), Within(0)} {
+		R := sample(r, 400, 100, nil)
+		S := sample(r, 400, 100, nil)
+		s, err := Build(R[:200], S[:200], 12, 9, band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches := 0
+		for _, a := range R {
+			ra := s.RouteR(a)
+			for _, b := range S {
+				if !band.Matches(a, b) {
+					continue
+				}
+				matches++
+				region := s.MeetRegion(a, b)
+				if region < 0 {
+					t.Fatalf("matching pair (%d,%d) landed in a pruned cell", a, b)
+				}
+				if !contains(ra, region) || !contains(s.RouteS(b), region) {
+					t.Fatalf("pair (%d,%d): region %d missing from routes %v / %v",
+						a, b, region, ra, s.RouteS(b))
+				}
+			}
+		}
+		if matches == 0 {
+			t.Fatal("no matches generated")
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestInequalityPrunesReplication: for a < b, roughly half the matrix is
+// provably empty, so total routing fanout must be well below the 1-Bucket
+// grid's (which replicates every tuple sqrt(p) ways regardless).
+func TestInequalityPrunesReplication(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	R := sample(r, 2000, 1000, nil)
+	S := sample(r, 2000, 1000, nil)
+	const machines = 16
+	s, err := Build(R[:500], S[:500], 16, machines, LessThan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ewhCopies int
+	for _, a := range R {
+		ewhCopies += len(s.RouteR(a))
+	}
+	for _, b := range S {
+		ewhCopies += len(s.RouteS(b))
+	}
+	rows, cols := OneBucketGrid(machines)
+	oneBucketCopies := len(R)*cols + len(S)*rows
+	if ewhCopies >= oneBucketCopies {
+		t.Errorf("EWH shipped %d copies, 1-Bucket %d — pruning must win on inequality joins",
+			ewhCopies, oneBucketCopies)
+	}
+}
+
+// TestOutputBalanceUnderSkew: with zipfian keys, the EWH tiling balances
+// estimated output weight across regions far better than an M-Bucket-style
+// equal-input-rows split, which piles the heavy key's output on one machine
+// (join product skew, [67]).
+func TestOutputBalanceUnderSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	z := datagen.NewZipf(1000, 1.4)
+	R := sample(r, 4000, 0, z)
+	S := sample(r, 4000, 0, z)
+	const machines = 8
+	s, err := Build(R[:1000], S[:1000], 24, machines, Within(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Realized output tuples per region.
+	load := make([]int64, s.Machines())
+	for _, a := range R {
+		for _, b := range S {
+			if Within(2).Matches(a, b) {
+				if reg := s.MeetRegion(a, b); reg >= 0 {
+					load[reg]++
+				}
+			}
+		}
+	}
+	var total, maxv int64
+	for _, l := range load {
+		total += l
+		if l > maxv {
+			maxv = l
+		}
+	}
+	if total == 0 {
+		t.Fatal("no output")
+	}
+	ewhSkew := float64(maxv) / (float64(total) / float64(len(load)))
+	// M-Bucket-style baseline: split R's key space into `machines` equal-
+	// input stripes; each output lands in its a-stripe.
+	bounds := equiDepth(R[:1000], machines)
+	mload := make([]int64, len(bounds))
+	for _, a := range R {
+		for _, b := range S {
+			if Within(2).Matches(a, b) {
+				mload[bucketOf(bounds, a)]++
+			}
+		}
+	}
+	var mmax int64
+	for _, l := range mload {
+		if l > mmax {
+			mmax = l
+		}
+	}
+	mSkew := float64(mmax) / (float64(total) / float64(len(mload)))
+	if ewhSkew >= mSkew {
+		t.Errorf("EWH output skew %.2f must beat M-Bucket-style %.2f under zipf", ewhSkew, mSkew)
+	}
+	t.Logf("output skew: EWH %.2f vs M-Bucket-style %.2f", ewhSkew, mSkew)
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, []int64{1}, 4, 4, Within(1)); err == nil {
+		t.Error("empty sample must fail")
+	}
+	if _, err := Build([]int64{1}, []int64{1}, 0, 4, Within(1)); err == nil {
+		t.Error("zero buckets must fail")
+	}
+}
+
+func TestDegenerateSingleValue(t *testing.T) {
+	// All keys identical: one bucket, one region, everything meets there.
+	s, err := Build([]int64{7, 7, 7}, []int64{7, 7}, 8, 4, Within(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeetRegion(7, 7) < 0 {
+		t.Error("identical keys must meet")
+	}
+	if got := s.RouteR(7); len(got) != 1 {
+		t.Errorf("single-bucket routing = %v", got)
+	}
+}
+
+func TestOneBucketGrid(t *testing.T) {
+	r, c := OneBucketGrid(16)
+	if r*c != 16 || r != 4 {
+		t.Errorf("grid = %dx%d", r, c)
+	}
+	r, c = OneBucketGrid(7)
+	if r*c != 7 {
+		t.Errorf("grid = %dx%d", r, c)
+	}
+}

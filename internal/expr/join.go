@@ -1,0 +1,202 @@
+package expr
+
+import (
+	"fmt"
+
+	"squall/internal/types"
+)
+
+// JoinConjunct is one atom of a join condition between two relations:
+//
+//	Left(tuple of relation LRel)  Op  Right(tuple of relation RRel)
+//
+// Equi conjuncts (Op == Eq) define hashable join keys; other operators make
+// the predicate a theta-join atom (band and inequality joins are conjunctions
+// of these).
+type JoinConjunct struct {
+	LRel, RRel  int
+	Op          CmpOp
+	Left, Right Expr
+}
+
+// Holds evaluates the conjunct against one tuple per relation (indexed by
+// relation id).
+func (c JoinConjunct) Holds(tuples []types.Tuple) (bool, error) {
+	lv, err := c.Left.Eval(tuples[c.LRel])
+	if err != nil {
+		return false, err
+	}
+	rv, err := c.Right.Eval(tuples[c.RRel])
+	if err != nil {
+		return false, err
+	}
+	return c.Op.Apply(lv, rv), nil
+}
+
+// Oriented returns the conjunct with LRel == rel, flipping sides if needed.
+// It panics if rel participates on neither side.
+func (c JoinConjunct) Oriented(rel int) JoinConjunct {
+	if c.LRel == rel {
+		return c
+	}
+	if c.RRel != rel {
+		panic(fmt.Sprintf("expr: relation %d not in conjunct %v", rel, c))
+	}
+	return JoinConjunct{LRel: c.RRel, RRel: c.LRel, Op: c.Op.Flip(), Left: c.Right, Right: c.Left}
+}
+
+func (c JoinConjunct) String() string {
+	return fmt.Sprintf("R%d.%s %s R%d.%s", c.LRel, c.Left, c.Op, c.RRel, c.Right)
+}
+
+// JoinGraph is a multi-way join condition: a set of relations (0..NumRels-1)
+// and the conjuncts connecting them. It is the shared input of local join
+// algorithms and of the hypercube partitioning schemes.
+type JoinGraph struct {
+	NumRels   int
+	Conjuncts []JoinConjunct
+}
+
+// NewJoinGraph builds a join graph, validating relation indexes.
+func NewJoinGraph(numRels int, conjuncts ...JoinConjunct) (*JoinGraph, error) {
+	for _, c := range conjuncts {
+		if c.LRel < 0 || c.LRel >= numRels || c.RRel < 0 || c.RRel >= numRels {
+			return nil, fmt.Errorf("expr: conjunct %v references relation outside [0,%d)", c, numRels)
+		}
+		if c.LRel == c.RRel {
+			return nil, fmt.Errorf("expr: conjunct %v is not a join predicate (same relation on both sides)", c)
+		}
+	}
+	return &JoinGraph{NumRels: numRels, Conjuncts: conjuncts}, nil
+}
+
+// MustJoinGraph is NewJoinGraph that panics on error.
+func MustJoinGraph(numRels int, conjuncts ...JoinConjunct) *JoinGraph {
+	g, err := NewJoinGraph(numRels, conjuncts...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Between returns the conjuncts connecting any relation in maskA with any in
+// maskB (both are bitmasks over relation ids).
+func (g *JoinGraph) Between(maskA, maskB uint64) []JoinConjunct {
+	var out []JoinConjunct
+	for _, c := range g.Conjuncts {
+		lb, rb := uint64(1)<<c.LRel, uint64(1)<<c.RRel
+		if (maskA&lb != 0 && maskB&rb != 0) || (maskA&rb != 0 && maskB&lb != 0) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Within returns the conjuncts whose both sides fall inside mask.
+func (g *JoinGraph) Within(mask uint64) []JoinConjunct {
+	var out []JoinConjunct
+	for _, c := range g.Conjuncts {
+		if mask&(1<<c.LRel) != 0 && mask&(1<<c.RRel) != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Connected reports whether the relations in mask form a connected subgraph
+// under the join conjuncts. Singleton and empty masks are connected.
+func (g *JoinGraph) Connected(mask uint64) bool {
+	if mask == 0 {
+		return true
+	}
+	// Pick the lowest set bit as the BFS seed.
+	seed := mask & (-mask)
+	reach := seed
+	for {
+		grown := reach
+		for _, c := range g.Conjuncts {
+			lb, rb := uint64(1)<<c.LRel, uint64(1)<<c.RRel
+			if lb&mask == 0 || rb&mask == 0 {
+				continue
+			}
+			if grown&lb != 0 {
+				grown |= rb
+			}
+			if grown&rb != 0 {
+				grown |= lb
+			}
+		}
+		if grown == reach {
+			break
+		}
+		reach = grown
+	}
+	return reach == mask
+}
+
+// Components splits mask into its connected components.
+func (g *JoinGraph) Components(mask uint64) []uint64 {
+	var comps []uint64
+	rest := mask
+	for rest != 0 {
+		seed := rest & (-rest)
+		comp := seed
+		for {
+			grown := comp
+			for _, c := range g.Conjuncts {
+				lb, rb := uint64(1)<<c.LRel, uint64(1)<<c.RRel
+				if lb&rest == 0 || rb&rest == 0 {
+					continue
+				}
+				if grown&lb != 0 {
+					grown |= rb
+				}
+				if grown&rb != 0 {
+					grown |= lb
+				}
+			}
+			if grown == comp {
+				break
+			}
+			comp = grown
+		}
+		comps = append(comps, comp)
+		rest &^= comp
+	}
+	return comps
+}
+
+// HoldsAll reports whether every conjunct inside mask holds for the given
+// per-relation tuples.
+func (g *JoinGraph) HoldsAll(mask uint64, tuples []types.Tuple) (bool, error) {
+	for _, c := range g.Within(mask) {
+		ok, err := c.Holds(tuples)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// IsEquiOnly reports whether all conjuncts are equality predicates.
+func (g *JoinGraph) IsEquiOnly() bool {
+	for _, c := range g.Conjuncts {
+		if c.Op != Eq {
+			return false
+		}
+	}
+	return true
+}
+
+// EquiCol builds the common chain-query conjunct rel1.col1 = rel2.col2.
+func EquiCol(rel1, col1, rel2, col2 int) JoinConjunct {
+	return JoinConjunct{LRel: rel1, RRel: rel2, Op: Eq, Left: C(col1), Right: C(col2)}
+}
+
+// ThetaCol builds rel1.col1 op rel2.col2.
+func ThetaCol(rel1, col1 int, op CmpOp, rel2, col2 int) JoinConjunct {
+	return JoinConjunct{LRel: rel1, RRel: rel2, Op: op, Left: C(col1), Right: C(col2)}
+}

@@ -1,0 +1,139 @@
+package expr
+
+import (
+	"testing"
+
+	"squall/internal/types"
+)
+
+// chainRST is the paper's running example R(x,y) ⋈ S(y,z) ⋈ T(z,t):
+// R.y = S.y AND S.z = T.z. Columns: R=(x,y), S=(y,z), T=(z,t).
+func chainRST() *JoinGraph {
+	return MustJoinGraph(3,
+		EquiCol(0, 1, 1, 0), // R.y = S.y
+		EquiCol(1, 1, 2, 0), // S.z = T.z
+	)
+}
+
+func TestNewJoinGraphValidation(t *testing.T) {
+	if _, err := NewJoinGraph(2, EquiCol(0, 0, 2, 0)); err == nil {
+		t.Error("out-of-range relation must error")
+	}
+	if _, err := NewJoinGraph(2, EquiCol(0, 0, 0, 1)); err == nil {
+		t.Error("self-join conjunct must error")
+	}
+	if _, err := NewJoinGraph(2, EquiCol(0, 0, 1, 0)); err != nil {
+		t.Errorf("valid graph: %v", err)
+	}
+}
+
+func TestConjunctHoldsAndOriented(t *testing.T) {
+	g := chainRST()
+	tuples := []types.Tuple{
+		{types.Int(1), types.Int(7)}, // R: x=1, y=7
+		{types.Int(7), types.Int(9)}, // S: y=7, z=9
+		{types.Int(9), types.Int(4)}, // T: z=9, t=4
+	}
+	for _, c := range g.Conjuncts {
+		ok, err := c.Holds(tuples)
+		if err != nil || !ok {
+			t.Fatalf("conjunct %v should hold: %v %v", c, ok, err)
+		}
+		flipped := c.Oriented(c.RRel)
+		ok, err = flipped.Holds(tuples)
+		if err != nil || !ok {
+			t.Fatalf("oriented conjunct %v should hold: %v %v", flipped, ok, err)
+		}
+	}
+	// Break the S.z = T.z condition.
+	tuples[2][0] = types.Int(8)
+	ok, err := g.HoldsAll(0b111, tuples)
+	if err != nil || ok {
+		t.Error("broken chain must not hold")
+	}
+	// The R-S prefix still holds.
+	ok, err = g.HoldsAll(0b011, tuples)
+	if err != nil || !ok {
+		t.Error("R-S subset must hold")
+	}
+}
+
+func TestOrientedPanicsOnForeignRel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Oriented with foreign relation must panic")
+		}
+	}()
+	EquiCol(0, 0, 1, 0).Oriented(2)
+}
+
+func TestConnectivity(t *testing.T) {
+	g := chainRST()
+	if !g.Connected(0b111) || !g.Connected(0b011) || !g.Connected(0b110) {
+		t.Error("chain subsets with adjacent relations must be connected")
+	}
+	if g.Connected(0b101) {
+		t.Error("R,T without S must be disconnected")
+	}
+	if !g.Connected(0b001) || !g.Connected(0) {
+		t.Error("singletons and empty set are connected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := chainRST()
+	comps := g.Components(0b101)
+	if len(comps) != 2 {
+		t.Fatalf("components of {R,T} = %b", comps)
+	}
+	if comps[0]|comps[1] != 0b101 || comps[0]&comps[1] != 0 {
+		t.Errorf("components must partition: %b", comps)
+	}
+	comps = g.Components(0b111)
+	if len(comps) != 1 || comps[0] != 0b111 {
+		t.Errorf("full chain is one component: %b", comps)
+	}
+}
+
+func TestBetweenAndWithin(t *testing.T) {
+	g := chainRST()
+	if got := g.Between(0b001, 0b010); len(got) != 1 { // R vs S
+		t.Errorf("Between(R,S) = %v", got)
+	}
+	if got := g.Between(0b001, 0b100); len(got) != 0 { // R vs T
+		t.Errorf("Between(R,T) = %v", got)
+	}
+	if got := g.Within(0b011); len(got) != 1 {
+		t.Errorf("Within(RS) = %v", got)
+	}
+	if got := g.Within(0b111); len(got) != 2 {
+		t.Errorf("Within(RST) = %v", got)
+	}
+}
+
+func TestIsEquiOnly(t *testing.T) {
+	if !chainRST().IsEquiOnly() {
+		t.Error("chain is equi-only")
+	}
+	g := MustJoinGraph(2, ThetaCol(0, 0, Lt, 1, 0))
+	if g.IsEquiOnly() {
+		t.Error("theta graph is not equi-only")
+	}
+}
+
+func TestThetaConjunctWithExpressions(t *testing.T) {
+	// 2*R.B < S.C — the §3.3 example condition.
+	c := JoinConjunct{LRel: 0, RRel: 1, Op: Lt, Left: Arith{Mul, I(2), C(1)}, Right: C(0)}
+	tuples := []types.Tuple{
+		{types.Int(0), types.Int(3)}, // R.B = 3 -> 6
+		{types.Int(7)},               // S.C = 7
+	}
+	ok, err := c.Holds(tuples)
+	if err != nil || !ok {
+		t.Errorf("2*3 < 7 should hold: %v %v", ok, err)
+	}
+	tuples[1][0] = types.Int(6)
+	if ok, _ := c.Holds(tuples); ok {
+		t.Error("2*3 < 6 must not hold")
+	}
+}

@@ -1,0 +1,84 @@
+// Package index provides the in-memory indexes Squall's local join operators
+// build on the fly (§3.3): hash indexes for equi-join keys and balanced
+// binary trees for band/inequality keys. The tree is augmented with subtree
+// aggregates (count and weight sum) so range aggregates run in O(log n),
+// which is what DBToaster-style views need for non-equi boundaries.
+package index
+
+import "squall/internal/types"
+
+// Hash is a multimap from a join-key value to the tuples carrying it.
+type Hash struct {
+	m    map[string][]types.Tuple
+	size int
+	mem  int
+}
+
+// NewHash returns an empty hash index.
+func NewHash() *Hash {
+	return &Hash{m: make(map[string][]types.Tuple)}
+}
+
+// keyOf canonicalizes a value into a map key consistent with Value equality
+// (Int(2) and Float(2.0) must collide).
+func keyOf(v types.Value) string {
+	if v.Kind() == types.KindFloat {
+		if i, ok := v.AsInt(); ok && types.Int(i).Equal(v) {
+			return types.Tuple{types.Int(i)}.Key()
+		}
+	}
+	return types.Tuple{v}.Key()
+}
+
+// Insert stores t under key.
+func (h *Hash) Insert(key types.Value, t types.Tuple) {
+	k := keyOf(key)
+	h.m[k] = append(h.m[k], t)
+	h.size++
+	h.mem += t.MemSize() + len(k)
+}
+
+// Lookup returns the tuples stored under key. The returned slice is shared;
+// callers must not mutate it.
+func (h *Hash) Lookup(key types.Value) []types.Tuple {
+	return h.m[keyOf(key)]
+}
+
+// Delete removes the first stored tuple equal to t under key, reporting
+// whether a removal happened. Window expiration uses this.
+func (h *Hash) Delete(key types.Value, t types.Tuple) bool {
+	k := keyOf(key)
+	bucket := h.m[k]
+	for i, bt := range bucket {
+		if bt.Equal(t) {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(h.m, k)
+			} else {
+				h.m[k] = bucket
+			}
+			h.size--
+			h.mem -= t.MemSize() + len(k)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of stored tuples.
+func (h *Hash) Len() int { return h.size }
+
+// MemSize approximates the index footprint in bytes.
+func (h *Hash) MemSize() int { return h.mem + 48 }
+
+// Each visits all stored tuples; fn returning false stops the scan.
+func (h *Hash) Each(fn func(types.Tuple) bool) {
+	for _, bucket := range h.m {
+		for _, t := range bucket {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"squall/internal/types"
+)
+
+func TestHashInsertLookup(t *testing.T) {
+	h := NewHash()
+	t1 := types.Tuple{types.Int(1), types.Str("a")}
+	t2 := types.Tuple{types.Int(1), types.Str("b")}
+	h.Insert(types.Int(1), t1)
+	h.Insert(types.Int(1), t2)
+	h.Insert(types.Int(2), types.Tuple{types.Int(2)})
+	if got := h.Lookup(types.Int(1)); len(got) != 2 {
+		t.Errorf("Lookup(1) = %v", got)
+	}
+	if got := h.Lookup(types.Int(3)); len(got) != 0 {
+		t.Errorf("Lookup(3) = %v", got)
+	}
+	if h.Len() != 3 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestHashNumericKeyConsistency(t *testing.T) {
+	h := NewHash()
+	h.Insert(types.Int(2), types.Tuple{types.Str("int")})
+	if got := h.Lookup(types.Float(2.0)); len(got) != 1 {
+		t.Error("Float(2.0) must find tuples stored under Int(2)")
+	}
+	if got := h.Lookup(types.Float(2.5)); len(got) != 0 {
+		t.Error("Float(2.5) must not find Int(2) tuples")
+	}
+}
+
+func TestHashDelete(t *testing.T) {
+	h := NewHash()
+	t1 := types.Tuple{types.Int(7), types.Str("x")}
+	h.Insert(types.Int(7), t1)
+	if !h.Delete(types.Int(7), t1.Clone()) {
+		t.Error("Delete of present tuple must succeed")
+	}
+	if h.Delete(types.Int(7), t1) {
+		t.Error("second Delete must fail")
+	}
+	if h.Len() != 0 || len(h.Lookup(types.Int(7))) != 0 {
+		t.Error("index must be empty after delete")
+	}
+}
+
+func TestHashMemSizeTracksInserts(t *testing.T) {
+	h := NewHash()
+	before := h.MemSize()
+	tup := types.Tuple{types.Str("some payload string")}
+	h.Insert(types.Int(1), tup)
+	if h.MemSize() <= before {
+		t.Error("MemSize must grow on insert")
+	}
+	h.Delete(types.Int(1), tup)
+	if h.MemSize() != before {
+		t.Errorf("MemSize must return to baseline: %d vs %d", h.MemSize(), before)
+	}
+}
+
+func TestHashEach(t *testing.T) {
+	h := NewHash()
+	for i := 0; i < 10; i++ {
+		h.Insert(types.Int(int64(i%3)), types.Tuple{types.Int(int64(i))})
+	}
+	seen := 0
+	h.Each(func(types.Tuple) bool { seen++; return true })
+	if seen != 10 {
+		t.Errorf("Each visited %d", seen)
+	}
+	seen = 0
+	h.Each(func(types.Tuple) bool { seen++; return seen < 4 })
+	if seen != 4 {
+		t.Errorf("early stop visited %d", seen)
+	}
+}
+
+func TestHashAgainstReferenceModel(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	h := NewHash()
+	ref := map[int64][]types.Tuple{}
+	for op := 0; op < 5000; op++ {
+		k := r.Int63n(50)
+		if r.Intn(3) != 0 || len(ref[k]) == 0 {
+			tup := types.Tuple{types.Int(k), types.Int(r.Int63n(1000))}
+			h.Insert(types.Int(k), tup)
+			ref[k] = append(ref[k], tup)
+		} else {
+			victim := ref[k][r.Intn(len(ref[k]))]
+			if !h.Delete(types.Int(k), victim) {
+				t.Fatal("reference model has tuple the index lacks")
+			}
+			for i, tt := range ref[k] {
+				if tt.Equal(victim) {
+					ref[k] = append(ref[k][:i], ref[k][i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	total := 0
+	for k, want := range ref {
+		got := h.Lookup(types.Int(k))
+		if len(got) != len(want) {
+			t.Fatalf("key %d: index has %d, model has %d", k, len(got), len(want))
+		}
+		total += len(want)
+	}
+	if h.Len() != total {
+		t.Errorf("Len = %d, model total %d", h.Len(), total)
+	}
+}

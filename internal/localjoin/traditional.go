@@ -1,0 +1,336 @@
+// Package localjoin implements Squall's traditional online local joins
+// (§3.3): each machine stores the tuples it has received per relation,
+// builds indexes on the fly — hash indexes for equi-join keys, balanced
+// binary trees for band and inequality keys — and, on every arrival, probes
+// the other relations' indexes to produce the delta result.
+//
+// This is the baseline DBToaster is compared against in Figure 8: for an
+// n-way join it re-enumerates all matching combinations from base-relation
+// indexes on every arrival, where DBToaster (internal/dbtoaster) reuses
+// materialized intermediate views.
+package localjoin
+
+import (
+	"fmt"
+
+	"squall/internal/expr"
+	"squall/internal/index"
+	"squall/internal/types"
+)
+
+// Delta is one output increment: the joined tuples, one per relation, in
+// relation order. Concat() flattens it into a result row.
+type Delta []types.Tuple
+
+// Concat renders the delta as a single concatenated tuple.
+func (d Delta) Concat() types.Tuple {
+	n := 0
+	for _, t := range d {
+		n += len(t)
+	}
+	out := make(types.Tuple, 0, n)
+	for _, t := range d {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// MultiJoin is an online local multi-way join operator: OnTuple feeds one
+// new tuple and returns the delta results it completes.
+type MultiJoin interface {
+	OnTuple(rel int, t types.Tuple) ([]Delta, error)
+	MemSize() int
+	StoredTuples() int
+}
+
+// store holds one relation's tuples plus its per-conjunct indexes.
+type store struct {
+	all    []types.Tuple
+	eqIdx  map[int]*index.Hash // conjunct id -> hash on this relation's side
+	rngIdx map[int]*index.Tree // conjunct id -> tree on this relation's side
+	mem    int
+}
+
+// Traditional is the index-nested-loop online multi-way join.
+type Traditional struct {
+	g      *expr.JoinGraph
+	stores []*store
+	// sideExpr[c][rel] is the rel-side expression of conjunct c (nil if rel
+	// is not a side of c).
+	sideExpr [][]expr.Expr
+}
+
+// NewTraditional builds the operator for a join graph, creating hash indexes
+// for equality conjuncts and tree indexes for order conjuncts (§3.3's
+// example: R.A = S.A AND 2·R.B < S.C builds hash indexes on R.A, S.A and
+// tree indexes on 2·R.B and S.C).
+func NewTraditional(g *expr.JoinGraph) *Traditional {
+	j := &Traditional{g: g}
+	j.sideExpr = make([][]expr.Expr, len(g.Conjuncts))
+	for ci, c := range g.Conjuncts {
+		j.sideExpr[ci] = make([]expr.Expr, g.NumRels)
+		j.sideExpr[ci][c.LRel] = c.Left
+		j.sideExpr[ci][c.RRel] = c.Right
+	}
+	j.stores = make([]*store, g.NumRels)
+	for rel := range j.stores {
+		s := &store{eqIdx: map[int]*index.Hash{}, rngIdx: map[int]*index.Tree{}}
+		for ci, c := range g.Conjuncts {
+			if c.LRel != rel && c.RRel != rel {
+				continue
+			}
+			switch c.Op {
+			case expr.Eq:
+				s.eqIdx[ci] = index.NewHash()
+			case expr.Lt, expr.Le, expr.Gt, expr.Ge:
+				s.rngIdx[ci] = index.NewTree()
+			}
+		}
+		j.stores[rel] = s
+	}
+	return j
+}
+
+// OnTuple joins t against the stored tuples of all other relations and then
+// stores t (with index maintenance) for future arrivals.
+func (j *Traditional) OnTuple(rel int, t types.Tuple) ([]Delta, error) {
+	if rel < 0 || rel >= j.g.NumRels {
+		return nil, fmt.Errorf("localjoin: relation %d out of range", rel)
+	}
+	partial := make([]types.Tuple, j.g.NumRels)
+	partial[rel] = t
+	var out []Delta
+	if err := j.expand(partial, 1<<rel, &out); err != nil {
+		return nil, err
+	}
+	if err := j.insert(rel, t); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Insert stores a tuple without producing results (state preload, e.g.
+// during fault-tolerance recovery).
+func (j *Traditional) Insert(rel int, t types.Tuple) error { return j.insert(rel, t) }
+
+// Remove deletes a stored tuple (window expiration).
+func (j *Traditional) Remove(rel int, t types.Tuple) (bool, error) {
+	s := j.stores[rel]
+	found := -1
+	for i, st := range s.all {
+		if st.Equal(t) {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return false, nil
+	}
+	s.all[found] = s.all[len(s.all)-1]
+	s.all = s.all[:len(s.all)-1]
+	s.mem -= t.MemSize()
+	for ci := range j.g.Conjuncts {
+		e := j.sideExpr[ci][rel]
+		if e == nil {
+			continue
+		}
+		v, err := e.Eval(t)
+		if err != nil {
+			return false, err
+		}
+		if h, ok := s.eqIdx[ci]; ok {
+			h.Delete(v, t)
+		}
+		if tr, ok := s.rngIdx[ci]; ok {
+			tr.Delete(v, t)
+		}
+	}
+	return true, nil
+}
+
+func (j *Traditional) insert(rel int, t types.Tuple) error {
+	s := j.stores[rel]
+	s.all = append(s.all, t)
+	s.mem += t.MemSize()
+	for ci := range j.g.Conjuncts {
+		e := j.sideExpr[ci][rel]
+		if e == nil {
+			continue
+		}
+		v, err := e.Eval(t)
+		if err != nil {
+			return fmt.Errorf("localjoin: index key %s: %w", e, err)
+		}
+		if h, ok := s.eqIdx[ci]; ok {
+			h.Insert(v, t)
+		}
+		if tr, ok := s.rngIdx[ci]; ok {
+			tr.Insert(v, index.Item{T: t, W: 1})
+		}
+	}
+	return nil
+}
+
+// expand recursively extends a partial assignment (bitmask `have`) to all
+// relations, probing the cheapest available index of each next relation.
+func (j *Traditional) expand(partial []types.Tuple, have uint64, out *[]Delta) error {
+	next := j.pickNext(have)
+	if next < 0 {
+		d := make(Delta, len(partial))
+		copy(d, partial)
+		*out = append(*out, d)
+		return nil
+	}
+	candidates, filters, err := j.probe(partial, have, next)
+	if err != nil {
+		return err
+	}
+	for _, cand := range candidates {
+		ok := true
+		for _, ci := range filters {
+			partial[next] = cand
+			holds, err := j.conjunctHolds(ci, partial)
+			if err != nil {
+				return err
+			}
+			if !holds {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		partial[next] = cand
+		if err := j.expand(partial, have|1<<next, out); err != nil {
+			return err
+		}
+	}
+	partial[next] = nil
+	return nil
+}
+
+// pickNext prefers a relation connected to the current partial assignment
+// (so an index probe applies); disconnected relations (cross joins) come
+// last and are scanned.
+func (j *Traditional) pickNext(have uint64) int {
+	firstMissing := -1
+	for rel := 0; rel < j.g.NumRels; rel++ {
+		if have&(1<<rel) != 0 {
+			continue
+		}
+		if firstMissing < 0 {
+			firstMissing = rel
+		}
+		if len(j.g.Between(have, 1<<rel)) > 0 {
+			return rel
+		}
+	}
+	return firstMissing
+}
+
+func (j *Traditional) conjunctHolds(ci int, partial []types.Tuple) (bool, error) {
+	return j.g.Conjuncts[ci].Holds(partial)
+}
+
+// probe returns candidate tuples of relation `next` matching at least the
+// strongest conjunct against the partial assignment, plus the remaining
+// conjunct ids that must be checked as filters.
+func (j *Traditional) probe(partial []types.Tuple, have uint64, next int) ([]types.Tuple, []int, error) {
+	s := j.stores[next]
+	var incident []int
+	for ci, c := range j.g.Conjuncts {
+		other := -1
+		switch {
+		case c.LRel == next:
+			other = c.RRel
+		case c.RRel == next:
+			other = c.LRel
+		default:
+			continue
+		}
+		if have&(1<<other) != 0 {
+			incident = append(incident, ci)
+		}
+	}
+	// Choose the probe conjunct: equality beats range beats scan.
+	probeCi := -1
+	for _, ci := range incident {
+		if j.g.Conjuncts[ci].Op == expr.Eq {
+			probeCi = ci
+			break
+		}
+	}
+	if probeCi < 0 {
+		for _, ci := range incident {
+			op := j.g.Conjuncts[ci].Op
+			if op == expr.Lt || op == expr.Le || op == expr.Gt || op == expr.Ge {
+				probeCi = ci
+				break
+			}
+		}
+	}
+	var filters []int
+	for _, ci := range incident {
+		if ci != probeCi {
+			filters = append(filters, ci)
+		}
+	}
+	if probeCi < 0 {
+		return s.all, filters, nil // cross join or Ne-only: scan
+	}
+	// Orient: condition is Left(t_other) op Right(t_next) after Oriented().
+	c := j.g.Conjuncts[probeCi].Oriented(next)
+	// c now has LRel == next: Left(t_next) op' Right(t_other).
+	v, err := c.Right.Eval(partial[c.RRel])
+	if err != nil {
+		return nil, nil, err
+	}
+	switch c.Op {
+	case expr.Eq:
+		return s.eqIdx[probeCi].Lookup(v), filters, nil
+	case expr.Lt: // key < v
+		return treeCollect(s.rngIdx[probeCi], index.Unbounded(), index.Excl(v)), filters, nil
+	case expr.Le:
+		return treeCollect(s.rngIdx[probeCi], index.Unbounded(), index.Incl(v)), filters, nil
+	case expr.Gt: // key > v
+		return treeCollect(s.rngIdx[probeCi], index.Excl(v), index.Unbounded()), filters, nil
+	case expr.Ge:
+		return treeCollect(s.rngIdx[probeCi], index.Incl(v), index.Unbounded()), filters, nil
+	default:
+		return s.all, append(filters, probeCi), nil
+	}
+}
+
+func treeCollect(tr *index.Tree, lo, hi index.Bound) []types.Tuple {
+	var out []types.Tuple
+	tr.Range(lo, hi, func(_ types.Value, it index.Item) bool {
+		out = append(out, it.T)
+		return true
+	})
+	return out
+}
+
+// MemSize approximates operator state (stored tuples + indexes).
+func (j *Traditional) MemSize() int {
+	n := 0
+	for _, s := range j.stores {
+		n += s.mem + 24
+		for _, h := range s.eqIdx {
+			n += h.MemSize()
+		}
+		for _, t := range s.rngIdx {
+			n += t.MemSize()
+		}
+	}
+	return n
+}
+
+// StoredTuples counts tuples across relations.
+func (j *Traditional) StoredTuples() int {
+	n := 0
+	for _, s := range j.stores {
+		n += len(s.all)
+	}
+	return n
+}

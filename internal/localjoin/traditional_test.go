@@ -1,0 +1,249 @@
+package localjoin
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"squall/internal/expr"
+	"squall/internal/types"
+)
+
+// bruteForce computes the full join of the given relations by nested loops.
+func bruteForce(t *testing.T, g *expr.JoinGraph, rels [][]types.Tuple) []types.Tuple {
+	t.Helper()
+	full := uint64(1)<<g.NumRels - 1
+	var out []types.Tuple
+	cur := make([]types.Tuple, g.NumRels)
+	var rec func(rel int)
+	rec = func(rel int) {
+		if rel == g.NumRels {
+			ok, err := g.HoldsAll(full, cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				out = append(out, Delta(cur).Concat())
+			}
+			return
+		}
+		for _, tu := range rels[rel] {
+			cur[rel] = tu
+			rec(rel + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func sortTuples(ts []types.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}
+
+func equalTupleSets(a, b []types.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortTuples(a)
+	sortTuples(b)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// streamJoin feeds the relations' tuples in a random interleaved order and
+// collects all deltas.
+func streamJoin(t *testing.T, j MultiJoin, rels [][]types.Tuple, seed int64) []types.Tuple {
+	t.Helper()
+	type ev struct {
+		rel int
+		t   types.Tuple
+	}
+	var stream []ev
+	for rel, rows := range rels {
+		for _, row := range rows {
+			stream = append(stream, ev{rel, row})
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(stream), func(a, b int) { stream[a], stream[b] = stream[b], stream[a] })
+	var out []types.Tuple
+	for _, e := range stream {
+		deltas, err := j.OnTuple(e.rel, e.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range deltas {
+			out = append(out, d.Concat())
+		}
+	}
+	return out
+}
+
+func genRel(r *rand.Rand, n, arity int, domain int64) []types.Tuple {
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		tu := make(types.Tuple, arity)
+		for c := range tu {
+			tu[c] = types.Int(r.Int63n(domain))
+		}
+		rows[i] = tu
+	}
+	return rows
+}
+
+func chainGraph() *expr.JoinGraph {
+	return expr.MustJoinGraph(3,
+		expr.EquiCol(0, 1, 1, 0), // R.y = S.y
+		expr.EquiCol(1, 1, 2, 0), // S.z = T.z
+	)
+}
+
+func TestTraditionalEquiChainMatchesBruteForce(t *testing.T) {
+	g := chainGraph()
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		rels := [][]types.Tuple{genRel(r, 30, 2, 6), genRel(r, 30, 2, 6), genRel(r, 30, 2, 6)}
+		want := bruteForce(t, g, rels)
+		got := streamJoin(t, NewTraditional(g), rels, seed)
+		if !equalTupleSets(got, want) {
+			t.Fatalf("seed %d: online join produced %d rows, brute force %d", seed, len(got), len(want))
+		}
+	}
+}
+
+func TestTraditionalThetaJoin(t *testing.T) {
+	// R.A = S.A AND 2*R.B < S.C — the §3.3 example.
+	g := expr.MustJoinGraph(2,
+		expr.EquiCol(0, 0, 1, 0),
+		expr.JoinConjunct{LRel: 0, RRel: 1, Op: expr.Lt,
+			Left:  expr.Arith{Op: expr.Mul, L: expr.I(2), R: expr.C(1)},
+			Right: expr.C(1)},
+	)
+	r := rand.New(rand.NewSource(9))
+	rels := [][]types.Tuple{genRel(r, 50, 2, 10), genRel(r, 50, 2, 20)}
+	want := bruteForce(t, g, rels)
+	got := streamJoin(t, NewTraditional(g), rels, 9)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches")
+	}
+	if !equalTupleSets(got, want) {
+		t.Fatalf("theta join: %d vs brute force %d", len(got), len(want))
+	}
+}
+
+func TestTraditionalInequalityOnlyJoin(t *testing.T) {
+	g := expr.MustJoinGraph(2, expr.ThetaCol(0, 0, expr.Ge, 1, 0))
+	r := rand.New(rand.NewSource(17))
+	rels := [][]types.Tuple{genRel(r, 40, 1, 15), genRel(r, 40, 1, 15)}
+	want := bruteForce(t, g, rels)
+	got := streamJoin(t, NewTraditional(g), rels, 17)
+	if !equalTupleSets(got, want) {
+		t.Fatalf("inequality join: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestTraditionalNeJoinFallsBackToScan(t *testing.T) {
+	g := expr.MustJoinGraph(2, expr.ThetaCol(0, 0, expr.Ne, 1, 0))
+	r := rand.New(rand.NewSource(23))
+	rels := [][]types.Tuple{genRel(r, 20, 1, 4), genRel(r, 20, 1, 4)}
+	want := bruteForce(t, g, rels)
+	got := streamJoin(t, NewTraditional(g), rels, 23)
+	if !equalTupleSets(got, want) {
+		t.Fatalf("<> join: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestTraditionalCrossJoinComponent(t *testing.T) {
+	// R joins S; T is a cross product (disconnected).
+	g := expr.MustJoinGraph(3, expr.EquiCol(0, 0, 1, 0))
+	r := rand.New(rand.NewSource(31))
+	rels := [][]types.Tuple{genRel(r, 10, 1, 4), genRel(r, 10, 1, 4), genRel(r, 5, 1, 4)}
+	want := bruteForce(t, g, rels)
+	got := streamJoin(t, NewTraditional(g), rels, 31)
+	if !equalTupleSets(got, want) {
+		t.Fatalf("cross join: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestTraditionalBandJoin(t *testing.T) {
+	// |R.a - S.b| <= 2, as S.b <= R.a + 2 AND S.b >= R.a - 2.
+	g := expr.MustJoinGraph(2,
+		expr.JoinConjunct{LRel: 0, RRel: 1, Op: expr.Ge,
+			Left:  expr.Arith{Op: expr.Add, L: expr.C(0), R: expr.I(2)},
+			Right: expr.C(0)},
+		expr.JoinConjunct{LRel: 0, RRel: 1, Op: expr.Le,
+			Left:  expr.Arith{Op: expr.Sub, L: expr.C(0), R: expr.I(2)},
+			Right: expr.C(0)},
+	)
+	r := rand.New(rand.NewSource(37))
+	rels := [][]types.Tuple{genRel(r, 60, 1, 30), genRel(r, 60, 1, 30)}
+	want := bruteForce(t, g, rels)
+	got := streamJoin(t, NewTraditional(g), rels, 37)
+	if len(want) == 0 {
+		t.Fatal("no band matches")
+	}
+	if !equalTupleSets(got, want) {
+		t.Fatalf("band join: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestTraditionalRemoveExpiresState(t *testing.T) {
+	g := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
+	j := NewTraditional(g)
+	old := types.Tuple{types.Int(5)}
+	if _, err := j.OnTuple(0, old); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := j.Remove(0, old)
+	if err != nil || !ok {
+		t.Fatalf("Remove = %v, %v", ok, err)
+	}
+	deltas, err := j.OnTuple(1, types.Tuple{types.Int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 0 {
+		t.Errorf("expired tuple still joins: %v", deltas)
+	}
+	if ok, _ := j.Remove(0, old); ok {
+		t.Error("double remove must fail")
+	}
+	if j.StoredTuples() != 1 {
+		t.Errorf("StoredTuples = %d", j.StoredTuples())
+	}
+}
+
+func TestTraditionalMemSizeGrows(t *testing.T) {
+	g := chainGraph()
+	j := NewTraditional(g)
+	before := j.MemSize()
+	for i := 0; i < 100; i++ {
+		if _, err := j.OnTuple(i%3, types.Tuple{types.Int(int64(i)), types.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.MemSize() <= before {
+		t.Error("MemSize must grow with state")
+	}
+	if j.StoredTuples() != 100 {
+		t.Errorf("StoredTuples = %d", j.StoredTuples())
+	}
+}
+
+func TestTraditionalRejectsBadRelation(t *testing.T) {
+	j := NewTraditional(chainGraph())
+	if _, err := j.OnTuple(7, types.Tuple{}); err == nil {
+		t.Error("bad relation must error")
+	}
+}
+
+func TestDeltaConcat(t *testing.T) {
+	d := Delta{types.Tuple{types.Int(1)}, types.Tuple{types.Int(2), types.Int(3)}}
+	if got := d.Concat(); !got.Equal(types.Tuple{types.Int(1), types.Int(2), types.Int(3)}) {
+		t.Errorf("Concat = %v", got)
+	}
+}

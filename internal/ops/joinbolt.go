@@ -1,0 +1,151 @@
+package ops
+
+import (
+	"fmt"
+
+	"squall/internal/dataflow"
+	"squall/internal/dbtoaster"
+	"squall/internal/expr"
+	"squall/internal/localjoin"
+	"squall/internal/types"
+)
+
+// LocalJoinKind selects the local algorithm run inside each joiner task
+// (§3.3): traditional index-nested-loop, or DBToaster recursive IVM.
+type LocalJoinKind uint8
+
+const (
+	// Traditional builds hash/tree indexes on base relations and
+	// re-enumerates matching combinations on every arrival.
+	Traditional LocalJoinKind = iota
+	// DBToaster materializes intermediate views (tuple-level or aggregate)
+	// and probes them instead — the HyLD operator's local half (§3.4).
+	DBToaster
+)
+
+// String names the local join.
+func (k LocalJoinKind) String() string {
+	if k == DBToaster {
+		return "DBToaster"
+	}
+	return "Traditional"
+}
+
+// JoinBolt runs a local multi-way join per task and emits delta result
+// tuples (concatenated relation order), optionally post-processed by a
+// pipeline. relOf maps upstream component names to relation indexes.
+func JoinBolt(g *expr.JoinGraph, kind LocalJoinKind, relOf map[string]int, post Pipeline) dataflow.BoltFactory {
+	return func(task, ntasks int) dataflow.Bolt {
+		var mj localjoin.MultiJoin
+		if kind == DBToaster {
+			mj = dbtoaster.NewTupleJoin(g)
+		} else {
+			mj = localjoin.NewTraditional(g)
+		}
+		return &joinBolt{mj: mj, relOf: relOf, post: post}
+	}
+}
+
+type joinBolt struct {
+	mj    localjoin.MultiJoin
+	relOf map[string]int
+	post  Pipeline
+}
+
+func (b *joinBolt) Execute(in dataflow.Input, out *dataflow.Collector) error {
+	rel, ok := b.relOf[in.Stream]
+	if !ok {
+		return fmt.Errorf("ops: join bolt has no relation for stream %q", in.Stream)
+	}
+	deltas, err := b.mj.OnTuple(rel, in.Tuple)
+	if err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		rows := []types.Tuple{d.Concat()}
+		if b.post != nil {
+			rows, err = b.post.Apply(rows[0])
+			if err != nil {
+				return err
+			}
+		}
+		for _, r := range rows {
+			if err := out.Emit(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (b *joinBolt) Finish(*dataflow.Collector) error { return nil }
+
+func (b *joinBolt) MemSize() int { return b.mj.MemSize() }
+
+// AggJoinBolt runs the aggregate-view DBToaster operator (HyLD with a final
+// aggregation pushed into the joiner). Each task emits partial rows
+// (group..., cnt, sum) on Finish; route them to MergeBolt via Fields on the
+// group columns (or Global for a single merger).
+//
+// With incremental set, a partial delta row is emitted on every update
+// instead — full online semantics.
+func AggJoinBolt(g *expr.JoinGraph, spec dbtoaster.AggSpec, relOf map[string]int, incremental bool) dataflow.BoltFactory {
+	return func(task, ntasks int) dataflow.Bolt {
+		a, err := dbtoaster.NewAggJoin(g, spec)
+		return &aggJoinBolt{a: a, err: err, relOf: relOf, incremental: incremental}
+	}
+}
+
+type aggJoinBolt struct {
+	a           *dbtoaster.AggJoin
+	err         error
+	relOf       map[string]int
+	incremental bool
+}
+
+func (b *aggJoinBolt) Execute(in dataflow.Input, out *dataflow.Collector) error {
+	if b.err != nil {
+		return b.err
+	}
+	rel, ok := b.relOf[in.Stream]
+	if !ok {
+		return fmt.Errorf("ops: agg join bolt has no relation for stream %q", in.Stream)
+	}
+	deltas, err := b.a.OnTuple(rel, in.Tuple)
+	if err != nil {
+		return err
+	}
+	if !b.incremental {
+		return nil
+	}
+	for _, d := range deltas {
+		row := append(d.Group.Clone(), types.Int(d.Cnt), types.Float(d.Sum))
+		if err := out.Emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *aggJoinBolt) Finish(out *dataflow.Collector) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.incremental {
+		return nil
+	}
+	for _, d := range b.a.Result() {
+		row := append(d.Group.Clone(), types.Int(d.Cnt), types.Float(d.Sum))
+		if err := out.Emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *aggJoinBolt) MemSize() int {
+	if b.a == nil {
+		return 0
+	}
+	return b.a.MemSize()
+}

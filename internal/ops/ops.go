@@ -1,0 +1,309 @@
+// Package ops provides Squall's physical operators (§2): selections,
+// projections and aggregations, plus the bolts that assemble them into
+// dataflow components. A component is a pipeline of co-located operators —
+// e.g. a data source followed by a selection, or a join followed by a
+// partial aggregation — executed inside one bolt to avoid network hops,
+// exactly like the paper's operator co-location.
+package ops
+
+import (
+	"fmt"
+
+	"squall/internal/dataflow"
+	"squall/internal/expr"
+	"squall/internal/types"
+)
+
+// Op is one tuple-at-a-time operator stage: zero or more output tuples per
+// input tuple.
+type Op interface {
+	Apply(t types.Tuple) ([]types.Tuple, error)
+}
+
+// Select filters by a predicate.
+type Select struct{ P expr.Pred }
+
+// Apply keeps t when the predicate holds.
+func (s Select) Apply(t types.Tuple) ([]types.Tuple, error) {
+	ok, err := s.P.Eval(t)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return []types.Tuple{t}, nil
+}
+
+// Project maps each tuple through a list of expressions — the paper's output
+// schemes: a component sends only the fields/expressions needed downstream.
+type Project struct{ Es []expr.Expr }
+
+// Apply evaluates every projection expression.
+func (p Project) Apply(t types.Tuple) ([]types.Tuple, error) {
+	out := make(types.Tuple, len(p.Es))
+	for i, e := range p.Es {
+		v, err := e.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return []types.Tuple{out}, nil
+}
+
+// Pipeline chains operators; the output of each stage feeds the next.
+type Pipeline []Op
+
+// Apply runs the pipeline on one input tuple.
+func (p Pipeline) Apply(t types.Tuple) ([]types.Tuple, error) {
+	in := []types.Tuple{t}
+	for _, op := range p {
+		var out []types.Tuple
+		for _, tu := range in {
+			o, err := op.Apply(tu)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, o...)
+		}
+		if len(out) == 0 {
+			return nil, nil
+		}
+		in = out
+	}
+	return in, nil
+}
+
+// MapBolt runs a pipeline inside a component and emits the results.
+func MapBolt(p Pipeline) dataflow.BoltFactory {
+	return func(task, ntasks int) dataflow.Bolt {
+		return dataflow.FuncBolt{OnTuple: func(in dataflow.Input, out *dataflow.Collector) error {
+			res, err := p.Apply(in.Tuple)
+			if err != nil {
+				return err
+			}
+			for _, t := range res {
+				if err := out.Emit(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}}
+	}
+}
+
+// AggKind enumerates the supported aggregates (§2: sum, count, average).
+type AggKind uint8
+
+// Supported aggregate functions.
+const (
+	Count AggKind = iota
+	Sum
+	Avg
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// groupState is one group's accumulator.
+type groupState struct {
+	group types.Tuple
+	cnt   int64
+	sum   float64
+}
+
+// Agg is a hash group-by aggregation over a single input stream. In
+// full-history mode every input updates the group's accumulator and the
+// final values are emitted on Finish; with Incremental set, the refreshed
+// aggregate row is emitted on every update (online view maintenance).
+type Agg struct {
+	GroupBy     []expr.Expr
+	Kind        AggKind
+	SumE        expr.Expr // required for Sum/Avg
+	Incremental bool
+
+	groups map[string]*groupState
+	mem    int
+}
+
+// NewAgg copies the configuration into a fresh accumulator.
+func NewAgg(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental bool) *Agg {
+	return &Agg{GroupBy: groupBy, Kind: kind, SumE: sumE, Incremental: incremental,
+		groups: map[string]*groupState{}}
+}
+
+// Update folds one tuple with an explicit (cnt, sum) weight — the join bolts
+// feed pre-aggregated deltas this way. It returns the refreshed output row
+// when Incremental is set.
+func (a *Agg) Update(t types.Tuple, cnt int64, sum float64) (types.Tuple, error) {
+	g := make(types.Tuple, len(a.GroupBy))
+	for i, e := range a.GroupBy {
+		v, err := e.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		g[i] = v
+	}
+	k := g.Key()
+	st, ok := a.groups[k]
+	if !ok {
+		st = &groupState{group: g}
+		a.groups[k] = st
+		a.mem += g.MemSize() + len(k) + 32
+	}
+	st.cnt += cnt
+	st.sum += sum
+	if !a.Incremental {
+		return nil, nil
+	}
+	return a.row(st), nil
+}
+
+// Fold feeds one raw tuple (cnt 1, sum = SumE(t) when configured).
+func (a *Agg) Fold(t types.Tuple) (types.Tuple, error) {
+	sum := 0.0
+	if a.SumE != nil {
+		v, err := a.SumE.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		f, ok := v.AsFloat()
+		if !ok && !v.IsNull() {
+			return nil, fmt.Errorf("ops: SUM argument %v is not numeric", v)
+		}
+		sum = f
+	} else if a.Kind != Count {
+		return nil, fmt.Errorf("ops: %s needs a sum expression", a.Kind)
+	}
+	return a.Update(t, 1, sum)
+}
+
+func (a *Agg) row(st *groupState) types.Tuple {
+	out := st.group.Clone()
+	switch a.Kind {
+	case Count:
+		out = append(out, types.Int(st.cnt))
+	case Sum:
+		out = append(out, types.Float(st.sum))
+	case Avg:
+		if st.cnt == 0 {
+			out = append(out, types.Null())
+		} else {
+			out = append(out, types.Float(st.sum/float64(st.cnt)))
+		}
+	}
+	return out
+}
+
+// Rows returns the current aggregate rows.
+func (a *Agg) Rows() []types.Tuple {
+	out := make([]types.Tuple, 0, len(a.groups))
+	for _, st := range a.groups {
+		out = append(out, a.row(st))
+	}
+	return out
+}
+
+// MemSize approximates accumulator state.
+func (a *Agg) MemSize() int { return a.mem + 48 }
+
+// aggBolt adapts Agg to the dataflow engine.
+type aggBolt struct{ a *Agg }
+
+func (b aggBolt) Execute(in dataflow.Input, out *dataflow.Collector) error {
+	row, err := b.a.Fold(in.Tuple)
+	if err != nil {
+		return err
+	}
+	if row != nil {
+		return out.Emit(row)
+	}
+	return nil
+}
+
+func (b aggBolt) Finish(out *dataflow.Collector) error {
+	if b.a.Incremental {
+		return nil
+	}
+	for _, row := range b.a.Rows() {
+		if err := out.Emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b aggBolt) MemSize() int { return b.a.MemSize() }
+
+// AggBolt builds a per-task aggregation component. Upstream edges must group
+// by the group-by columns (Fields or KeyMapped) so each group lands on one
+// task.
+func AggBolt(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental bool) dataflow.BoltFactory {
+	return func(task, ntasks int) dataflow.Bolt {
+		return aggBolt{NewAgg(groupBy, kind, sumE, incremental)}
+	}
+}
+
+// MergeBolt merges pre-aggregated partial rows of shape (group..., cnt, sum)
+// emitted by AggJoinBolt tasks into final aggregate rows. ngroup is the
+// number of leading group columns.
+func MergeBolt(ngroup int, kind AggKind, incremental bool) dataflow.BoltFactory {
+	return func(task, ntasks int) dataflow.Bolt {
+		groupBy := make([]expr.Expr, ngroup)
+		for i := range groupBy {
+			groupBy[i] = expr.C(i)
+		}
+		return &mergeBolt{a: NewAgg(groupBy, kind, nil, incremental), ngroup: ngroup}
+	}
+}
+
+type mergeBolt struct {
+	a      *Agg
+	ngroup int
+}
+
+func (b *mergeBolt) Execute(in dataflow.Input, out *dataflow.Collector) error {
+	t := in.Tuple
+	if len(t) != b.ngroup+2 {
+		return fmt.Errorf("ops: merge row arity %d, want %d group cols + cnt + sum", len(t), b.ngroup)
+	}
+	cnt, ok := t[b.ngroup].AsInt()
+	if !ok {
+		return fmt.Errorf("ops: merge row cnt %v not integer", t[b.ngroup])
+	}
+	sum, _ := t[b.ngroup+1].AsFloat()
+	row, err := b.a.Update(t, cnt, sum)
+	if err != nil {
+		return err
+	}
+	if row != nil {
+		return out.Emit(row)
+	}
+	return nil
+}
+
+func (b *mergeBolt) Finish(out *dataflow.Collector) error {
+	if b.a.Incremental {
+		return nil
+	}
+	for _, row := range b.a.Rows() {
+		if err := out.Emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *mergeBolt) MemSize() int { return b.a.MemSize() }

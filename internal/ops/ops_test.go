@@ -1,0 +1,214 @@
+package ops
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"squall/internal/dataflow"
+	"squall/internal/dbtoaster"
+	"squall/internal/expr"
+	"squall/internal/types"
+)
+
+func TestSelectAndProject(t *testing.T) {
+	sel := Select{P: expr.Cmp{Op: expr.Gt, L: expr.C(0), R: expr.I(3)}}
+	if out, err := sel.Apply(types.Tuple{types.Int(5)}); err != nil || len(out) != 1 {
+		t.Errorf("Select(5>3) = %v, %v", out, err)
+	}
+	if out, err := sel.Apply(types.Tuple{types.Int(1)}); err != nil || len(out) != 0 {
+		t.Errorf("Select(1>3) = %v, %v", out, err)
+	}
+	proj := Project{Es: []expr.Expr{expr.C(1), expr.Arith{Op: expr.Mul, L: expr.C(0), R: expr.I(2)}}}
+	out, err := proj.Apply(types.Tuple{types.Int(3), types.Str("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.Tuple{types.Str("x"), types.Int(6)}
+	if !out[0].Equal(want) {
+		t.Errorf("Project = %v, want %v", out[0], want)
+	}
+}
+
+func TestPipelineShortCircuits(t *testing.T) {
+	p := Pipeline{
+		Select{P: expr.Cmp{Op: expr.Gt, L: expr.C(0), R: expr.I(0)}},
+		Project{Es: []expr.Expr{expr.C(0)}},
+	}
+	if out, err := p.Apply(types.Tuple{types.Int(-1)}); err != nil || out != nil {
+		t.Errorf("filtered tuple = %v, %v", out, err)
+	}
+	if out, err := p.Apply(types.Tuple{types.Int(2)}); err != nil || len(out) != 1 {
+		t.Errorf("passing tuple = %v, %v", out, err)
+	}
+}
+
+func TestAggCountSumAvg(t *testing.T) {
+	rows := []types.Tuple{
+		{types.Str("a"), types.Int(1)},
+		{types.Str("a"), types.Int(3)},
+		{types.Str("b"), types.Int(10)},
+	}
+	for _, tc := range []struct {
+		kind AggKind
+		want map[string]float64
+	}{
+		{Count, map[string]float64{"a": 2, "b": 1}},
+		{Sum, map[string]float64{"a": 4, "b": 10}},
+		{Avg, map[string]float64{"a": 2, "b": 10}},
+	} {
+		a := NewAgg([]expr.Expr{expr.C(0)}, tc.kind, expr.C(1), false)
+		for _, r := range rows {
+			if _, err := a.Fold(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := map[string]float64{}
+		for _, row := range a.Rows() {
+			f, _ := row[1].AsFloat()
+			got[row[0].Str] = f
+		}
+		for k, want := range tc.want {
+			if math.Abs(got[k]-want) > 1e-9 {
+				t.Errorf("%s group %s = %g, want %g", tc.kind, k, got[k], want)
+			}
+		}
+	}
+}
+
+func TestAggIncrementalEmitsUpdates(t *testing.T) {
+	a := NewAgg([]expr.Expr{expr.C(0)}, Count, nil, true)
+	r1, err := a.Fold(types.Tuple{types.Str("k")})
+	if err != nil || r1 == nil || r1[1].I != 1 {
+		t.Fatalf("first update = %v, %v", r1, err)
+	}
+	r2, _ := a.Fold(types.Tuple{types.Str("k")})
+	if r2[1].I != 2 {
+		t.Errorf("second update = %v", r2)
+	}
+}
+
+func TestAggSumRequiresExpr(t *testing.T) {
+	a := NewAgg(nil, Sum, nil, false)
+	if _, err := a.Fold(types.Tuple{types.Int(1)}); err == nil {
+		t.Error("SUM without expression must error")
+	}
+}
+
+// runJoinTopology wires 3 spouts through a join bolt under the given local
+// join kind and returns the sorted result rows.
+func runJoinTopology(t *testing.T, kind LocalJoinKind) []types.Tuple {
+	t.Helper()
+	g := expr.MustJoinGraph(3,
+		expr.EquiCol(0, 1, 1, 0),
+		expr.EquiCol(1, 1, 2, 0),
+	)
+	mk := func(n int, f func(i int) types.Tuple) []types.Tuple {
+		rows := make([]types.Tuple, n)
+		for i := range rows {
+			rows[i] = f(i)
+		}
+		return rows
+	}
+	r := mk(20, func(i int) types.Tuple { return types.Tuple{types.Int(int64(i)), types.Int(int64(i % 4))} })
+	s := mk(20, func(i int) types.Tuple { return types.Tuple{types.Int(int64(i % 4)), types.Int(int64(i % 3))} })
+	u := mk(20, func(i int) types.Tuple { return types.Tuple{types.Int(int64(i % 3)), types.Int(int64(i))} })
+	sink := dataflow.NewGather()
+	topo, err := dataflow.NewBuilder().
+		Spout("R", 1, dataflow.SliceSpout(r)).
+		Spout("S", 1, dataflow.SliceSpout(s)).
+		Spout("T", 1, dataflow.SliceSpout(u)).
+		Bolt("join", 1, JoinBolt(g, kind, map[string]int{"R": 0, "S": 1, "T": 2}, nil)).
+		Bolt("sink", 1, sink.Factory()).
+		Input("join", "R", dataflow.Global()).
+		Input("join", "S", dataflow.Global()).
+		Input("join", "T", dataflow.Global()).
+		Input("sink", "join", dataflow.Global()).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dataflow.Run(topo, dataflow.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return sink.SortedRows()
+}
+
+func TestJoinBoltTraditionalAndDBToasterAgree(t *testing.T) {
+	trad := runJoinTopology(t, Traditional)
+	dbt := runJoinTopology(t, DBToaster)
+	if len(trad) == 0 {
+		t.Fatal("join produced nothing")
+	}
+	if len(trad) != len(dbt) {
+		t.Fatalf("traditional %d rows, dbtoaster %d", len(trad), len(dbt))
+	}
+	for i := range trad {
+		if !trad[i].Equal(dbt[i]) {
+			t.Fatalf("row %d: %v vs %v", i, trad[i], dbt[i])
+		}
+	}
+}
+
+func TestAggJoinBoltWithMerge(t *testing.T) {
+	// COUNT(*) GROUP BY R.y over R ⋈ S on y, parallel joiners + one merger.
+	g := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
+	spec := dbtoaster.AggSpec{
+		GroupBy: []dbtoaster.ColRef{{Rel: 0, E: expr.C(0)}},
+		Kind:    dbtoaster.AggCount,
+	}
+	var r, s []types.Tuple
+	for i := 0; i < 40; i++ {
+		r = append(r, types.Tuple{types.Int(int64(i % 5))})
+		s = append(s, types.Tuple{types.Int(int64(i % 5))})
+	}
+	sink := dataflow.NewGather()
+	topo, err := dataflow.NewBuilder().
+		Spout("R", 2, dataflow.SliceSpout(r)).
+		Spout("S", 2, dataflow.SliceSpout(s)).
+		Bolt("join", 4, AggJoinBolt(g, spec, map[string]int{"R": 0, "S": 1}, false)).
+		Bolt("merge", 1, MergeBolt(1, Count, false)).
+		Bolt("sink", 1, sink.Factory()).
+		Input("join", "R", dataflow.Fields(0)).
+		Input("join", "S", dataflow.Fields(0)).
+		Input("merge", "join", dataflow.Global()).
+		Input("sink", "merge", dataflow.Global()).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dataflow.Run(topo, dataflow.Options{Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.SortedRows()
+	if len(rows) != 5 {
+		t.Fatalf("groups = %v", rows)
+	}
+	for _, row := range rows {
+		// Each key appears 8x in R and 8x in S: count 64.
+		if row[1].I != 64 {
+			t.Errorf("group %v count = %v, want 64", row[0], row[1])
+		}
+	}
+}
+
+func TestMergeBoltRejectsBadArity(t *testing.T) {
+	b := MergeBolt(1, Count, false)(0, 1)
+	err := b.Execute(dataflow.Input{Tuple: types.Tuple{types.Int(1)}}, nil)
+	if err == nil {
+		t.Error("short merge row must error")
+	}
+}
+
+func TestJoinBoltUnknownStream(t *testing.T) {
+	g := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
+	b := JoinBolt(g, Traditional, map[string]int{"R": 0}, nil)(0, 1)
+	err := b.Execute(dataflow.Input{Stream: "???", Tuple: types.Tuple{types.Int(1)}}, nil)
+	if err == nil {
+		t.Error("unknown stream must error")
+	}
+}
+
+func sortRows(rows []types.Tuple) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Compare(rows[j]) < 0 })
+}

@@ -1,0 +1,137 @@
+// Package sqlparse implements Squall's declarative interface (§2): a lexer
+// and recursive-descent parser for the SQL subset the paper's queries use —
+// SELECT with expressions and aggregates, FROM with aliases, WHERE
+// conjunctions of comparisons (equi and theta join conditions, literal
+// filters), and GROUP BY. LIMIT and ORDER BY are not supported, matching
+// the paper ("we disregard LIMIT and ORDER BY clauses, as Squall does not
+// support these constructs yet").
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokOp // = <> < <= > >= * / + -
+	TokComma
+	TokLParen
+	TokRParen
+	TokDot
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+// Lexer splits a SQL string into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	toks []Token
+}
+
+// Lex tokenizes the input.
+func Lex(src string) ([]Token, error) {
+	l := &Lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.Kind == TokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *Lexer) next() (Token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case c == '(':
+		l.pos++
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case c == ')':
+		l.pos++
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case c == '.':
+		l.pos++
+		return Token{Kind: TokDot, Text: ".", Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("sql: unterminated string at %d", start)
+		}
+		l.pos++ // closing quote
+		return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+	case strings.ContainsRune("=<>*/+-!", rune(c)):
+		l.pos++
+		if l.pos < len(l.src) {
+			two := l.src[start : l.pos+1]
+			if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+				l.pos++
+				return Token{Kind: TokOp, Text: two, Pos: start}, nil
+			}
+		}
+		if c == '!' {
+			return Token{}, fmt.Errorf("sql: stray '!' at %d (use != or <>)", start)
+		}
+		return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+	case c == '_' || unicode.IsLetter(rune(c)):
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: start}, nil
+	case unicode.IsDigit(rune(c)):
+		dot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' && !dot {
+				dot = true
+				l.pos++
+				continue
+			}
+			if ch >= '0' && ch <= '9' {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	default:
+		return Token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}

@@ -1,0 +1,358 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AST node types. The parser is schema-agnostic; name resolution happens in
+// the compiler against a catalog.
+
+// ColRefExpr references table.column (or a bare column name).
+type ColRefExpr struct {
+	Table  string // optional qualifier or alias
+	Column string
+}
+
+// LitExpr is a literal (int, float or string).
+type LitExpr struct {
+	IsString bool
+	IsFloat  bool
+	S        string
+	I        int64
+	F        float64
+}
+
+// BinExpr is a binary arithmetic expression.
+type BinExpr struct {
+	Op   byte // + - * /
+	L, R Node
+}
+
+// FuncExpr is DATE(expr) or similar single-argument scalar functions.
+type FuncExpr struct {
+	Name string
+	Arg  Node
+}
+
+// Node is any scalar AST node.
+type Node interface{ nodeTag() }
+
+func (ColRefExpr) nodeTag() {}
+func (LitExpr) nodeTag()    {}
+func (BinExpr) nodeTag()    {}
+func (FuncExpr) nodeTag()   {}
+
+// SelectItem is one projection: a plain expression or an aggregate call.
+type SelectItem struct {
+	Agg  string // "", "COUNT", "SUM", "AVG"
+	Star bool   // COUNT(*)
+	Expr Node   // nil for COUNT(*)
+}
+
+// TableRef is FROM entry: name with optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Comparison is one WHERE conjunct: Left op Right.
+type Comparison struct {
+	Op   string // = <> < <= > >=
+	L, R Node
+}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Select  []SelectItem
+	From    []TableRef
+	Where   []Comparison // conjunction
+	GroupBy []ColRefExpr
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().Text)
+	}
+	return q, nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) take() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) kw(s string) bool {
+	t := p.peek()
+	if t.Kind == TokIdent && strings.EqualFold(t.Text, s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(s string) error {
+	if !p.kw(s) {
+		return fmt.Errorf("sql: expected %s, found %q", s, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.take()
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, tr)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.take()
+	}
+	if p.kw("WHERE") {
+		for {
+			cmp, err := p.comparison()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, cmp)
+			if !p.kw("AND") {
+				break
+			}
+		}
+	}
+	if p.kw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			n, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			cr, ok := n.(ColRefExpr)
+			if !ok {
+				return nil, fmt.Errorf("sql: GROUP BY supports column references only")
+			}
+			q.GroupBy = append(q.GroupBy, cr)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.take()
+		}
+	}
+	return q, nil
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.Kind == TokIdent && aggNames[strings.ToUpper(t.Text)] {
+		// Lookahead for '(' to distinguish a column named like an aggregate.
+		if p.toks[p.pos+1].Kind == TokLParen {
+			agg := strings.ToUpper(p.take().Text)
+			p.take() // (
+			if agg == "COUNT" && p.peek().Kind == TokOp && p.peek().Text == "*" {
+				p.take()
+				if p.peek().Kind != TokRParen {
+					return SelectItem{}, fmt.Errorf("sql: expected ) after COUNT(*")
+				}
+				p.take()
+				return SelectItem{Agg: agg, Star: true}, nil
+			}
+			e, err := p.expr()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			if p.peek().Kind != TokRParen {
+				return SelectItem{}, fmt.Errorf("sql: expected ) after %s argument", agg)
+			}
+			p.take()
+			return SelectItem{Agg: agg, Expr: e}, nil
+		}
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Expr: e}, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	t := p.take()
+	if t.Kind != TokIdent {
+		return TableRef{}, fmt.Errorf("sql: expected table name, found %q", t.Text)
+	}
+	tr := TableRef{Name: t.Text}
+	if p.kw("AS") {
+		a := p.take()
+		if a.Kind != TokIdent {
+			return TableRef{}, fmt.Errorf("sql: expected alias after AS")
+		}
+		tr.Alias = a.Text
+		return tr, nil
+	}
+	// Implicit alias: FROM webgraph w1 (but not before WHERE/GROUP keywords
+	// or punctuation).
+	nxt := p.peek()
+	if nxt.Kind == TokIdent && !reserved(nxt.Text) {
+		tr.Alias = p.take().Text
+	}
+	return tr, nil
+}
+
+func reserved(s string) bool {
+	switch strings.ToUpper(s) {
+	case "WHERE", "GROUP", "BY", "AND", "AS", "FROM", "SELECT":
+		return true
+	}
+	return false
+}
+
+func (p *parser) comparison() (Comparison, error) {
+	l, err := p.expr()
+	if err != nil {
+		return Comparison{}, err
+	}
+	op := p.take()
+	if op.Kind != TokOp {
+		return Comparison{}, fmt.Errorf("sql: expected comparison operator, found %q", op.Text)
+	}
+	switch op.Text {
+	case "=", "<", "<=", ">", ">=", "<>", "!=":
+	default:
+		return Comparison{}, fmt.Errorf("sql: %q is not a comparison operator", op.Text)
+	}
+	r, err := p.expr()
+	if err != nil {
+		return Comparison{}, err
+	}
+	text := op.Text
+	if text == "!=" {
+		text = "<>"
+	}
+	return Comparison{Op: text, L: l, R: r}, nil
+}
+
+// expr parses additive expressions; term parses multiplicative; primary
+// parses literals, column refs, functions and parenthesized expressions.
+func (p *parser) expr() (Node, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOp && (p.peek().Text == "+" || p.peek().Text == "-") {
+		op := p.take().Text[0]
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) term() (Node, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOp && (p.peek().Text == "*" || p.peek().Text == "/") {
+		op := p.take().Text[0]
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) primary() (Node, error) {
+	t := p.take()
+	switch t.Kind {
+	case TokNumber:
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.Text)
+			}
+			return LitExpr{IsFloat: true, F: f}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.Text)
+		}
+		return LitExpr{I: i}, nil
+	case TokString:
+		return LitExpr{IsString: true, S: t.Text}, nil
+	case TokLParen:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().Kind != TokRParen {
+			return nil, fmt.Errorf("sql: expected )")
+		}
+		p.take()
+		return e, nil
+	case TokIdent:
+		// Function call?
+		if p.peek().Kind == TokLParen && strings.EqualFold(t.Text, "DATE") {
+			p.take()
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if p.peek().Kind != TokRParen {
+				return nil, fmt.Errorf("sql: expected ) after DATE argument")
+			}
+			p.take()
+			return FuncExpr{Name: "DATE", Arg: arg}, nil
+		}
+		if p.peek().Kind == TokDot {
+			p.take()
+			col := p.take()
+			if col.Kind != TokIdent {
+				return nil, fmt.Errorf("sql: expected column after %s.", t.Text)
+			}
+			return ColRefExpr{Table: t.Text, Column: col.Text}, nil
+		}
+		return ColRefExpr{Column: t.Text}, nil
+	default:
+		return nil, fmt.Errorf("sql: unexpected token %q", t.Text)
+	}
+}

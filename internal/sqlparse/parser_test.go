@@ -1,0 +1,157 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperQueryFigure1(t *testing.T) {
+	q, err := Parse(`SELECT SUM(T.E) FROM R,S,T WHERE R.B = S.B AND S.D = T.D AND S.C > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 || q.Select[0].Agg != "SUM" {
+		t.Errorf("select = %+v", q.Select)
+	}
+	if len(q.From) != 3 || q.From[0].Name != "R" || q.From[2].Name != "T" {
+		t.Errorf("from = %+v", q.From)
+	}
+	if len(q.Where) != 3 {
+		t.Fatalf("where = %+v", q.Where)
+	}
+	if q.Where[2].Op != ">" {
+		t.Errorf("third conjunct op = %q", q.Where[2].Op)
+	}
+}
+
+func TestParse3Reachability(t *testing.T) {
+	q, err := Parse(`SELECT W1.FromUrl, COUNT(*)
+		FROM WebGraph as W1, WebGraph as W2, WebGraph as W3
+		WHERE W1.ToUrl = W2.FromUrl AND W2.ToUrl = W3.FromUrl
+		GROUP BY W1.FromUrl`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 3 || q.From[1].Alias != "W2" {
+		t.Errorf("from = %+v", q.From)
+	}
+	if !q.Select[1].Star || q.Select[1].Agg != "COUNT" {
+		t.Errorf("COUNT(*) = %+v", q.Select[1])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Table != "W1" || q.GroupBy[0].Column != "FromUrl" {
+		t.Errorf("group by = %+v", q.GroupBy)
+	}
+}
+
+func TestParseGoogleTaskCount(t *testing.T) {
+	q, err := Parse(`SELECT MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform, COUNT(*)
+		FROM JOB_EVENTS, TASK_EVENTS, MACHINE_EVENTS
+		WHERE TASK_EVENTS.eventType = 3
+		AND JOB_EVENTS.jobID = TASK_EVENTS.jobID
+		AND MACHINE_EVENTS.machineID = TASK_EVENTS.machineID
+		GROUP BY MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 3 || len(q.GroupBy) != 2 {
+		t.Errorf("where=%d groupby=%d", len(q.Where), len(q.GroupBy))
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	q, err := Parse(`SELECT a FROM webgraph w1 WHERE w1.a = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From[0].Alias != "w1" {
+		t.Errorf("alias = %q", q.From[0].Alias)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	q, err := Parse(`SELECT SUM(price * (1 - discount)) FROM lineitem WHERE DATE(shipdate) >= DATE('1995-01-01')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, ok := q.Select[0].Expr.(BinExpr)
+	if !ok || bin.Op != '*' {
+		t.Fatalf("sum arg = %#v", q.Select[0].Expr)
+	}
+	inner, ok := bin.R.(BinExpr)
+	if !ok || inner.Op != '-' {
+		t.Fatalf("nested = %#v", bin.R)
+	}
+	if _, ok := q.Where[0].L.(FuncExpr); !ok {
+		t.Errorf("DATE() call = %#v", q.Where[0].L)
+	}
+}
+
+func TestParseStringsAndNumbers(t *testing.T) {
+	q, err := Parse(`SELECT x FROM t WHERE a = 'hello world' AND b >= 2.5 AND c <> 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := q.Where[0].R.(LitExpr)
+	if !lit.IsString || lit.S != "hello world" {
+		t.Errorf("string literal = %+v", lit)
+	}
+	f := q.Where[1].R.(LitExpr)
+	if !f.IsFloat || f.F != 2.5 {
+		t.Errorf("float literal = %+v", f)
+	}
+	n := q.Where[2].R.(LitExpr)
+	if n.IsFloat || n.IsString || n.I != 7 {
+		t.Errorf("int literal = %+v", n)
+	}
+	if q.Where[2].Op != "<>" {
+		t.Errorf("op = %q", q.Where[2].Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT a`,
+		`SELECT a FROM`,
+		`SELECT a FROM t WHERE`,
+		`SELECT a FROM t WHERE a ==`,
+		`SELECT a FROM t GROUP a`,
+		`SELECT a FROM t WHERE a = 'unterminated`,
+		`SELECT COUNT( FROM t`,
+		`SELECT a FROM t trailing nonsense +`,
+		`SELECT a FROM t WHERE a + b`,
+		`SELECT a FROM t GROUP BY SUM(a)`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseNotEqualsAlias(t *testing.T) {
+	q, err := Parse(`SELECT a FROM t WHERE a != 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Op != "<>" {
+		t.Errorf("!= must normalize to <>, got %q", q.Where[0].Op)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a >= 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Text != ">=" || toks[1].Kind != TokOp {
+		t.Errorf("token = %+v", toks[1])
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "x" {
+		t.Errorf("string token = %+v", toks[2])
+	}
+	if !strings.HasPrefix("a >= 'x'"[toks[2].Pos:], "'x'") {
+		t.Errorf("position = %d", toks[2].Pos)
+	}
+}

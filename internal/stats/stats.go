@@ -1,0 +1,166 @@
+// Package stats implements Squall's run-time statistics collection (§2,
+// §3.4): reservoir sampling over streams, top-key frequency estimation (the
+// input to the offline hypercube chooser), and distinct-count tracking (the
+// few-distinct-keys rule of §5).
+package stats
+
+import (
+	"math/rand"
+
+	"squall/internal/types"
+)
+
+// Reservoir keeps a uniform sample of a stream (Vitter's algorithm R).
+type Reservoir struct {
+	k     int
+	seen  int64
+	items []types.Value
+	rng   *rand.Rand
+}
+
+// NewReservoir samples k values.
+func NewReservoir(k int, seed int64) *Reservoir {
+	return &Reservoir{k: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one value to the sample.
+func (r *Reservoir) Add(v types.Value) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, v)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.k) {
+		r.items[j] = v
+	}
+}
+
+// Seen returns the stream length so far.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Sample returns the current sample (shared slice; do not mutate).
+func (r *Reservoir) Sample() []types.Value { return r.items }
+
+// KeyStats summarizes a join key's distribution from a sample — exactly what
+// the §3.4 offline chooser needs: the top-key frequency and the distinct
+// count.
+type KeyStats struct {
+	TopFreq  float64 // frequency of the most common key in the sample
+	TopKey   types.Value
+	Distinct int64
+}
+
+// Estimate computes KeyStats over the sample.
+func (r *Reservoir) Estimate() KeyStats {
+	counts := map[string]int64{}
+	rep := map[string]types.Value{}
+	for _, v := range r.items {
+		k := types.Tuple{v}.Key()
+		counts[k]++
+		rep[k] = v
+	}
+	var st KeyStats
+	st.Distinct = int64(len(counts))
+	var best int64
+	for k, c := range counts {
+		if c > best {
+			best = c
+			st.TopKey = rep[k]
+		}
+	}
+	if n := int64(len(r.items)); n > 0 {
+		st.TopFreq = float64(best) / float64(n)
+	}
+	return st
+}
+
+// SkewDecision applies the paper's two marking rules (§3.4, §5): a key is
+// treated as skewed when its top frequency implies a hash hot spot worse
+// than random partitioning would be, or when it has fewer distinct values
+// than machines (hash would idle machines). The frequency threshold is
+// 1/machines: if one key holds more than a machine's fair share, hashing
+// cannot balance it.
+func SkewDecision(st KeyStats, machines int) bool {
+	if machines <= 1 {
+		return false
+	}
+	if st.Distinct > 0 && st.Distinct < int64(machines) {
+		return true
+	}
+	return st.TopFreq > 1.0/float64(machines)
+}
+
+// Monitor tracks per-partition load online, deriving the paper's §6 metrics
+// incrementally (for run-time adaptation decisions, the load counters the
+// demonstration displays, and temporal-skew detection via windowed loads).
+type Monitor struct {
+	load   []int64
+	window []int64
+	// WindowSize bounds each temporal window (tuples); 0 disables.
+	WindowSize  int64
+	windowCount int64
+	burstSkew   float64
+	bursts      int64
+}
+
+// NewMonitor tracks n partitions.
+func NewMonitor(n int, windowSize int64) *Monitor {
+	return &Monitor{load: make([]int64, n), window: make([]int64, n), WindowSize: windowSize}
+}
+
+// Observe records one tuple routed to partition p.
+func (m *Monitor) Observe(p int) {
+	m.load[p]++
+	if m.WindowSize <= 0 {
+		return
+	}
+	m.window[p]++
+	m.windowCount++
+	if m.windowCount >= m.WindowSize {
+		m.burstSkew += skew(m.window)
+		m.bursts++
+		for i := range m.window {
+			m.window[i] = 0
+		}
+		m.windowCount = 0
+	}
+}
+
+// SkewDegree returns max/avg load over the whole run (§6).
+func (m *Monitor) SkewDegree() float64 { return skew(m.load) }
+
+// TemporalSkewDegree returns the mean per-window skew degree — near 1 for
+// content-insensitive schemes, up to the partition count under sorted
+// arrival with hashing (§5).
+func (m *Monitor) TemporalSkewDegree() float64 {
+	if m.bursts == 0 {
+		return 0
+	}
+	return m.burstSkew / float64(m.bursts)
+}
+
+// MaxLoad returns the hottest partition's count.
+func (m *Monitor) MaxLoad() int64 {
+	var mx int64
+	for _, l := range m.load {
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+func skew(load []int64) float64 {
+	var sum, mx int64
+	for _, l := range load {
+		sum += l
+		if l > mx {
+			mx = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	avg := float64(sum) / float64(len(load))
+	return float64(mx) / avg
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"squall/internal/datagen"
+	"squall/internal/types"
+)
+
+func TestReservoirIsUniform(t *testing.T) {
+	// Sample 1000 of 100k distinct values; every value must have roughly
+	// equal inclusion probability. Check via the mean of sampled values.
+	r := NewReservoir(1000, 1)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r.Add(types.Int(int64(i)))
+	}
+	if r.Seen() != n {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+	if len(r.Sample()) != 1000 {
+		t.Fatalf("sample size = %d", len(r.Sample()))
+	}
+	var sum float64
+	for _, v := range r.Sample() {
+		sum += float64(v.I)
+	}
+	mean := sum / 1000
+	if math.Abs(mean-n/2) > n/20 {
+		t.Errorf("sample mean %.0f far from %d (biased reservoir?)", mean, n/2)
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	r := NewReservoir(100, 2)
+	for i := 0; i < 10; i++ {
+		r.Add(types.Int(int64(i)))
+	}
+	if len(r.Sample()) != 10 {
+		t.Errorf("sample of short stream = %d items", len(r.Sample()))
+	}
+}
+
+func TestEstimateFindsZipfTopKey(t *testing.T) {
+	z := datagen.NewZipf(1000, 2.0)
+	r := NewReservoir(2000, 3)
+	for i := 0; i < 50000; i++ {
+		r.Add(types.Int(z.RankFrom(float64(i%9973) / 9973.0)))
+	}
+	st := r.Estimate()
+	if st.TopKey.I != 1 {
+		t.Errorf("top key = %v, want rank 1", st.TopKey)
+	}
+	if math.Abs(st.TopFreq-z.TopFreq()) > 0.05 {
+		t.Errorf("top freq estimate %.3f vs true %.3f", st.TopFreq, z.TopFreq())
+	}
+}
+
+func TestSkewDecisionRules(t *testing.T) {
+	// Zipf(2): top key ~0.61 >> 1/8 — skewed.
+	if !SkewDecision(KeyStats{TopFreq: 0.61, Distinct: 500}, 8) {
+		t.Error("0.61 top frequency must be skewed for 8 machines")
+	}
+	// Uniform over many keys: not skewed.
+	if SkewDecision(KeyStats{TopFreq: 0.002, Distinct: 5000}, 8) {
+		t.Error("uniform key must not be skewed")
+	}
+	// Few distinct values (§5): 5 keys over 8 machines idles machines.
+	if !SkewDecision(KeyStats{TopFreq: 0.2, Distinct: 5}, 8) {
+		t.Error("5 distinct keys over 8 machines must count as skewed")
+	}
+	// Single machine: nothing to balance.
+	if SkewDecision(KeyStats{TopFreq: 1, Distinct: 1}, 1) {
+		t.Error("single machine never needs skew handling")
+	}
+}
+
+func TestMonitorSkewDegrees(t *testing.T) {
+	m := NewMonitor(4, 100)
+	// Sorted arrival: bursts of 100 to one partition each.
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 100; i++ {
+			m.Observe(p)
+		}
+	}
+	// Overall perfectly balanced...
+	if got := m.SkewDegree(); got != 1.0 {
+		t.Errorf("overall skew = %g, want 1", got)
+	}
+	// ...but each window hit one partition: temporal skew = 4.
+	if got := m.TemporalSkewDegree(); got != 4.0 {
+		t.Errorf("temporal skew = %g, want 4", got)
+	}
+	if m.MaxLoad() != 100 {
+		t.Errorf("MaxLoad = %d", m.MaxLoad())
+	}
+}
+
+func TestMonitorWithoutWindows(t *testing.T) {
+	m := NewMonitor(2, 0)
+	m.Observe(0)
+	m.Observe(0)
+	m.Observe(1)
+	if m.TemporalSkewDegree() != 0 {
+		t.Error("windowless monitor reports no temporal skew")
+	}
+	if got := m.SkewDegree(); math.Abs(got-2.0/1.5) > 1e-9 {
+		t.Errorf("skew = %g", got)
+	}
+}

@@ -1,0 +1,71 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseLine parses one pipe- or comma-separated text line into a Tuple
+// following the schema's column kinds. It mirrors how Squall's spouts read
+// TPC-H ".tbl" files: every field arrives as text and is converted eagerly
+// for INT/FLOAT columns, while STRING columns keep the raw text (dates stay
+// strings; DATE() parsing happens in expressions, which is what makes the
+// Figure 5 "sel(date)" bar expensive).
+func ParseLine(s *Schema, line string, sep byte) (Tuple, error) {
+	fields := splitFields(line, sep)
+	if len(fields) < len(s.Columns) {
+		return nil, fmt.Errorf("types: line has %d fields, schema %q needs %d", len(fields), s.Name, len(s.Columns))
+	}
+	t := make(Tuple, len(s.Columns))
+	for i, c := range s.Columns {
+		f := fields[i]
+		switch c.Kind {
+		case KindInt:
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("types: column %s: %w", c.Name, err)
+			}
+			t[i] = Int(v)
+		case KindFloat:
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("types: column %s: %w", c.Name, err)
+			}
+			t[i] = Float(v)
+		default:
+			t[i] = Str(f)
+		}
+	}
+	return t, nil
+}
+
+// FormatLine renders a tuple as a separated text line (inverse of ParseLine).
+func FormatLine(t Tuple, sep byte) string {
+	var sb strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			sb.WriteByte(sep)
+		}
+		sb.WriteString(v.AsString())
+	}
+	return sb.String()
+}
+
+// splitFields splits without allocating a strings.Split result for the
+// trailing separator convention of .tbl files ("a|b|c|").
+func splitFields(line string, sep byte) []string {
+	if n := len(line); n > 0 && line[n-1] == sep {
+		line = line[:n-1]
+	}
+	var out []string
+	start := 0
+	for i := 0; i < len(line); i++ {
+		if line[i] == sep {
+			out = append(out, line[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, line[start:])
+	return out
+}

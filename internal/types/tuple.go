@@ -1,0 +1,208 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is a row of values. Tuples flowing through the dataflow engine are
+// treated as immutable: an operator that wants to change a tuple must copy it
+// first (see Clone), because a tuple emitted to several downstream tasks is
+// shared between goroutines.
+type Tuple []Value
+
+// Clone returns a deep-enough copy of the tuple (values are immutable, so a
+// shallow slice copy suffices).
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Concat returns a new tuple holding t followed by o.
+func (t Tuple) Concat(o Tuple) Tuple {
+	c := make(Tuple, 0, len(t)+len(o))
+	c = append(c, t...)
+	c = append(c, o...)
+	return c
+}
+
+// Project returns a new tuple with the values at the given column indexes.
+func (t Tuple) Project(cols []int) Tuple {
+	c := make(Tuple, len(cols))
+	for i, idx := range cols {
+		c[i] = t[idx]
+	}
+	return c
+}
+
+// Hash combines the hashes of the values at cols; with no cols it hashes the
+// whole tuple. Order-sensitive.
+func (t Tuple) Hash(cols ...int) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v Value) {
+		h ^= v.Hash()
+		h *= prime64
+	}
+	if len(cols) == 0 {
+		for _, v := range t {
+			mix(v)
+		}
+		return h
+	}
+	for _, c := range cols {
+		mix(t[c])
+	}
+	return h
+}
+
+// Key renders the values at cols as a canonical string key usable as a map
+// key. With no cols it keys the whole tuple.
+func (t Tuple) Key(cols ...int) string {
+	var sb strings.Builder
+	write := func(v Value) {
+		switch v.KindV {
+		case KindNull:
+			sb.WriteByte('n')
+		case KindInt:
+			sb.WriteByte('i')
+			sb.WriteString(v.AsString())
+		case KindFloat:
+			sb.WriteByte('f')
+			sb.WriteString(v.AsString())
+		case KindString:
+			sb.WriteByte('s')
+			sb.WriteString(v.Str)
+		}
+		sb.WriteByte(0x1f) // unit separator: unambiguous joiner
+	}
+	if len(cols) == 0 {
+		for _, v := range t {
+			write(v)
+		}
+		return sb.String()
+	}
+	for _, c := range cols {
+		write(t[c])
+	}
+	return sb.String()
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically (shorter tuple sorts first on tie).
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MemSize approximates the tuple's in-memory footprint in bytes.
+func (t Tuple) MemSize() int {
+	n := 24 // slice header
+	for _, v := range t {
+		n += v.MemSize()
+	}
+	return n
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Schema names and types the columns of a relation or stream.
+type Schema struct {
+	Name    string   // relation or component name
+	Columns []Column // ordered column definitions
+}
+
+// Column is one named, typed column of a Schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// NewSchema builds a schema from alternating name/kind pairs.
+func NewSchema(name string, cols ...Column) *Schema {
+	return &Schema{Name: name, Columns: cols}
+}
+
+// Col finds a column index by name; the bool reports whether it exists.
+// Both bare ("custkey") and qualified ("customer.custkey") lookups work.
+func (s *Schema) Col(name string) (int, bool) {
+	lower := strings.ToLower(name)
+	for i, c := range s.Columns {
+		cn := strings.ToLower(c.Name)
+		if cn == lower {
+			return i, true
+		}
+		if s.Name != "" && strings.ToLower(s.Name)+"."+cn == lower {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// MustCol is Col that panics on a missing column; for internal wiring where
+// absence is a programming error.
+func (s *Schema) MustCol(name string) int {
+	i, ok := s.Col(name)
+	if !ok {
+		panic(fmt.Sprintf("types: schema %q has no column %q", s.Name, name))
+	}
+	return i
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// Concat returns a schema with the columns of s followed by o, qualified by
+// their source schema names to keep them unambiguous.
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := &Schema{Name: s.Name + "_" + o.Name}
+	for _, c := range s.Columns {
+		out.Columns = append(out.Columns, Column{Name: qualify(s.Name, c.Name), Kind: c.Kind})
+	}
+	for _, c := range o.Columns {
+		out.Columns = append(out.Columns, Column{Name: qualify(o.Name, c.Name), Kind: c.Kind})
+	}
+	return out
+}
+
+func qualify(rel, col string) string {
+	if rel == "" || strings.Contains(col, ".") {
+		return col
+	}
+	return rel + "." + col
+}

@@ -1,0 +1,235 @@
+// Package types defines the fundamental data representation shared by every
+// Squall module: typed values, tuples, schemas, hashing and comparison.
+//
+// Squall is a main-memory engine; tuples are kept compact (a flat slice of
+// tagged unions, no boxing) because operator state can hold millions of them.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+const (
+	// KindNull is the zero Kind; a null Value compares less than all others.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindString is an immutable byte string.
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged union holding one SQL value. The zero Value is NULL.
+// Values are immutable by convention: operators copy tuples before mutating.
+type Value struct {
+	Str   string
+	I     int64
+	F     float64
+	KindV Kind
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int wraps an int64.
+func Int(v int64) Value { return Value{KindV: KindInt, I: v} }
+
+// Float wraps a float64.
+func Float(v float64) Value { return Value{KindV: KindFloat, F: v} }
+
+// Str wraps a string.
+func Str(v string) Value { return Value{KindV: KindString, Str: v} }
+
+// Kind reports the runtime type of v.
+func (v Value) Kind() Kind { return v.KindV }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.KindV == KindNull }
+
+// AsInt returns the value as int64, coercing floats (truncating) and numeric
+// strings. The second result is false when no coercion exists.
+func (v Value) AsInt() (int64, bool) {
+	switch v.KindV {
+	case KindInt:
+		return v.I, true
+	case KindFloat:
+		return int64(v.F), true
+	case KindString:
+		i, err := strconv.ParseInt(strings.TrimSpace(v.Str), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return i, true
+	default:
+		return 0, false
+	}
+}
+
+// AsFloat returns the value as float64 where a coercion exists.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.KindV {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.Str), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+// AsString renders the value as a string; NULL renders as the empty string.
+func (v Value) AsString() string {
+	switch v.KindV {
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.Str
+	default:
+		return ""
+	}
+}
+
+// String implements fmt.Stringer with SQL-style rendering.
+func (v Value) String() string {
+	if v.KindV == KindNull {
+		return "NULL"
+	}
+	if v.KindV == KindString {
+		return "'" + v.Str + "'"
+	}
+	return v.AsString()
+}
+
+// Compare orders two values. NULL sorts first; numeric kinds compare
+// numerically across INT/FLOAT; strings compare lexicographically.
+// Comparing a string with a numeric value orders by kind (numeric < string),
+// mirroring a fixed cross-kind ordering so sorts are total.
+func (v Value) Compare(o Value) int {
+	vk, ok := v.numericKind()
+	okk, ook := o.numericKind()
+	if ok && ook {
+		// Numeric comparison, exact for int-int.
+		if v.KindV == KindInt && o.KindV == KindInt {
+			switch {
+			case v.I < o.I:
+				return -1
+			case v.I > o.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	_ = vk
+	_ = okk
+	// Cross-kind or string comparison.
+	if v.KindV != o.KindV {
+		switch {
+		case v.KindV < o.KindV:
+			return -1
+		default:
+			return 1
+		}
+	}
+	// Both strings.
+	return strings.Compare(v.Str, o.Str)
+}
+
+func (v Value) numericKind() (Kind, bool) {
+	return v.KindV, v.KindV == KindInt || v.KindV == KindFloat
+}
+
+// Equal reports value equality under Compare semantics.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Hash computes a 64-bit FNV-1a hash of the value. Int and Float hash by
+// their numeric identity (Float(2).Hash() == Int(2).Hash() when integral) so
+// that equi-join hashing agrees with Compare equality.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	switch v.KindV {
+	case KindNull:
+		step(0)
+	case KindInt:
+		u := uint64(v.I)
+		for i := 0; i < 8; i++ {
+			step(byte(u >> (8 * i)))
+		}
+	case KindFloat:
+		// Hash integral floats identically to ints so hashing is consistent
+		// with Compare across numeric kinds.
+		if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) &&
+			v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+			return Int(int64(v.F)).Hash()
+		}
+		u := math.Float64bits(v.F)
+		for i := 0; i < 8; i++ {
+			step(byte(u >> (8 * i)))
+		}
+	case KindString:
+		for i := 0; i < len(v.Str); i++ {
+			step(v.Str[i])
+		}
+	}
+	return h
+}
+
+// MemSize approximates the in-memory footprint of the value in bytes. It is
+// used by the per-task memory-budget accounting that reproduces the paper's
+// "Memory Overflow" outcomes.
+func (v Value) MemSize() int {
+	const base = 8 + 8 + 16 + 8 // struct fields incl. string header, padding
+	if v.KindV == KindString {
+		return base + len(v.Str)
+	}
+	return base
+}

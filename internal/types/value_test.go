@@ -1,0 +1,187 @@
+package types
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(42), KindInt},
+		{Float(3.5), KindFloat},
+		{Str("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+}
+
+func TestAsIntCoercions(t *testing.T) {
+	if v, ok := Int(7).AsInt(); !ok || v != 7 {
+		t.Errorf("Int.AsInt = %d,%v", v, ok)
+	}
+	if v, ok := Float(7.9).AsInt(); !ok || v != 7 {
+		t.Errorf("Float.AsInt = %d,%v (want truncation)", v, ok)
+	}
+	if v, ok := Str(" 12 ").AsInt(); !ok || v != 12 {
+		t.Errorf("Str.AsInt = %d,%v", v, ok)
+	}
+	if _, ok := Str("abc").AsInt(); ok {
+		t.Error("Str(abc).AsInt should fail")
+	}
+	if _, ok := Null().AsInt(); ok {
+		t.Error("Null.AsInt should fail")
+	}
+}
+
+func TestAsFloatCoercions(t *testing.T) {
+	if v, ok := Int(7).AsFloat(); !ok || v != 7.0 {
+		t.Errorf("Int.AsFloat = %g,%v", v, ok)
+	}
+	if v, ok := Str("2.5").AsFloat(); !ok || v != 2.5 {
+		t.Errorf("Str.AsFloat = %g,%v", v, ok)
+	}
+	if _, ok := Str("zz").AsFloat(); ok {
+		t.Error("Str(zz).AsFloat should fail")
+	}
+}
+
+func TestCompareSameKind(t *testing.T) {
+	if Int(1).Compare(Int(2)) >= 0 || Int(2).Compare(Int(1)) <= 0 || Int(3).Compare(Int(3)) != 0 {
+		t.Error("int compare broken")
+	}
+	if Str("a").Compare(Str("b")) >= 0 || Str("b").Compare(Str("a")) <= 0 {
+		t.Error("string compare broken")
+	}
+	if Float(1.5).Compare(Float(2.5)) >= 0 {
+		t.Error("float compare broken")
+	}
+}
+
+func TestCompareCrossNumeric(t *testing.T) {
+	if Int(2).Compare(Float(2.0)) != 0 {
+		t.Error("Int(2) should equal Float(2)")
+	}
+	if Int(2).Compare(Float(2.5)) >= 0 {
+		t.Error("Int(2) < Float(2.5)")
+	}
+	if Float(-1).Compare(Int(0)) >= 0 {
+		t.Error("Float(-1) < Int(0)")
+	}
+}
+
+func TestCompareNullAndCrossKind(t *testing.T) {
+	if Null().Compare(Int(math.MinInt64)) >= 0 {
+		t.Error("NULL must sort before all ints")
+	}
+	if Int(1).Compare(Str("0")) >= 0 {
+		t.Error("numeric kinds sort before strings")
+	}
+	if Null().Compare(Null()) != 0 {
+		t.Error("NULL == NULL under Compare")
+	}
+}
+
+func TestHashConsistentWithEquality(t *testing.T) {
+	if Int(2).Hash() != Float(2.0).Hash() {
+		t.Error("Int(2) and Float(2.0) must hash identically (they compare equal)")
+	}
+	if Int(2).Hash() == Int(3).Hash() {
+		t.Error("unlikely collision suggests broken hash")
+	}
+	if Str("ab").Hash() == Str("ba").Hash() {
+		t.Error("string hash should be order-sensitive")
+	}
+}
+
+func TestHashEqualImpliesEqualHash_Property(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va.Equal(vb) {
+			return va.Hash() == vb.Hash()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsAntisymmetric_Property(t *testing.T) {
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(4) {
+		case 0:
+			return Null()
+		case 1:
+			return Int(r.Int63n(100) - 50)
+		case 2:
+			return Float(float64(r.Int63n(100)-50) / 2)
+		default:
+			return Str(string(rune('a' + r.Intn(26))))
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := gen(r), gen(r)
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("Compare not antisymmetric for %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCompareIsTransitive_Property(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	vals := make([]Value, 0, 200)
+	for i := 0; i < 200; i++ {
+		switch r.Intn(4) {
+		case 0:
+			vals = append(vals, Null())
+		case 1:
+			vals = append(vals, Int(r.Int63n(20)))
+		case 2:
+			vals = append(vals, Float(float64(r.Int63n(20))/2))
+		default:
+			vals = append(vals, Str(string(rune('a'+r.Intn(5)))))
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		a := vals[r.Intn(len(vals))]
+		b := vals[r.Intn(len(vals))]
+		c := vals[r.Intn(len(vals))]
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("Compare not transitive: %v <= %v <= %v but %v > %v", a, b, b, a, c)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := Null().String(); got != "NULL" {
+		t.Errorf("Null.String = %q", got)
+	}
+	if got := Str("hi").String(); got != "'hi'" {
+		t.Errorf("Str.String = %q", got)
+	}
+	if got := Int(-3).String(); got != "-3" {
+		t.Errorf("Int.String = %q", got)
+	}
+}
+
+func TestMemSizeGrowsWithString(t *testing.T) {
+	if Str("aaaaaaaaaa").MemSize() <= Str("a").MemSize() {
+		t.Error("MemSize must grow with string length")
+	}
+	if Int(1).MemSize() <= 0 {
+		t.Error("MemSize must be positive")
+	}
+}

@@ -1,0 +1,236 @@
+// Package window implements Squall's stream primitives (§2): tumbling and
+// sliding windows, built — exactly as the paper describes — by adding window
+// expiration logic on top of the full-history engine rather than as a
+// separate runtime.
+//
+// Window joins reduce to theta joins on event time: a tumbling window is an
+// equality conjunct on the window bucket; a sliding (range) window join is a
+// band conjunct |ts_r - ts_s| < size. Both plug directly into the local join
+// operators and the hypercube schemes, which support theta joins natively.
+package window
+
+import (
+	"fmt"
+
+	"squall/internal/expr"
+	"squall/internal/localjoin"
+	"squall/internal/ops"
+	"squall/internal/types"
+)
+
+// BucketExpr maps an event-time column to its tumbling-window bucket
+// (floor(ts/size)); it implements expr.Expr so it can appear in join
+// conditions, group-bys and partitioning keys.
+type BucketExpr struct {
+	Ts   expr.Expr
+	Size int64
+}
+
+// Eval computes the bucket index.
+func (b BucketExpr) Eval(t types.Tuple) (types.Value, error) {
+	v, err := b.Ts.Eval(t)
+	if err != nil {
+		return types.Null(), err
+	}
+	ts, ok := v.AsInt()
+	if !ok {
+		return types.Null(), fmt.Errorf("window: timestamp %v is not integral", v)
+	}
+	if b.Size <= 0 {
+		return types.Null(), fmt.Errorf("window: bucket size %d must be positive", b.Size)
+	}
+	bucket := ts / b.Size
+	if ts < 0 && ts%b.Size != 0 {
+		bucket-- // floor division for negative timestamps
+	}
+	return types.Int(bucket), nil
+}
+
+func (b BucketExpr) String() string { return fmt.Sprintf("bucket(%s,%d)", b.Ts, b.Size) }
+
+// TumblingConjunct builds the equality conjunct "same tumbling window"
+// between two relations' timestamp columns.
+func TumblingConjunct(relA, tsColA, relB, tsColB int, size int64) expr.JoinConjunct {
+	return expr.JoinConjunct{
+		LRel: relA, RRel: relB, Op: expr.Eq,
+		Left:  BucketExpr{Ts: expr.C(tsColA), Size: size},
+		Right: BucketExpr{Ts: expr.C(tsColB), Size: size},
+	}
+}
+
+// SlidingConjuncts builds the band condition |tsA - tsB| <= size as two
+// conjuncts (a CQL-style range window join).
+func SlidingConjuncts(relA, tsColA, relB, tsColB int, size int64) []expr.JoinConjunct {
+	return []expr.JoinConjunct{
+		{LRel: relA, RRel: relB, Op: expr.Ge,
+			Left:  expr.Arith{Op: expr.Add, L: expr.C(tsColA), R: expr.I(size)},
+			Right: expr.C(tsColB)},
+		{LRel: relA, RRel: relB, Op: expr.Le,
+			Left:  expr.Arith{Op: expr.Sub, L: expr.C(tsColA), R: expr.I(size)},
+			Right: expr.C(tsColB)},
+	}
+}
+
+// Expirer bounds a window join's state: it tracks inserted tuples by event
+// time and removes those that can no longer join any future arrival. With a
+// horizon h, a call to Advance(watermark) evicts tuples whose timestamp is
+// below watermark - h. Out-of-order arrivals later than the horizon are the
+// caller's contract to avoid (the usual watermark assumption).
+type Expirer struct {
+	join    *localjoin.Traditional
+	tsCols  []int // per relation
+	horizon int64
+	queue   []expEntry
+	evicted int
+}
+
+type expEntry struct {
+	ts  int64
+	rel int
+	t   types.Tuple
+}
+
+// NewExpirer wraps a traditional join whose relation r carries its event
+// time in column tsCols[r].
+func NewExpirer(join *localjoin.Traditional, tsCols []int, horizon int64) *Expirer {
+	return &Expirer{join: join, tsCols: tsCols, horizon: horizon}
+}
+
+// OnTuple feeds the join and registers the tuple for expiration.
+func (e *Expirer) OnTuple(rel int, t types.Tuple) ([]localjoin.Delta, error) {
+	ts, ok := t[e.tsCols[rel]].AsInt()
+	if !ok {
+		return nil, fmt.Errorf("window: tuple %v has no integral timestamp in col %d", t, e.tsCols[rel])
+	}
+	deltas, err := e.join.OnTuple(rel, t)
+	if err != nil {
+		return nil, err
+	}
+	e.queue = append(e.queue, expEntry{ts: ts, rel: rel, t: t})
+	return deltas, nil
+}
+
+// Advance evicts every stored tuple with ts < watermark - horizon and
+// returns the number evicted. The queue is kept in arrival order; skewed
+// event times are handled by scanning the (amortized small) prefix.
+func (e *Expirer) Advance(watermark int64) (int, error) {
+	cut := watermark - e.horizon
+	n := 0
+	kept := e.queue[:0]
+	for _, en := range e.queue {
+		if en.ts < cut {
+			if _, err := e.join.Remove(en.rel, en.t); err != nil {
+				return n, err
+			}
+			n++
+			continue
+		}
+		kept = append(kept, en)
+	}
+	e.queue = kept
+	e.evicted += n
+	return n, nil
+}
+
+// Stored returns the number of live (non-expired) tuples.
+func (e *Expirer) Stored() int { return len(e.queue) }
+
+// Evicted returns the total tuples expired so far.
+func (e *Expirer) Evicted() int { return e.evicted }
+
+// Agg is a windowed group-by aggregation over a single stream: each tuple is
+// assigned to the window(s) covering its event time; windows are emitted
+// (and their state dropped) once the watermark passes their end.
+type Agg struct {
+	tsCol   int
+	size    int64
+	slide   int64
+	groupBy []expr.Expr
+	kind    ops.AggKind
+	sumE    expr.Expr
+
+	open map[int64]*ops.Agg // window id -> accumulator
+	mem  int
+}
+
+// NewAgg builds a windowed aggregation. slide == size gives a tumbling
+// window; slide < size a sliding window with overlapping panes.
+func NewAgg(tsCol int, size, slide int64, groupBy []expr.Expr, kind ops.AggKind, sumE expr.Expr) (*Agg, error) {
+	if size <= 0 || slide <= 0 || slide > size {
+		return nil, fmt.Errorf("window: need 0 < slide <= size, got size %d slide %d", size, slide)
+	}
+	return &Agg{tsCol: tsCol, size: size, slide: slide, groupBy: groupBy, kind: kind, sumE: sumE,
+		open: map[int64]*ops.Agg{}}, nil
+}
+
+// windowsOf returns the ids of windows covering ts: window w spans
+// [w*slide, w*slide + size).
+func (a *Agg) windowsOf(ts int64) (lo, hi int64) {
+	hi = floorDiv(ts, a.slide)
+	lo = floorDiv(ts-a.size, a.slide) + 1
+	return lo, hi
+}
+
+func floorDiv(x, d int64) int64 {
+	q := x / d
+	if x < 0 && x%d != 0 {
+		q--
+	}
+	return q
+}
+
+// OnTuple folds a tuple into every window covering it.
+func (a *Agg) OnTuple(t types.Tuple) error {
+	ts, ok := t[a.tsCol].AsInt()
+	if !ok {
+		return fmt.Errorf("window: non-integral timestamp in %v", t)
+	}
+	lo, hi := a.windowsOf(ts)
+	for w := lo; w <= hi; w++ {
+		acc, ok := a.open[w]
+		if !ok {
+			acc = ops.NewAgg(a.groupBy, a.kind, a.sumE, false)
+			a.open[w] = acc
+		}
+		if _, err := acc.Fold(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is one closed window's output row.
+type Result struct {
+	Window int64 // window id; spans [Window*slide, Window*slide+size)
+	Row    types.Tuple
+}
+
+// Advance closes every window that ends at or before the watermark and
+// returns their rows.
+func (a *Agg) Advance(watermark int64) []Result {
+	var out []Result
+	for w, acc := range a.open {
+		if w*a.slide+a.size <= watermark {
+			for _, row := range acc.Rows() {
+				out = append(out, Result{Window: w, Row: row})
+			}
+			delete(a.open, w)
+		}
+	}
+	return out
+}
+
+// Flush closes all remaining windows (end of stream).
+func (a *Agg) Flush() []Result {
+	var out []Result
+	for w, acc := range a.open {
+		for _, row := range acc.Rows() {
+			out = append(out, Result{Window: w, Row: row})
+		}
+		delete(a.open, w)
+	}
+	return out
+}
+
+// OpenWindows reports how many windows currently hold state.
+func (a *Agg) OpenWindows() int { return len(a.open) }

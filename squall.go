@@ -1,0 +1,385 @@
+// Package squall is a Go reproduction of Squall (Vitorovic et al., PVLDB
+// 9(10), 2016): a scalable online query engine running complex analytics
+// with skew-resilient, adaptive operators.
+//
+// The public API mirrors the paper's interfaces:
+//
+//   - The imperative interface (JoinQuery) gives full control over the
+//     physical plan: partitioning scheme (Hash-, Random- or
+//     Hybrid-Hypercube), local join algorithm (traditional or DBToaster) and
+//     per-component parallelism.
+//   - The declarative interface (RunSQL / Compile in sql.go) parses a SQL
+//     subset, builds a logical plan, and lets the optimizer pick the
+//     physical plan.
+//
+// Execution happens on the internal dataflow engine (a Storm substitute):
+// every component runs as a set of tasks, tuples are serialized across
+// component boundaries, and per-task metrics (load, skew degree, replication
+// factor) are reported exactly as defined in the paper's §6.
+package squall
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"squall/internal/core"
+	"squall/internal/dataflow"
+	"squall/internal/dbtoaster"
+	"squall/internal/expr"
+	"squall/internal/ops"
+	"squall/internal/types"
+)
+
+// Re-exported aliases so applications only import this package.
+type (
+	// Tuple is a row of values.
+	Tuple = types.Tuple
+	// Value is one SQL value.
+	Value = types.Value
+	// Schema names and types columns.
+	Schema = types.Schema
+	// SchemeKind selects a hypercube partitioning scheme.
+	SchemeKind = core.SchemeKind
+	// LocalJoinKind selects the per-machine join algorithm.
+	LocalJoinKind = ops.LocalJoinKind
+	// KeySlot identifies a join-key usage for skew declarations.
+	KeySlot = core.KeySlot
+	// ColRef names an expression over one relation.
+	ColRef = dbtoaster.ColRef
+	// AggKind selects COUNT, SUM or AVG.
+	AggKind = ops.AggKind
+	// RunMetrics carries the per-component execution metrics.
+	RunMetrics = dataflow.RunMetrics
+)
+
+// Scheme and local-join constants, re-exported.
+const (
+	HashHypercube   = core.HashHypercube
+	RandomHypercube = core.RandomHypercube
+	HybridHypercube = core.HybridHypercube
+
+	Traditional = ops.Traditional
+	DBToaster   = ops.DBToaster
+
+	Count = ops.Count
+	Sum   = ops.Sum
+	Avg   = ops.Avg
+)
+
+// Source is one input relation: a schema, a streaming generator, an
+// estimated size (relative sizes drive the hypercube optimizer) and an
+// optional co-located pipeline (selection/projection pushed into the data
+// source component, as Squall's optimizer does).
+type Source struct {
+	Name   string
+	Schema *Schema
+	Spout  dataflow.SpoutFactory
+	Size   int64
+	Pre    ops.Pipeline
+}
+
+// AggSpec describes the final aggregation of a join query. References are
+// per input relation (post-Pre schema).
+type AggSpec struct {
+	GroupBy []ColRef
+	Kind    AggKind
+	Sum     *ColRef
+}
+
+// JoinQuery is the imperative physical-plan interface: a multi-way join with
+// a chosen partitioning scheme and local algorithm, optionally followed by
+// an aggregation.
+type JoinQuery struct {
+	Sources []Source
+	Graph   *expr.JoinGraph
+	Scheme  SchemeKind
+	// Skewed declares skewed join keys for the Hybrid-Hypercube; TopFreq
+	// feeds the offline load model (§3.4).
+	Skewed  map[KeySlot]bool
+	TopFreq map[KeySlot]float64
+	// Machines is the joiner budget (the scheme may use fewer).
+	Machines int
+	Local    LocalJoinKind
+	Agg      *AggSpec
+	// Post transforms each join result row (ignored when Agg is set).
+	Post ops.Pipeline
+	// ForceDeltaJoin disables the aggregate-view fast path: the joiner
+	// materializes tuple-level views (DBToaster) or raw indexes
+	// (Traditional) and ships delta rows to a downstream aggregation. This
+	// reproduces the paper's memory behaviour — tuple-level state grows with
+	// received load, so a skewed Hash-Hypercube task can exhaust its budget
+	// (Figure 7's "Memory Overflow") — at the cost of shipping every delta.
+	ForceDeltaJoin bool
+}
+
+// Options tune one execution.
+type Options struct {
+	// Seed drives all randomized routing (shuffle/random partitioning).
+	Seed int64
+	// SourcePar is the parallelism of each source component (default 1).
+	SourcePar int
+	// FinalPar is the parallelism of the final aggregation (default 1).
+	FinalPar int
+	// MemLimitPerTask aborts with a memory-overflow error when a joiner
+	// task's state exceeds this many bytes (0 = unlimited).
+	MemLimitPerTask int
+	// CollectLimit caps collected result rows (0 = collect everything);
+	// overflowing rows are counted, not stored.
+	CollectLimit int
+	// NoSerialize disables the per-hop wire simulation (micro-benchmarks).
+	NoSerialize bool
+	// ChannelBuf overrides the per-task inbox depth.
+	ChannelBuf int
+}
+
+// Result of a query execution.
+type Result struct {
+	// Rows are the collected output rows (aggregates, or join results),
+	// capped by CollectLimit.
+	Rows []Tuple
+	// RowCount is the total number of output rows, including uncollected.
+	RowCount int64
+	// Metrics are the dataflow metrics; Hypercube is the scheme used.
+	Metrics   *RunMetrics
+	Hypercube *core.Hypercube
+	// JoinerComponent is the metrics key of the join component.
+	JoinerComponent string
+}
+
+// SortedRows returns collected rows in lexicographic order.
+func (r *Result) SortedRows() []Tuple {
+	rows := make([]Tuple, len(r.Rows))
+	copy(rows, r.Rows)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Compare(rows[j]) < 0 })
+	return rows
+}
+
+// limitSink gathers up to limit rows and counts the rest.
+type limitSink struct {
+	mu    sync.Mutex
+	rows  []Tuple
+	count int64
+	limit int
+}
+
+func (s *limitSink) factory() dataflow.BoltFactory {
+	return func(task, ntasks int) dataflow.Bolt {
+		return dataflow.FuncBolt{OnTuple: func(in dataflow.Input, _ *dataflow.Collector) error {
+			s.mu.Lock()
+			s.count++
+			if s.limit <= 0 || len(s.rows) < s.limit {
+				s.rows = append(s.rows, in.Tuple)
+			}
+			s.mu.Unlock()
+			return nil
+		}}
+	}
+}
+
+// BuildScheme constructs the query's hypercube without running it (the
+// paper's "hypercube properties" analyses).
+func (q *JoinQuery) BuildScheme() (*core.Hypercube, error) {
+	spec, err := q.spec()
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildScheme(q.Scheme, spec, q.Machines)
+}
+
+func (q *JoinQuery) spec() (core.JoinSpec, error) {
+	if q.Graph == nil {
+		return core.JoinSpec{}, fmt.Errorf("squall: JoinQuery.Graph is nil")
+	}
+	if len(q.Sources) != q.Graph.NumRels {
+		return core.JoinSpec{}, fmt.Errorf("squall: %d sources for %d relations", len(q.Sources), q.Graph.NumRels)
+	}
+	spec := core.JoinSpec{
+		Graph:   q.Graph,
+		Names:   make([]string, len(q.Sources)),
+		Sizes:   make([]int64, len(q.Sources)),
+		Skewed:  q.Skewed,
+		TopFreq: q.TopFreq,
+	}
+	for i, s := range q.Sources {
+		if s.Name == "" || s.Spout == nil {
+			return core.JoinSpec{}, fmt.Errorf("squall: source %d needs a name and a spout", i)
+		}
+		spec.Names[i] = s.Name
+		spec.Sizes[i] = max64(s.Size, 1)
+	}
+	return spec, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Run executes the query to completion and returns rows plus metrics. The
+// topology is: one spout per source (with its Pre pipeline co-located), a
+// joiner component partitioned by the hypercube scheme, and — when Agg is
+// set — a merger component combining the joiners' partial aggregates.
+func (q *JoinQuery) Run(opt Options) (*Result, error) {
+	hc, err := q.BuildScheme()
+	if err != nil {
+		return nil, err
+	}
+	if opt.SourcePar <= 0 {
+		opt.SourcePar = 1
+	}
+	if opt.FinalPar <= 0 {
+		opt.FinalPar = 1
+	}
+
+	b := dataflow.NewBuilder()
+	relOf := map[string]int{}
+	for i, s := range q.Sources {
+		b.Spout(s.Name, opt.SourcePar, preSpout(s.Spout, s.Pre))
+		relOf[s.Name] = i
+	}
+
+	sink := &limitSink{limit: opt.CollectLimit}
+	const joiner = "joiner"
+	useAggViews := q.Agg != nil && q.Local == DBToaster && q.Graph.IsEquiOnly() && !q.ForceDeltaJoin
+	switch {
+	case useAggViews:
+		// HyLD with the aggregation inside the joiner (aggregate views).
+		spec := dbtoaster.AggSpec{GroupBy: q.Agg.GroupBy, Kind: dbtoaster.AggCount}
+		if q.Agg.Kind != Count {
+			spec.Kind = dbtoaster.AggSum
+			spec.Sum = q.Agg.Sum
+		}
+		b.Bolt(joiner, hc.Machines(), ops.AggJoinBolt(q.Graph, spec, relOf, false))
+		b.Bolt("merge", opt.FinalPar, ops.MergeBolt(len(q.Agg.GroupBy), q.Agg.Kind, false))
+		b.Bolt("sink", 1, sink.factory())
+		b.Input("merge", joiner, mergeGrouping(len(q.Agg.GroupBy)))
+		b.Input("sink", "merge", dataflow.Global())
+	case q.Agg != nil:
+		// Join emits delta rows; aggregation runs downstream.
+		offsets := q.relOffsets()
+		groupEs := make([]expr.Expr, len(q.Agg.GroupBy))
+		groupCols := make([]int, len(q.Agg.GroupBy))
+		for i, g := range q.Agg.GroupBy {
+			col, ok := colOf(g.E)
+			if !ok {
+				return nil, fmt.Errorf("squall: downstream aggregation needs plain column refs in GROUP BY")
+			}
+			groupCols[i] = offsets[g.Rel] + col
+			groupEs[i] = expr.C(groupCols[i])
+		}
+		var sumE expr.Expr
+		if q.Agg.Sum != nil {
+			col, ok := colOf(q.Agg.Sum.E)
+			if !ok {
+				return nil, fmt.Errorf("squall: downstream aggregation needs a plain column ref in SUM")
+			}
+			sumE = expr.C(offsets[q.Agg.Sum.Rel] + col)
+		}
+		b.Bolt(joiner, hc.Machines(), ops.JoinBolt(q.Graph, q.Local, relOf, nil))
+		b.Bolt("agg", opt.FinalPar, ops.AggBolt(groupEs, q.Agg.Kind, sumE, false))
+		b.Bolt("sink", 1, sink.factory())
+		b.Input("agg", joiner, dataflow.Fields(groupCols...))
+		b.Input("sink", "agg", dataflow.Global())
+	default:
+		b.Bolt(joiner, hc.Machines(), ops.JoinBolt(q.Graph, q.Local, relOf, q.Post))
+		b.Bolt("sink", 1, sink.factory())
+		b.Input("sink", joiner, dataflow.Global())
+	}
+	for i, s := range q.Sources {
+		b.Input(joiner, s.Name, hc.GroupingFor(i))
+	}
+	topo, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	metrics, runErr := dataflow.Run(topo, dataflow.Options{
+		Seed:            opt.Seed,
+		ChannelBuf:      opt.ChannelBuf,
+		MemLimitPerTask: opt.MemLimitPerTask,
+		NoSerialize:     opt.NoSerialize,
+	})
+	res := &Result{
+		Rows:            sink.rows,
+		RowCount:        sink.count,
+		Metrics:         metrics,
+		Hypercube:       hc,
+		JoinerComponent: joiner,
+	}
+	return res, runErr
+}
+
+// relOffsets returns each relation's column offset in the concatenated join
+// result row.
+func (q *JoinQuery) relOffsets() []int {
+	offsets := make([]int, len(q.Sources))
+	off := 0
+	for i, s := range q.Sources {
+		offsets[i] = off
+		off += s.Schema.Arity()
+	}
+	return offsets
+}
+
+func colOf(e expr.Expr) (int, bool) {
+	if c, ok := e.(expr.Col); ok {
+		return c.Index, true
+	}
+	return 0, false
+}
+
+// mergeGrouping routes partial rows by the group columns, or globally when
+// there is no grouping.
+func mergeGrouping(ngroup int) dataflow.Grouping {
+	if ngroup == 0 {
+		return dataflow.Global()
+	}
+	cols := make([]int, ngroup)
+	for i := range cols {
+		cols[i] = i
+	}
+	return dataflow.Fields(cols...)
+}
+
+// preSpout co-locates a pipeline with a data source (source + selection in
+// one component, saving a network hop).
+func preSpout(f dataflow.SpoutFactory, p ops.Pipeline) dataflow.SpoutFactory {
+	if len(p) == 0 {
+		return f
+	}
+	return func(task, ntasks int) dataflow.Spout {
+		return &pipedSpout{inner: f(task, ntasks), p: p}
+	}
+}
+
+type pipedSpout struct {
+	inner dataflow.Spout
+	p     ops.Pipeline
+	queue []types.Tuple
+}
+
+func (s *pipedSpout) Next() (types.Tuple, bool) {
+	for {
+		if len(s.queue) > 0 {
+			t := s.queue[0]
+			s.queue = s.queue[1:]
+			return t, true
+		}
+		t, ok := s.inner.Next()
+		if !ok {
+			return nil, false
+		}
+		out, err := s.p.Apply(t)
+		if err != nil {
+			// Sources with broken pipelines surface at the first tuple;
+			// panicking here matches spout contract (no error channel).
+			panic(fmt.Sprintf("squall: source pipeline: %v", err))
+		}
+		if len(out) == 0 {
+			continue
+		}
+		s.queue = out
+	}
+}
