@@ -66,17 +66,21 @@ func BenchmarkSection31_WorkedExample(b *testing.B) {
 
 // BenchmarkFigure5_Bottleneck regenerates Figure 5: the cost decomposition
 // of Customer ⋈ Orders (read, int selection, date selection, network hop,
-// full join).
+// full join). Each stage runs at the legacy per-tuple transport (batch=1)
+// and the default batched transport, so the series doubles as the PR 1
+// batching speedup measurement on the engine's hottest path.
 func BenchmarkFigure5_Bottleneck(b *testing.B) {
 	gen := datagen.NewTPCH(42, 240_000, 0)
-	for _, stage := range experiments.Figure5Stages(gen, 4, 1) {
-		b.Run(stage.Name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := stage.Run(); err != nil {
-					b.Fatal(err)
+	for _, batch := range []int{1, dataflow.DefaultBatchSize} {
+		for _, stage := range experiments.Figure5StagesBatch(gen, 4, 1, batch) {
+			b.Run(fmt.Sprintf("%s/batch=%d", stage.Name, batch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := stage.Run(); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

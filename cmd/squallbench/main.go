@@ -1,6 +1,11 @@
 // squallbench regenerates the paper's tables and figures as text tables.
 //
-//	go run ./cmd/squallbench [figure5|figure6|figure7|figure8|table1|table2|section5|all]
+//	go run ./cmd/squallbench [-json] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|all]
+//
+// The extra `batch` experiment measures the PR 1 batched-transport speedup
+// (network-hop and full-join stages at batch=1 vs the default batch size,
+// plus decode allocation counts); with -json it also writes the results to
+// BENCH_PR1.json for the perf trajectory.
 //
 // Scales are thousandth-scale stand-ins for the paper's cluster runs; the
 // expected shapes (orderings, rough ratios) are documented per experiment in
@@ -8,6 +13,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -20,10 +26,19 @@ import (
 
 var allSchemes = []squall.SchemeKind{squall.HashHypercube, squall.RandomHypercube, squall.HybridHypercube}
 
+var jsonOut = flag.Bool("json", false, "write machine-readable results (BENCH_PR1.json) for the batch experiment")
+
 func main() {
+	flag.Parse()
+	if flag.NArg() > 1 {
+		// A flag after the experiment name (e.g. `batch -json`) would be
+		// silently dropped by flag.Parse; reject it instead.
+		fmt.Fprintf(os.Stderr, "unexpected arguments %v: flags go before the experiment name, e.g. `squallbench -json batch`\n", flag.Args()[1:])
+		os.Exit(2)
+	}
 	what := "all"
-	if len(os.Args) > 1 {
-		what = os.Args[1]
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
 	}
 	run := map[string]func(){
 		"figure5":  figure5,
@@ -33,6 +48,7 @@ func main() {
 		"table1":   tables12, // Tables 1 and 2 come from the same runs
 		"table2":   tables12,
 		"section5": section5,
+		"batch":    batchTransport,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -42,7 +58,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 all\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch all\n", what)
 		os.Exit(2)
 	}
 	f()

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"time"
 
 	"squall"
@@ -31,7 +30,18 @@ type Figure5Stage struct {
 // The paper's findings to reproduce: sel(int) is ~1–2% of the run, sel(date)
 // is ~10x sel(int) (Date instances are created from strings), the network
 // hop dominates (~60%), and join computation is a small share (~14%).
+//
+// The stages run at BatchSize=1 — the per-tuple transport the figure
+// documents (Storm ships tuples individually); Figure5StagesBatch is the
+// batched-transport variant used by the PR 1 comparison harness.
 func Figure5Stages(gen *datagen.TPCH, machines int, seed int64) []Figure5Stage {
+	return Figure5StagesBatch(gen, machines, seed, 1)
+}
+
+// Figure5StagesBatch is Figure5Stages with an explicit transport batch size
+// (0 = engine default). batchSize=1 reproduces the legacy per-tuple
+// transport, which is how the PR 1 batching speedup is measured.
+func Figure5StagesBatch(gen *datagen.TPCH, machines int, seed int64, batchSize int) []Figure5Stage {
 	noopInt := expr.Cmp{Op: expr.Ge, L: expr.C(1), R: expr.I(0)}                          // custkey >= 0: keeps all
 	noopDate := expr.Cmp{Op: expr.Ge, L: expr.Date{Inner: expr.C(2)}, R: expr.I(-100000)} // parses orderdate, keeps all
 
@@ -53,14 +63,14 @@ func Figure5Stages(gen *datagen.TPCH, machines int, seed int64) []Figure5Stage {
 				}}
 			}
 			b := dataflow.NewBuilder().
-				Spout("orders", machines, wrapPipe(lines, pipe)).
+				Spout("orders", machines, ops.PipedSpout(lines, pipe)).
 				Bolt("sink", machines, count).
 				Input("sink", "orders", dataflow.Shuffle())
 			topo, err := b.Build()
 			if err != nil {
 				return 0, err
 			}
-			m, err := dataflow.Run(topo, dataflow.Options{Seed: seed, NoSerialize: !serialize})
+			m, err := dataflow.Run(topo, dataflow.Options{Seed: seed, NoSerialize: !serialize, BatchSize: batchSize})
 			if err != nil {
 				return 0, err
 			}
@@ -84,7 +94,7 @@ func Figure5Stages(gen *datagen.TPCH, machines int, seed int64) []Figure5Stage {
 				Kind:    squall.Count,
 			},
 		}
-		res, err := q.Run(squall.Options{Seed: seed, SourcePar: machines})
+		res, err := q.Run(squall.Options{Seed: seed, SourcePar: machines, BatchSize: batchSize})
 		if err != nil {
 			return 0, err
 		}
@@ -113,38 +123,13 @@ func (p parseOp) Apply(t types.Tuple) ([]types.Tuple, error) {
 	return []types.Tuple{parsed}, nil
 }
 
-// wrapPipe co-locates a pipeline with a spout factory.
-func wrapPipe(f dataflow.SpoutFactory, p ops.Pipeline) dataflow.SpoutFactory {
-	return func(task, ntasks int) dataflow.Spout {
-		return &pipeSpout{inner: f(task, ntasks), p: p}
+// ApplyOne parses the line in column 0 without allocating a result slice.
+func (p parseOp) ApplyOne(t types.Tuple) (types.Tuple, bool, error) {
+	parsed, err := types.ParseLine(p.schema, t[0].Str, '|')
+	if err != nil {
+		return nil, false, err
 	}
-}
-
-type pipeSpout struct {
-	inner dataflow.Spout
-	p     ops.Pipeline
-	queue []types.Tuple
-}
-
-func (s *pipeSpout) Next() (types.Tuple, bool) {
-	for {
-		if len(s.queue) > 0 {
-			t := s.queue[0]
-			s.queue = s.queue[1:]
-			return t, true
-		}
-		t, ok := s.inner.Next()
-		if !ok {
-			return nil, false
-		}
-		out, err := s.p.Apply(t)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: source pipeline: %v", err))
-		}
-		if len(out) > 0 {
-			s.queue = out
-		}
-	}
+	return parsed, true, nil
 }
 
 // lineParsedSpout streams a table through the text-line + parse path, so the
@@ -163,5 +148,5 @@ func lineParsedSpout(gen *datagen.TPCH, table string) dataflow.SpoutFactory {
 	default:
 		schema = datagen.LineitemSchema
 	}
-	return wrapPipe(lines, ops.Pipeline{parseOp{schema}})
+	return ops.PipedSpout(lines, ops.Pipeline{parseOp{schema}})
 }

@@ -1,0 +1,3 @@
+module squall
+
+go 1.24

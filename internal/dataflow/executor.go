@@ -16,13 +16,28 @@ import (
 // per-task memory budget — the paper's "Memory Overflow" outcome in Figure 7.
 var ErrMemoryOverflow = errors.New("memory overflow")
 
+// DefaultBatchSize is the transport batch size used when Options.BatchSize
+// is unset: envelopes carry up to this many tuples per channel send, so the
+// per-hop framing (channel operation, abort select, wire frame) is amortized
+// across the batch.
+const DefaultBatchSize = 64
+
 // Options configure one topology execution.
 type Options struct {
 	// Seed makes shuffle/random groupings and spout factories deterministic.
 	Seed int64
-	// ChannelBuf is the per-task inbox capacity (backpressure depth).
-	// Default 1024.
+	// ChannelBuf is the per-task inbox capacity in envelopes (backpressure
+	// depth; one envelope carries up to BatchSize tuples, so the in-flight
+	// tuple budget is ChannelBuf x BatchSize). When unset it defaults to
+	// max(128, 1024/BatchSize): deep enough to pipeline batched envelopes,
+	// without the legacy default's 1024 envelopes silently meaning 64x more
+	// buffered tuples than the per-tuple transport allowed.
 	ChannelBuf int
+	// BatchSize caps how many tuples ride in one envelope per (edge, target)
+	// before the producer flushes. Default DefaultBatchSize; 1 reproduces the
+	// legacy per-tuple transport exactly (one send and one wire frame per
+	// tuple copy, abort checked per tuple).
+	BatchSize int
 	// MemLimitPerTask, when > 0, aborts the run with ErrMemoryOverflow if any
 	// MemReporter bolt's state exceeds this many bytes.
 	MemLimitPerTask int
@@ -32,41 +47,80 @@ type Options struct {
 	NoSerialize bool
 }
 
+// envelope is one channel message: a batch of tuples sharing provenance
+// (same producer task, same stream), a single inline tuple (the legacy
+// BatchSize=1 framing, which must not pay a slice allocation per tuple), or
+// an EOS marker.
 type envelope struct {
-	tuple  types.Tuple
+	batch  []types.Tuple
+	single types.Tuple
 	stream string
 	from   int
 	eos    bool
 }
 
 // Collector routes a task's emitted tuples to the downstream tasks chosen by
-// each outgoing edge's grouping. One Collector belongs to one task; it is
-// not safe for concurrent use.
+// each outgoing edge's grouping, accumulating per-(edge, target) batches
+// that flush at Options.BatchSize and on EOS. One Collector belongs to one
+// task; it is not safe for concurrent use.
 type Collector struct {
-	ex      *execution
-	node    *node
-	task    int
-	rng     *rand.Rand
-	metrics *TaskMetrics
-	scratch []byte
-	tbuf    []int
+	ex        *execution
+	node      *node
+	task      int
+	rng       *rand.Rand
+	metrics   *TaskMetrics
+	batchSize int
+	scratch   []byte
+	tbuf      []int
+	dec       wire.BatchDecoder
+	// out[edge][target] is the pending batch bound for one downstream inbox.
+	out [][][]types.Tuple
 }
 
-// Emit ships t to all subscribed downstream components.
+// Emit ships t to all subscribed downstream components. The tuple may be
+// retained in pending batch buffers until the next flush (batch full, EOS),
+// so the caller must not mutate it after emitting — the engine-wide
+// tuples-are-immutable convention (types.Tuple) is load-bearing here.
 func (c *Collector) Emit(t types.Tuple) error {
 	c.metrics.Emitted.Add(1)
-	for _, e := range c.node.outputs {
-		c.tbuf = c.tbuf[:0]
-		c.tbuf = e.grouping.Targets(t, e.to.par, c.rng, c.tbuf)
-		if !c.ex.opts.NoSerialize {
-			c.scratch = wire.Encode(c.scratch[:0], t)
+	if c.batchSize == 1 {
+		return c.emitLegacy(t)
+	}
+	for ei, e := range c.node.outputs {
+		c.tbuf = e.grouping.Targets(t, e.to.par, c.rng, c.tbuf[:0])
+		for _, target := range c.tbuf {
+			if target < 0 || target >= e.to.par {
+				return fmt.Errorf("dataflow: grouping on edge %s->%s chose task %d of %d", e.from.name, e.to.name, target, e.to.par)
+			}
+			c.out[ei][target] = append(c.out[ei][target], t)
+			if len(c.out[ei][target]) >= c.batchSize {
+				if err := c.flush(ei, target); err != nil {
+					return err
+				}
+			}
 		}
+	}
+	return nil
+}
+
+// emitLegacy is the BatchSize=1 transport, kept bit- and cost-faithful to
+// the pre-batching engine as the batching baseline: encode once per emit,
+// decode once per destination, one inline-tuple envelope per copy, nothing
+// buffered (so EOS has nothing to flush and aborts are observed per tuple).
+func (c *Collector) emitLegacy(t types.Tuple) error {
+	encoded := false
+	for _, e := range c.node.outputs {
+		c.tbuf = e.grouping.Targets(t, e.to.par, c.rng, c.tbuf[:0])
 		for _, target := range c.tbuf {
 			if target < 0 || target >= e.to.par {
 				return fmt.Errorf("dataflow: grouping on edge %s->%s chose task %d of %d", e.from.name, e.to.name, target, e.to.par)
 			}
 			out := t
 			if !c.ex.opts.NoSerialize {
+				if !encoded {
+					c.scratch = wire.Encode(c.scratch[:0], t)
+					encoded = true
+				}
 				// Each destination receives its own deserialized copy,
 				// exactly as on a real network.
 				var err error
@@ -77,7 +131,8 @@ func (c *Collector) Emit(t types.Tuple) error {
 				c.metrics.BytesOut.Add(int64(len(c.scratch)))
 			}
 			c.metrics.Sent.Add(1)
-			if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, tuple: out}) {
+			c.metrics.Batches.Add(1)
+			if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, single: out}) {
 				return c.ex.abortErr()
 			}
 		}
@@ -85,8 +140,64 @@ func (c *Collector) Emit(t types.Tuple) error {
 	return nil
 }
 
-// eos broadcasts end-of-stream to every task of every downstream component.
+// flush ships the pending batch of one (edge, target) buffer downstream.
+func (c *Collector) flush(ei, target int) error {
+	batch := c.out[ei][target]
+	if len(batch) == 0 {
+		return nil
+	}
+	e := c.node.outputs[ei]
+	env := envelope{stream: c.node.name, from: c.task}
+	switch {
+	case c.ex.opts.NoSerialize:
+		// The consumer takes ownership of the slice; start a fresh buffer.
+		env.batch = batch
+		c.out[ei][target] = make([]types.Tuple, 0, c.batchSize)
+		c.metrics.Sent.Add(int64(len(batch)))
+	default:
+		// One wire frame per flush: the destination receives its own
+		// deserialized copies, exactly as on a real network, but the frame
+		// cost is paid once per batch. The accumulation buffer is reusable
+		// because only the decoded copies leave this task.
+		c.scratch = wire.EncodeBatch(c.scratch[:0], batch)
+		out, _, err := c.dec.Decode(c.scratch)
+		if err != nil {
+			return fmt.Errorf("dataflow: wire corruption on %s->%s: %w", e.from.name, e.to.name, err)
+		}
+		env.batch = out
+		c.metrics.BytesOut.Add(int64(len(c.scratch)))
+		c.out[ei][target] = batch[:0]
+		c.metrics.Sent.Add(int64(len(out)))
+	}
+	c.metrics.Batches.Add(1)
+	if !c.ex.send(e.to, target, env) {
+		return c.ex.abortErr()
+	}
+	return nil
+}
+
+// flushAll drains every pending batch, preserving per-target FIFO order.
+func (c *Collector) flushAll() error {
+	for ei := range c.node.outputs {
+		for target := range c.out[ei] {
+			if err := c.flush(ei, target); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// eos flushes all pending batches, then broadcasts end-of-stream to every
+// task of every downstream component. Inboxes are FIFO, so a consumer always
+// sees the final partial batch before the EOS marker.
 func (c *Collector) eos() {
+	if err := c.flushAll(); err != nil {
+		// A flush can only fail on abort (send refused) or wire corruption of
+		// our own encoding; surface the latter, no-op on the former.
+		c.ex.fail(fmt.Errorf("dataflow: %s[%d] final flush: %w", c.node.name, c.task, err))
+		return
+	}
 	for _, e := range c.node.outputs {
 		for target := 0; target < e.to.par; target++ {
 			if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, eos: true}) {
@@ -149,8 +260,14 @@ func taskSeed(base int64, comp string, task int) int64 {
 // metrics are still returned alongside the error, which is how the paper
 // extrapolates runtimes for configurations that die of memory overflow.
 func Run(t *Topology, opts Options) (*RunMetrics, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
 	if opts.ChannelBuf <= 0 {
-		opts.ChannelBuf = 1024
+		opts.ChannelBuf = 1024 / opts.BatchSize
+		if opts.ChannelBuf < 128 {
+			opts.ChannelBuf = 128
+		}
 	}
 	ex := &execution{
 		topo:    t,
@@ -188,12 +305,18 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 }
 
 func (ex *execution) collector(n *node, task int) *Collector {
+	out := make([][][]types.Tuple, len(n.outputs))
+	for i, e := range n.outputs {
+		out[i] = make([][]types.Tuple, e.to.par)
+	}
 	return &Collector{
-		ex:      ex,
-		node:    n,
-		task:    task,
-		rng:     rand.New(rand.NewSource(taskSeed(ex.opts.Seed, n.name, task))),
-		metrics: ex.metrics.Components[n.name].Tasks[task],
+		ex:        ex,
+		node:      n,
+		task:      task,
+		rng:       rand.New(rand.NewSource(taskSeed(ex.opts.Seed, n.name, task))),
+		metrics:   ex.metrics.Components[n.name].Tasks[task],
+		batchSize: ex.opts.BatchSize,
+		out:       out,
 	}
 }
 
@@ -202,11 +325,15 @@ func (ex *execution) runSpout(wg *sync.WaitGroup, n *node, task int) {
 	col := ex.collector(n, task)
 	defer col.eos()
 	sp := n.spout(task, n.par)
-	for {
-		select {
-		case <-ex.abort:
-			return
-		default:
+	// The abort poll is amortized to once per batch; flushes inside Emit
+	// observe aborts anyway, so a stuck downstream never wedges the spout.
+	for i := 0; ; i++ {
+		if i%col.batchSize == 0 {
+			select {
+			case <-ex.abort:
+				return
+			default:
+			}
 		}
 		tuple, ok := sp.Next()
 		if !ok {
@@ -232,6 +359,7 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	}
 	inbox := ex.inboxes[n][task]
 	processed := 0
+	one := make([]types.Tuple, 1) // consumer-owned adapter for single-tuple envelopes
 	for expectEOS > 0 {
 		var env envelope
 		select {
@@ -243,18 +371,27 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 			expectEOS--
 			continue
 		}
-		tm.Received.Add(1)
-		if err := bolt.Execute(Input{Stream: env.stream, FromTask: env.from, Tuple: env.tuple}, col); err != nil {
-			ex.fail(fmt.Errorf("dataflow: bolt %s[%d]: %w", n.name, task, err))
-			return
+		batch := env.batch
+		if batch == nil {
+			one[0] = env.single
+			batch = one
 		}
-		processed++
-		if hasMem && processed%256 == 0 {
-			ex.checkMem(n, task, tm, mem)
-			select {
-			case <-ex.abort:
+		in := Input{Stream: env.stream, FromTask: env.from}
+		tm.Received.Add(int64(len(batch)))
+		for _, t := range batch {
+			in.Tuple = t
+			if err := bolt.Execute(in, col); err != nil {
+				ex.fail(fmt.Errorf("dataflow: bolt %s[%d]: %w", n.name, task, err))
 				return
-			default:
+			}
+			processed++
+			if hasMem && processed%256 == 0 {
+				ex.checkMem(n, task, tm, mem)
+				select {
+				case <-ex.abort:
+					return
+				default:
+				}
 			}
 		}
 	}

@@ -12,6 +12,7 @@ type TaskMetrics struct {
 	Received atomic.Int64 // tuples delivered to this task
 	Emitted  atomic.Int64 // tuples emitted by this task (pre-fanout)
 	Sent     atomic.Int64 // tuple copies sent downstream (post-fanout)
+	Batches  atomic.Int64 // envelopes (batch frames) sent downstream
 	BytesOut atomic.Int64 // serialized bytes shipped downstream
 	MaxMem   atomic.Int64 // high-water state size (MemReporter bolts)
 }
@@ -151,6 +152,19 @@ func (m *RunMetrics) TotalSent() int64 {
 	for _, c := range m.Components {
 		for _, t := range c.Tasks {
 			s += t.Sent.Load()
+		}
+	}
+	return s
+}
+
+// TotalBatches sums the envelopes (batch frames) shipped across all edges.
+// TotalSent/TotalBatches is the realized mean batch size — how much channel
+// and framing cost the batched transport actually amortized.
+func (m *RunMetrics) TotalBatches() int64 {
+	var s int64
+	for _, c := range m.Components {
+		for _, t := range c.Tasks {
+			s += t.Batches.Load()
 		}
 	}
 	return s

@@ -9,6 +9,12 @@
 // serialized and deserialized (internal/wire), so the CPU cost of a hop
 // stands in for the network cost on the paper's 1 Gbit cluster, and tuple
 // counts (load, replication factor) are measured identically.
+//
+// Transport is micro-batched: producers accumulate per-(edge, target)
+// batches of up to Options.BatchSize tuples and ship each batch as one
+// channel send carrying one wire frame, flushing partial batches at EOS.
+// BatchSize=1 degenerates to the legacy per-tuple transport; see DESIGN.md
+// for the framing and its interaction with the network-cost substitution.
 package dataflow
 
 import (

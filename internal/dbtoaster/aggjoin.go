@@ -99,6 +99,22 @@ type AggJoin struct {
 	wires  [][]*wiring // per relation, ascending popcount of target view
 	full   uint64
 	result *aview
+
+	// Per-tuple scratch. OnTuple runs single-threaded per operator instance
+	// (one bolt task), so these buffers are reused across calls to keep the
+	// hot loop allocation-free; nothing stored here outlives one OnTuple.
+	sLists  [][]*aggEntry
+	sCombo  []*aggEntry
+	sKey    types.Tuple
+	sKeyBuf []byte
+	sDeltas []aggEntry
+	sSpans  []deltaSpan
+}
+
+// deltaSpan marks the deltas of one wiring inside the shared scratch arena.
+type deltaSpan struct {
+	w          *wiring
+	start, end int
 }
 
 // NewAggJoin builds the operator. The join must be equi-only (theta joins go
@@ -267,64 +283,71 @@ func (a *AggJoin) OnTuple(rel int, t types.Tuple) ([]AggDelta, error) {
 	}
 	var out []AggDelta
 	// Collect deltas per target first (all reads hit views without rel), then
-	// merge, preserving incremental semantics.
-	type pending struct {
-		w      *wiring
-		deltas []aggEntry
-	}
-	var pend []pending
+	// merge, preserving incremental semantics. Deltas accumulate in the shared
+	// scratch arena; spans mark each wiring's slice of it.
+	a.sDeltas = a.sDeltas[:0]
+	a.sSpans = a.sSpans[:0]
 	for _, w := range a.wires[rel] {
-		deltas, err := a.deltasFor(w, rel, t)
-		if err != nil {
+		start := len(a.sDeltas)
+		if err := a.appendDeltas(w, rel, t); err != nil {
 			return nil, err
 		}
-		pend = append(pend, pending{w, deltas})
+		a.sSpans = append(a.sSpans, deltaSpan{w, start, len(a.sDeltas)})
 	}
-	for _, p := range pend {
-		for _, d := range p.deltas {
-			if p.w.target == a.result {
+	for _, sp := range a.sSpans {
+		for _, d := range a.sDeltas[sp.start:sp.end] {
+			if sp.w.target == a.result {
 				// Full view: signature is exactly the group-by columns.
 				out = append(out, AggDelta{Group: d.sig, Cnt: d.cnt, Sum: d.sum})
 			}
-			a.merge(p.w.target, d)
+			a.merge(sp.w.target, d)
 		}
 	}
 	return out, nil
 }
 
-// deltasFor computes the delta entries of one target view for tuple t.
-func (a *AggJoin) deltasFor(w *wiring, rel int, t types.Tuple) ([]aggEntry, error) {
-	// Probe each component.
-	lists := make([][]*aggEntry, len(w.comps))
+// appendDeltas computes the delta entries of one target view for tuple t,
+// appending them to the sDeltas scratch arena.
+func (a *AggJoin) appendDeltas(w *wiring, rel int, t types.Tuple) error {
+	// Probe each component (alloc-free: scratch key tuple and key bytes, and
+	// the map lookup's string conversion is elided by the compiler).
+	if cap(a.sLists) < len(w.comps) {
+		a.sLists = make([][]*aggEntry, len(w.comps))
+	}
+	lists := a.sLists[:len(w.comps)]
 	for j, cv := range w.comps {
-		key := make(types.Tuple, 0, len(w.probeFromT[j]))
+		key := a.sKey[:0]
 		for _, e := range w.probeFromT[j] {
 			v, err := e.Eval(t)
 			if err != nil {
-				return nil, fmt.Errorf("dbtoaster: probe key %s: %w", e, err)
+				return fmt.Errorf("dbtoaster: probe key %s: %w", e, err)
 			}
 			key = append(key, v)
 		}
-		lists[j] = cv.probe[rel][key.Key()]
+		a.sKey = key
+		a.sKeyBuf = key.AppendKey(a.sKeyBuf[:0])
+		lists[j] = cv.probe[rel][string(a.sKeyBuf)]
 		if len(lists[j]) == 0 {
-			return nil, nil
+			return nil
 		}
 	}
 	var tSum float64
 	if a.spec.Sum != nil && a.spec.Sum.Rel == rel {
 		v, err := a.spec.Sum.E.Eval(t)
 		if err != nil {
-			return nil, fmt.Errorf("dbtoaster: sum expr: %w", err)
+			return fmt.Errorf("dbtoaster: sum expr: %w", err)
 		}
 		f, ok := v.AsFloat()
 		if !ok && !v.IsNull() {
-			return nil, fmt.Errorf("dbtoaster: sum expr %s yields non-numeric %v", a.spec.Sum.E, v)
+			return fmt.Errorf("dbtoaster: sum expr %s yields non-numeric %v", a.spec.Sum.E, v)
 		}
 		tSum = f
 	}
 	// Cross product over component entries (usually 1 component).
-	var out []aggEntry
-	combo := make([]*aggEntry, len(w.comps))
+	if cap(a.sCombo) < len(w.comps) {
+		a.sCombo = make([]*aggEntry, len(w.comps))
+	}
+	combo := a.sCombo[:len(w.comps)]
 	var rec func(j int) error
 	rec = func(j int) error {
 		if j == len(w.comps) {
@@ -357,7 +380,7 @@ func (a *AggJoin) deltasFor(w *wiring, rel int, t types.Tuple) ([]aggEntry, erro
 					sig[si] = combo[w.sigComp[si]].sig[w.sigSlot[si]]
 				}
 			}
-			out = append(out, aggEntry{sig: sig, cnt: cnt, sum: sum})
+			a.sDeltas = append(a.sDeltas, aggEntry{sig: sig, cnt: cnt, sum: sum})
 			return nil
 		}
 		for _, e := range lists[j] {
@@ -368,21 +391,19 @@ func (a *AggJoin) deltasFor(w *wiring, rel int, t types.Tuple) ([]aggEntry, erro
 		}
 		return nil
 	}
-	if err := rec(0); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return rec(0)
 }
 
 // merge folds a delta entry into a view, registering new signatures in the
 // probe indexes.
 func (a *AggJoin) merge(v *aview, d aggEntry) {
-	key := d.sig.Key()
-	if e, ok := v.entries[key]; ok {
+	a.sKeyBuf = d.sig.AppendKey(a.sKeyBuf[:0])
+	if e, ok := v.entries[string(a.sKeyBuf)]; ok { // alloc-free lookup
 		e.cnt += d.cnt
 		e.sum += d.sum
 		return
 	}
+	key := string(a.sKeyBuf) // owned copy, the map retains it
 	e := &aggEntry{sig: d.sig, cnt: d.cnt, sum: d.sum}
 	v.entries[key] = e
 	v.mem += d.sig.MemSize() + len(key) + 32

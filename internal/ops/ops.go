@@ -20,19 +20,34 @@ type Op interface {
 	Apply(t types.Tuple) ([]types.Tuple, error)
 }
 
+// OneOp is optionally implemented by operators that emit at most one tuple
+// per input (selections, projections, parsers). Pipeline.Each uses it to run
+// chains of such operators without allocating per-tuple result slices —
+// the Apply signature costs several slice headers per tuple, which dominated
+// source-pipeline profiles.
+type OneOp interface {
+	ApplyOne(t types.Tuple) (types.Tuple, bool, error)
+}
+
 // Select filters by a predicate.
 type Select struct{ P expr.Pred }
 
 // Apply keeps t when the predicate holds.
 func (s Select) Apply(t types.Tuple) ([]types.Tuple, error) {
-	ok, err := s.P.Eval(t)
-	if err != nil {
+	out, keep, err := s.ApplyOne(t)
+	if err != nil || !keep {
 		return nil, err
 	}
-	if !ok {
-		return nil, nil
+	return []types.Tuple{out}, nil
+}
+
+// ApplyOne keeps t when the predicate holds, without allocating.
+func (s Select) ApplyOne(t types.Tuple) (types.Tuple, bool, error) {
+	ok, err := s.P.Eval(t)
+	if err != nil {
+		return nil, false, err
 	}
-	return []types.Tuple{t}, nil
+	return t, ok, nil
 }
 
 // Project maps each tuple through a list of expressions — the paper's output
@@ -41,15 +56,24 @@ type Project struct{ Es []expr.Expr }
 
 // Apply evaluates every projection expression.
 func (p Project) Apply(t types.Tuple) ([]types.Tuple, error) {
+	out, _, err := p.ApplyOne(t)
+	if err != nil {
+		return nil, err
+	}
+	return []types.Tuple{out}, nil
+}
+
+// ApplyOne evaluates every projection expression into one output tuple.
+func (p Project) ApplyOne(t types.Tuple) (types.Tuple, bool, error) {
 	out := make(types.Tuple, len(p.Es))
 	for i, e := range p.Es {
 		v, err := e.Eval(t)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		out[i] = v
 	}
-	return []types.Tuple{out}, nil
+	return out, true, nil
 }
 
 // Pipeline chains operators; the output of each stage feeds the next.
@@ -73,6 +97,77 @@ func (p Pipeline) Apply(t types.Tuple) ([]types.Tuple, error) {
 		in = out
 	}
 	return in, nil
+}
+
+// Each runs the pipeline on one input tuple, streaming outputs to emit.
+// Stages implementing OneOp are chained without any intermediate slices; a
+// multi-output stage falls back to Apply for its fanout. Reuse one emit
+// closure across calls — this is the hot path of every source pipeline.
+func (p Pipeline) Each(t types.Tuple, emit func(types.Tuple) error) error {
+	for i, op := range p {
+		one, ok := op.(OneOp)
+		if !ok {
+			outs, err := op.Apply(t)
+			if err != nil {
+				return err
+			}
+			rest := p[i+1:]
+			for _, o := range outs {
+				if err := rest.Each(o, emit); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		out, keep, err := one.ApplyOne(t)
+		if err != nil || !keep {
+			return err
+		}
+		t = out
+	}
+	return emit(t)
+}
+
+// PipedSpout co-locates a pipeline with a data source (source + selection
+// in one component, saving a network hop, as Squall's optimizer does). With
+// an empty pipeline the factory is returned unchanged. A broken pipeline
+// surfaces at the first tuple by panicking, matching the Spout contract
+// (no error channel).
+func PipedSpout(f dataflow.SpoutFactory, p Pipeline) dataflow.SpoutFactory {
+	if len(p) == 0 {
+		return f
+	}
+	return func(task, ntasks int) dataflow.Spout {
+		s := &pipedSpout{inner: f(task, ntasks), p: p}
+		s.emit = func(t types.Tuple) error { s.queue = append(s.queue, t); return nil }
+		return s
+	}
+}
+
+type pipedSpout struct {
+	inner dataflow.Spout
+	p     Pipeline
+	queue []types.Tuple
+	head  int
+	emit  func(types.Tuple) error
+}
+
+func (s *pipedSpout) Next() (types.Tuple, bool) {
+	for {
+		if s.head < len(s.queue) {
+			t := s.queue[s.head]
+			s.head++
+			return t, true
+		}
+		s.queue, s.head = s.queue[:0], 0
+		t, ok := s.inner.Next()
+		if !ok {
+			return nil, false
+		}
+		if err := s.p.Each(t, s.emit); err != nil {
+			panic(fmt.Sprintf("ops: source pipeline: %v", err))
+		}
+	}
 }
 
 // MapBolt runs a pipeline inside a component and emits the results.

@@ -3,7 +3,6 @@ package types
 import (
 	"fmt"
 	"strconv"
-	"strings"
 )
 
 // ParseLine parses one pipe- or comma-separated text line into a Tuple
@@ -13,59 +12,141 @@ import (
 // strings; DATE() parsing happens in expressions, which is what makes the
 // Figure 5 "sel(date)" bar expensive).
 func ParseLine(s *Schema, line string, sep byte) (Tuple, error) {
-	fields := splitFields(line, sep)
-	if len(fields) < len(s.Columns) {
-		return nil, fmt.Errorf("types: line has %d fields, schema %q needs %d", len(fields), s.Name, len(s.Columns))
+	// .tbl convention: a trailing separator does not open an empty field.
+	if n := len(line); n > 0 && line[n-1] == sep {
+		line = line[:n-1]
 	}
+	// Fields are consumed as they are scanned — no intermediate []string —
+	// because this is the single hottest loop of the "ReadFile" stage.
 	t := make(Tuple, len(s.Columns))
-	for i, c := range s.Columns {
-		f := fields[i]
-		switch c.Kind {
-		case KindInt:
-			v, err := strconv.ParseInt(f, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("types: column %s: %w", c.Name, err)
-			}
-			t[i] = Int(v)
-		case KindFloat:
-			v, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, fmt.Errorf("types: column %s: %w", c.Name, err)
-			}
-			t[i] = Float(v)
-		default:
-			t[i] = Str(f)
+	ncols := len(s.Columns)
+	col, start := 0, 0
+	for i := 0; i <= len(line); i++ {
+		if i < len(line) && line[i] != sep {
+			continue
 		}
+		if col < ncols {
+			f := line[start:i]
+			c := s.Columns[col]
+			switch c.Kind {
+			case KindInt:
+				v, ok := fastInt(f)
+				if !ok {
+					var err error
+					v, err = strconv.ParseInt(f, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("types: column %s: %w", c.Name, err)
+					}
+				}
+				t[col] = Int(v)
+			case KindFloat:
+				v, ok := fastFloat(f)
+				if !ok {
+					var err error
+					v, err = strconv.ParseFloat(f, 64)
+					if err != nil {
+						return nil, fmt.Errorf("types: column %s: %w", c.Name, err)
+					}
+				}
+				t[col] = Float(v)
+			default:
+				t[col] = Str(f)
+			}
+		}
+		col++
+		start = i + 1
+	}
+	if col < ncols {
+		return nil, fmt.Errorf("types: line has %d fields, schema %q needs %d", col, s.Name, ncols)
 	}
 	return t, nil
 }
 
-// FormatLine renders a tuple as a separated text line (inverse of ParseLine).
-func FormatLine(t Tuple, sep byte) string {
-	var sb strings.Builder
-	for i, v := range t {
-		if i > 0 {
-			sb.WriteByte(sep)
-		}
-		sb.WriteString(v.AsString())
+// fastInt parses plain decimal integers (optional leading '-', up to 18
+// digits — no overflow possible), the overwhelmingly common .tbl case;
+// anything else falls back to strconv.
+func fastInt(s string) (int64, bool) {
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
 	}
-	return sb.String()
+	if len(s) == 0 || len(s) > 18 {
+		return 0, false
+	}
+	var v int64
+	for i := 0; i < len(s); i++ {
+		d := s[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		v = v*10 + int64(d)
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
 }
 
-// splitFields splits without allocating a strings.Split result for the
-// trailing separator convention of .tbl files ("a|b|c|").
-func splitFields(line string, sep byte) []string {
-	if n := len(line); n > 0 && line[n-1] == sep {
-		line = line[:n-1]
+// fastFloat parses short plain decimals ("1234.56"). Both the scaled
+// mantissa (≤ 15 digits < 2^53) and the power of ten are exactly
+// representable, so one division yields the same correctly-rounded float64
+// strconv would; anything else (exponents, long digit strings, inf/nan)
+// falls back to strconv.
+func fastFloat(s string) (float64, bool) {
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
 	}
-	var out []string
-	start := 0
-	for i := 0; i < len(line); i++ {
-		if line[i] == sep {
-			out = append(out, line[start:i])
-			start = i + 1
+	var mant int64
+	digits, frac := 0, -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			if frac >= 0 {
+				return 0, false
+			}
+			frac = digits
+			continue
+		}
+		d := s[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		mant = mant*10 + int64(d)
+		digits++
+	}
+	if digits == 0 || digits > 15 {
+		return 0, false
+	}
+	v := float64(mant)
+	if frac >= 0 {
+		v /= pow10[digits-frac]
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+var pow10 = [19]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+	1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18}
+
+// FormatLine renders a tuple as a separated text line (inverse of ParseLine).
+func FormatLine(t Tuple, sep byte) string {
+	buf := make([]byte, 0, 12*len(t))
+	for i, v := range t {
+		if i > 0 {
+			buf = append(buf, sep)
+		}
+		switch v.KindV {
+		case KindInt:
+			buf = strconv.AppendInt(buf, v.I, 10)
+		case KindFloat:
+			buf = strconv.AppendFloat(buf, v.F, 'g', -1, 64)
+		case KindString:
+			buf = append(buf, v.Str...)
 		}
 	}
-	out = append(out, line[start:])
-	return out
+	return string(buf)
 }

@@ -2,6 +2,7 @@ package types
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -57,36 +58,48 @@ func (t Tuple) Hash(cols ...int) uint64 {
 	return h
 }
 
-// Key renders the values at cols as a canonical string key usable as a map
-// key. With no cols it keys the whole tuple.
-func (t Tuple) Key(cols ...int) string {
-	var sb strings.Builder
-	write := func(v Value) {
+// AppendKey appends the canonical key bytes of the values at cols (all
+// values when cols is empty) to buf and returns the extended slice. Hot
+// paths probe maps with `m[string(t.AppendKey(scratch[:0]))]` — the compiler
+// elides that conversion's allocation — and only materialize an owned string
+// (Key) when inserting.
+func (t Tuple) AppendKey(buf []byte, cols ...int) []byte {
+	write := func(buf []byte, v Value) []byte {
 		switch v.KindV {
 		case KindNull:
-			sb.WriteByte('n')
+			buf = append(buf, 'n')
 		case KindInt:
-			sb.WriteByte('i')
-			sb.WriteString(v.AsString())
+			buf = append(buf, 'i')
+			buf = strconv.AppendInt(buf, v.I, 10)
 		case KindFloat:
-			sb.WriteByte('f')
-			sb.WriteString(v.AsString())
+			buf = append(buf, 'f')
+			buf = strconv.AppendFloat(buf, v.F, 'g', -1, 64)
 		case KindString:
-			sb.WriteByte('s')
-			sb.WriteString(v.Str)
+			buf = append(buf, 's')
+			buf = append(buf, v.Str...)
 		}
-		sb.WriteByte(0x1f) // unit separator: unambiguous joiner
+		return append(buf, 0x1f) // unit separator: unambiguous joiner
 	}
 	if len(cols) == 0 {
 		for _, v := range t {
-			write(v)
+			buf = write(buf, v)
 		}
-		return sb.String()
+		return buf
 	}
 	for _, c := range cols {
-		write(t[c])
+		buf = write(buf, t[c])
 	}
-	return sb.String()
+	return buf
+}
+
+// Key renders the values at cols as a canonical string key usable as a map
+// key. With no cols it keys the whole tuple.
+func (t Tuple) Key(cols ...int) string {
+	n := len(cols)
+	if n == 0 {
+		n = len(t)
+	}
+	return string(t.AppendKey(make([]byte, 0, 16*n), cols...))
 }
 
 // Equal reports element-wise equality.

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"squall/internal/types"
+)
+
+// valueEq compares values treating NaN as equal to itself (bit-level), which
+// Tuple.Equal does not — a decoded NaN must still count as a faithful copy.
+func valueEq(a, b types.Value) bool {
+	if a.KindV != b.KindV {
+		return false
+	}
+	if a.KindV == types.KindFloat {
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	}
+	return a.Equal(b)
+}
+
+func tupleEq(a, b types.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !valueEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecode: Decode must never panic, and whatever it accepts must survive
+// a canonical re-encode/re-decode cycle. (Byte-level comparison against the
+// input is deliberately avoided: varints admit non-canonical encodings.)
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 99})
+	f.Add([]byte{3, byte(types.KindNull), byte(types.KindNull)})
+	f.Add(Encode(nil, types.Tuple{types.Int(-5), types.Str("hello"), types.Float(2.5), types.Null()}))
+	f.Add(Encode(nil, types.Tuple{types.Float(math.NaN()), types.Str("")}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tu, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		re := Encode(nil, tu)
+		tu2, n2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if n2 != len(re) || !tupleEq(tu, tu2) {
+			t.Fatalf("canonical round trip: %v -> %v", tu, tu2)
+		}
+	})
+}
+
+// FuzzDecodeBatch: same contract for batch frames, plus frame/tuple count
+// agreement between the arena decoder and the per-tuple decoder.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{2, 0, 0})
+	f.Add([]byte{5, 0})
+	f.Add(EncodeBatch(nil, []types.Tuple{{types.Int(1)}, {types.Str("x"), types.Float(-0.5)}, {}}))
+	f.Add(EncodeBatch(nil, []types.Tuple{{types.Float(math.Inf(-1))}, {types.Null(), types.Null()}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, n, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("DecodeBatch consumed %d of %d bytes", n, len(data))
+		}
+		re := EncodeBatch(nil, batch)
+		batch2, n2, err := DecodeBatch(re)
+		if err != nil {
+			t.Fatalf("re-decode of canonical frame failed: %v", err)
+		}
+		if n2 != len(re) || len(batch2) != len(batch) {
+			t.Fatalf("canonical frame round trip: %d tuples / %d bytes -> %d / %d",
+				len(batch), len(re), len(batch2), n2)
+		}
+		for i := range batch {
+			if !tupleEq(batch[i], batch2[i]) {
+				t.Fatalf("batch tuple %d: %v -> %v", i, batch[i], batch2[i])
+			}
+			// The arena path must agree with the standalone tuple decoder.
+			single, _, err := Decode(Encode(nil, batch[i]))
+			if err != nil || !tupleEq(single, batch[i]) {
+				t.Fatalf("arena/single decoder disagreement on %v: %v (%v)", batch[i], single, err)
+			}
+		}
+	})
+}

@@ -100,6 +100,107 @@ func TestRoundTripQuick(t *testing.T) {
 	}
 }
 
+func sampleBatch(n int) []types.Tuple {
+	batch := make([]types.Tuple, n)
+	for i := range batch {
+		batch[i] = types.Tuple{
+			types.Int(int64(i * 1001)),
+			types.Str("1996-01-02"),
+			types.Float(float64(i) + 0.25),
+			types.Str("BUILDING"),
+		}
+	}
+	return batch
+}
+
+func TestEncodeDecodeBatchRoundTrip(t *testing.T) {
+	cases := [][]types.Tuple{
+		{},
+		{{}},
+		{{types.Int(1)}},
+		sampleBatch(3),
+		sampleBatch(100),
+		{{types.Null()}, {}, {types.Str("x"), types.Int(-7)}, {types.Float(2.5)}},
+	}
+	for _, batch := range cases {
+		buf := EncodeBatch(nil, batch)
+		got, n, err := DecodeBatch(buf)
+		if err != nil {
+			t.Fatalf("DecodeBatch(%v): %v", batch, err)
+		}
+		if n != len(buf) {
+			t.Errorf("DecodeBatch consumed %d of %d bytes", n, len(buf))
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("batch round trip: %d tuples, want %d", len(got), len(batch))
+		}
+		for i := range batch {
+			if !got[i].Equal(batch[i]) {
+				t.Errorf("batch tuple %d: %v -> %v", i, batch[i], got[i])
+			}
+		}
+	}
+}
+
+// Batched frames must cost the same wire bytes as the per-tuple frames they
+// replace, plus only the count prefix — the network-volume substitution
+// (DESIGN.md) depends on it.
+func TestBatchFramingOverheadIsCountPrefixOnly(t *testing.T) {
+	batch := sampleBatch(64)
+	var perTuple int
+	for _, tu := range batch {
+		perTuple += len(Encode(nil, tu))
+	}
+	frame := EncodeBatch(nil, batch)
+	if got, want := len(frame)-perTuple, 1; got != want { // varint(64) = 1 byte
+		t.Errorf("frame overhead = %d bytes, want %d", got, want)
+	}
+}
+
+func TestDecodeBatchTuplesDoNotAlias(t *testing.T) {
+	// Appending to one decoded tuple must not clobber its arena neighbour.
+	buf := EncodeBatch(nil, []types.Tuple{{types.Int(1)}, {types.Int(2)}})
+	got, _, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = append(got[0], types.Int(99))
+	if got[1][0].I != 2 {
+		t.Errorf("tuple 1 corrupted by append to tuple 0: %v", got[1])
+	}
+}
+
+func TestDecodeBatchErrors(t *testing.T) {
+	if _, _, err := DecodeBatch(nil); err == nil {
+		t.Error("empty buffer must fail")
+	}
+	if _, _, err := DecodeBatch([]byte{200}); err == nil {
+		t.Error("truncated count varint must fail")
+	}
+	if _, _, err := DecodeBatch([]byte{5, 0}); err == nil {
+		t.Error("count exceeding buffer must fail")
+	}
+	buf := EncodeBatch(nil, sampleBatch(4))
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeBatch(buf[:cut]); err == nil {
+			t.Errorf("DecodeBatch of %d/%d bytes should fail", cut, len(buf))
+		}
+	}
+}
+
+func TestDecodeArityBoundUsesRemainingBytes(t *testing.T) {
+	// Header claims 3 values but only 2 bytes follow the 1-byte header: the
+	// arity bound must compare against remaining bytes, not the whole buffer.
+	if _, _, err := Decode([]byte{3, byte(types.KindNull), byte(types.KindNull)}); err == nil {
+		t.Error("arity exceeding remaining bytes must fail")
+	}
+	// Exactly enough remaining bytes still decodes.
+	got, _, err := Decode([]byte{3, byte(types.KindNull), byte(types.KindNull), byte(types.KindNull)})
+	if err != nil || len(got) != 3 {
+		t.Errorf("3 nulls should decode, got %v, %v", got, err)
+	}
+}
+
 func BenchmarkEncodeDecode(b *testing.B) {
 	tu := types.Tuple{types.Int(123456), types.Str("1996-01-02"), types.Float(17.25), types.Str("BUILDING")}
 	var scratch []byte
@@ -108,6 +209,22 @@ func BenchmarkEncodeDecode(b *testing.B) {
 		var err error
 		_, scratch, _, err = RoundTrip(tu, scratch)
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeDecodeBatch measures the amortized per-hop cost of a
+// 64-tuple frame; compare ns/op and allocs/op against 64x the per-tuple
+// numbers of BenchmarkEncodeDecode.
+func BenchmarkEncodeDecodeBatch(b *testing.B) {
+	batch := sampleBatch(64)
+	var scratch []byte
+	var dec BatchDecoder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scratch = EncodeBatch(scratch[:0], batch)
+		if _, _, err := dec.Decode(scratch); err != nil {
 			b.Fatal(err)
 		}
 	}

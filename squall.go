@@ -131,6 +131,9 @@ type Options struct {
 	NoSerialize bool
 	// ChannelBuf overrides the per-task inbox depth.
 	ChannelBuf int
+	// BatchSize caps tuples per transport envelope (default
+	// dataflow.DefaultBatchSize; 1 = legacy per-tuple transport).
+	BatchSize int
 }
 
 // Result of a query execution.
@@ -237,7 +240,7 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 	b := dataflow.NewBuilder()
 	relOf := map[string]int{}
 	for i, s := range q.Sources {
-		b.Spout(s.Name, opt.SourcePar, preSpout(s.Spout, s.Pre))
+		b.Spout(s.Name, opt.SourcePar, ops.PipedSpout(s.Spout, s.Pre))
 		relOf[s.Name] = i
 	}
 
@@ -298,6 +301,7 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 	metrics, runErr := dataflow.Run(topo, dataflow.Options{
 		Seed:            opt.Seed,
 		ChannelBuf:      opt.ChannelBuf,
+		BatchSize:       opt.BatchSize,
 		MemLimitPerTask: opt.MemLimitPerTask,
 		NoSerialize:     opt.NoSerialize,
 	})
@@ -341,45 +345,4 @@ func mergeGrouping(ngroup int) dataflow.Grouping {
 		cols[i] = i
 	}
 	return dataflow.Fields(cols...)
-}
-
-// preSpout co-locates a pipeline with a data source (source + selection in
-// one component, saving a network hop).
-func preSpout(f dataflow.SpoutFactory, p ops.Pipeline) dataflow.SpoutFactory {
-	if len(p) == 0 {
-		return f
-	}
-	return func(task, ntasks int) dataflow.Spout {
-		return &pipedSpout{inner: f(task, ntasks), p: p}
-	}
-}
-
-type pipedSpout struct {
-	inner dataflow.Spout
-	p     ops.Pipeline
-	queue []types.Tuple
-}
-
-func (s *pipedSpout) Next() (types.Tuple, bool) {
-	for {
-		if len(s.queue) > 0 {
-			t := s.queue[0]
-			s.queue = s.queue[1:]
-			return t, true
-		}
-		t, ok := s.inner.Next()
-		if !ok {
-			return nil, false
-		}
-		out, err := s.p.Apply(t)
-		if err != nil {
-			// Sources with broken pipelines surface at the first tuple;
-			// panicking here matches spout contract (no error channel).
-			panic(fmt.Sprintf("squall: source pipeline: %v", err))
-		}
-		if len(out) == 0 {
-			continue
-		}
-		s.queue = out
-	}
 }
