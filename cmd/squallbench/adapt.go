@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"squall/experiments"
+)
+
+// benchFileAdapt is where `-json adapt` records the PR 2 numbers.
+const benchFileAdapt = "BENCH_PR2.json"
+
+// adaptReport is the machine-readable result of the drift experiment.
+type adaptReport struct {
+	PR                     int                    `json:"pr"`
+	Benchmark              string                 `json:"benchmark"`
+	Machines               int                    `json:"machines"`
+	RTuples                int                    `json:"r_tuples"`
+	STuples                int                    `json:"s_tuples"`
+	Runs                   []experiments.DriftRun `json:"runs"`
+	AdaptiveVsWorstStaticX float64                `json:"adaptive_vs_worst_static_maxload_x"`
+	AdaptiveVsBestStaticX  float64                `json:"adaptive_vs_best_static_maxload_x"`
+}
+
+// adaptBench runs the §5 drifting-ratio experiment: the live adaptive
+// 1-Bucket operator against every power-of-two static matrix, on max
+// per-task load. It exits non-zero if the adaptive run fails the paper's
+// claim (>= 1 reshape, result parity, better than the worst static shape),
+// so the CI smoke run doubles as an acceptance gate.
+func adaptBench() {
+	cfg := experiments.DriftConfig{Machines: 8, RTuples: 48_000, STuples: 3_000, KeyDomain: 4096, Seed: 9}
+	if *smoke {
+		cfg.RTuples, cfg.STuples, cfg.KeyDomain = 6_000, 400, 1024
+	}
+	header(fmt.Sprintf("Adaptive 1-Bucket under drifting |R|:|S| (%d:%d over %dJ)", cfg.RTuples, cfg.STuples, cfg.Machines))
+	runs, err := experiments.AdaptiveDrift(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adapt: %v\n", err)
+		os.Exit(1)
+	}
+	adaptive := runs[0]
+	best, worst := runs[1], runs[1]
+	fmt.Printf("  %-14s %7s %10s %10s %7s %9s %10s %11s %10s\n",
+		"run", "matrix", "maxload", "avgload", "skew", "reshapes", "migrated", "mig bytes", "elapsed")
+	for _, r := range runs {
+		fmt.Printf("  %-14s %7s %10d %10.0f %7.2f %9d %10d %11d %8.1fms\n",
+			r.Name, r.Matrix, r.MaxLoad, r.AvgLoad, r.Skew, r.Reshapes, r.MigratedTuples, r.MigratedBytes, r.ElapsedMS)
+		if r.Name == adaptive.Name {
+			continue
+		}
+		if r.MaxLoad < best.MaxLoad {
+			best = r
+		}
+		if r.MaxLoad > worst.MaxLoad {
+			worst = r
+		}
+	}
+	report := adaptReport{
+		PR: 2,
+		Benchmark: fmt.Sprintf("live adaptive 1-Bucket vs static matrices under a drifting ratio (%d:%d, %d joiners)",
+			cfg.RTuples, cfg.STuples, cfg.Machines),
+		Machines:               cfg.Machines,
+		RTuples:                cfg.RTuples,
+		STuples:                cfg.STuples,
+		Runs:                   runs,
+		AdaptiveVsWorstStaticX: float64(worst.MaxLoad) / float64(adaptive.MaxLoad),
+		AdaptiveVsBestStaticX:  float64(best.MaxLoad) / float64(adaptive.MaxLoad),
+	}
+	fmt.Printf("  adaptive vs worst static (%s): %.2fx lower max load; vs best static (%s): %.2fx\n",
+		worst.Name, report.AdaptiveVsWorstStaticX, best.Name, report.AdaptiveVsBestStaticX)
+
+	ok := true
+	if adaptive.Reshapes < 1 {
+		fmt.Fprintln(os.Stderr, "  FAIL: adaptive run never reshaped")
+		ok = false
+	}
+	if adaptive.MigratedBytes <= 0 {
+		fmt.Fprintln(os.Stderr, "  FAIL: adaptive run reported no migrated bytes")
+		ok = false
+	}
+	for _, r := range runs[1:] {
+		if r.Rows != adaptive.Rows {
+			fmt.Fprintf(os.Stderr, "  FAIL: %s produced %d rows, adaptive %d\n", r.Name, r.Rows, adaptive.Rows)
+			ok = false
+		}
+	}
+	if adaptive.MaxLoad >= worst.MaxLoad {
+		fmt.Fprintf(os.Stderr, "  FAIL: adaptive max load %d does not beat worst static %d\n", adaptive.MaxLoad, worst.MaxLoad)
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(benchFileAdapt, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", benchFileAdapt, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", benchFileAdapt)
+	}
+}

@@ -1,11 +1,17 @@
 // squallbench regenerates the paper's tables and figures as text tables.
 //
-//	go run ./cmd/squallbench [-json] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|all]
+//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|all]
 //
 // The extra `batch` experiment measures the PR 1 batched-transport speedup
 // (network-hop and full-join stages at batch=1 vs the default batch size,
 // plus decode allocation counts); with -json it also writes the results to
 // BENCH_PR1.json for the perf trajectory.
+//
+// The `adapt` experiment (PR 2) runs the §5 drifting-ratio comparison of
+// the live adaptive 1-Bucket operator against static matrices; with -json
+// it writes BENCH_PR2.json, and with -smoke it runs at CI scale. It exits
+// non-zero when the adaptive run fails the paper's claims, so CI uses it
+// as an acceptance gate.
 //
 // Scales are thousandth-scale stand-ins for the paper's cluster runs; the
 // expected shapes (orderings, rough ratios) are documented per experiment in
@@ -26,7 +32,10 @@ import (
 
 var allSchemes = []squall.SchemeKind{squall.HashHypercube, squall.RandomHypercube, squall.HybridHypercube}
 
-var jsonOut = flag.Bool("json", false, "write machine-readable results (BENCH_PR1.json) for the batch experiment")
+var (
+	jsonOut = flag.Bool("json", false, "write machine-readable results (BENCH_PR1.json / BENCH_PR2.json) for the batch and adapt experiments")
+	smoke   = flag.Bool("smoke", false, "run the adapt experiment at CI smoke scale")
+)
 
 func main() {
 	flag.Parse()
@@ -49,6 +58,7 @@ func main() {
 		"table2":   tables12,
 		"section5": section5,
 		"batch":    batchTransport,
+		"adapt":    adaptBench,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -58,7 +68,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch all\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt all\n", what)
 		os.Exit(2)
 	}
 	f()

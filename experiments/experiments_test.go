@@ -232,3 +232,45 @@ func TestTemporalSkew(t *testing.T) {
 		t.Errorf("shuffle burst skew = %.2f, want ≈1 (content-insensitive)", shuffle.BurstSkew)
 	}
 }
+
+// TestAdaptiveDriftBeatsWorstStatic is the PR acceptance scenario at smoke
+// scale: under the drifting |R|:|S| ratio the adaptive run reshapes at
+// least once, reports its migration volume, agrees with every static run
+// on the result count, and lands strictly below the worst static matrix on
+// max per-task load.
+func TestAdaptiveDriftBeatsWorstStatic(t *testing.T) {
+	runs, err := AdaptiveDrift(DriftConfig{
+		Machines: 8, RTuples: 6000, STuples: 400, KeyDomain: 1024, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := runs[0]
+	if adaptive.Name != "adaptive" {
+		t.Fatalf("first run is %q, want adaptive", adaptive.Name)
+	}
+	if adaptive.Reshapes < 1 {
+		t.Fatalf("adaptive run performed %d reshapes, want >= 1", adaptive.Reshapes)
+	}
+	if adaptive.MigratedBytes <= 0 || adaptive.MigratedTuples <= 0 {
+		t.Fatalf("adaptive run reported no migration volume: %+v", adaptive)
+	}
+	var worst DriftRun
+	for _, r := range runs[1:] {
+		if r.Rows != adaptive.Rows {
+			t.Fatalf("run %s produced %d rows, adaptive produced %d", r.Name, r.Rows, adaptive.Rows)
+		}
+		if r.Reshapes != 0 {
+			t.Fatalf("static run %s reshaped %d times", r.Name, r.Reshapes)
+		}
+		if r.MaxLoad > worst.MaxLoad {
+			worst = r
+		}
+	}
+	if adaptive.MaxLoad >= worst.MaxLoad {
+		t.Fatalf("adaptive max load %d does not beat worst static %s (%d)",
+			adaptive.MaxLoad, worst.Name, worst.MaxLoad)
+	}
+	t.Logf("adaptive: %+v", adaptive)
+	t.Logf("worst static: %s max load %d", worst.Name, worst.MaxLoad)
+}

@@ -45,6 +45,22 @@ func OptimalMatrix(machines int, r, s float64) Matrix {
 	return best
 }
 
+// Decide is the reshape decision shared by the offline Operator and the live
+// dataflow control plane: given the current matrix and observed sizes (r, s),
+// it returns the matrix to reshape to and whether reshaping is worthwhile.
+// The optimal matrix must cut the predicted per-machine load by at least the
+// relative margin minGain (hysteresis against oscillation).
+func Decide(machines int, cur Matrix, r, s, minGain float64) (Matrix, bool) {
+	opt := OptimalMatrix(machines, r, s)
+	if opt == cur {
+		return cur, false
+	}
+	if opt.LoadPerMachine(r, s) > cur.LoadPerMachine(r, s)*(1-minGain) {
+		return cur, false
+	}
+	return opt, true
+}
+
 // Operator is the adaptive 1-Bucket join operator's partitioner side: it
 // routes tuples, tracks observed sizes, and reshapes when beneficial.
 type Operator struct {
@@ -121,13 +137,9 @@ func (o *Operator) maybeReshape() {
 		return
 	}
 	o.sinceCheck = 0
-	cur := o.matrix.LoadPerMachine(float64(o.seenR), float64(o.seenS))
-	opt := OptimalMatrix(o.machines, float64(o.seenR), float64(o.seenS))
-	if opt == o.matrix {
-		return
-	}
-	if load := opt.LoadPerMachine(float64(o.seenR), float64(o.seenS)); load > cur*(1-o.MinGain) {
-		return // not worth the migration
+	opt, ok := Decide(o.machines, o.matrix, float64(o.seenR), float64(o.seenS), o.MinGain)
+	if !ok {
+		return // same shape, or not worth the migration
 	}
 	o.reshape(opt)
 }

@@ -1,0 +1,220 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"squall/internal/types"
+)
+
+// pairBolt is a minimal 2-way cross-join task: every R tuple must pair with
+// every S tuple exactly once across the whole component, which is precisely
+// the 1-Bucket invariant a reshape must preserve. It emits (rID, sID) rows.
+type pairBolt struct {
+	sides     [2][]types.Tuple
+	fail      error // returned after failAfter tuples when set
+	seen      int
+	failAfter int
+}
+
+func (b *pairBolt) side(stream string) int {
+	if stream == "S" {
+		return 1
+	}
+	return 0
+}
+
+func (b *pairBolt) Execute(in Input, col *Collector) error {
+	b.seen++
+	if b.fail != nil && b.seen > b.failAfter {
+		return b.fail
+	}
+	side := b.side(in.Stream)
+	t := in.Tuple
+	for _, o := range b.sides[1-side] {
+		pair := types.Tuple{t[0], o[0]}
+		if side == 1 {
+			pair = types.Tuple{o[0], t[0]}
+		}
+		if err := col.Emit(pair); err != nil {
+			return err
+		}
+	}
+	b.sides[side] = append(b.sides[side], t)
+	return nil
+}
+
+func (b *pairBolt) Finish(*Collector) error { return nil }
+
+func (b *pairBolt) StoredCount(side int) int { return len(b.sides[side]) }
+
+func (b *pairBolt) ExportState(side int) []types.Tuple {
+	out := make([]types.Tuple, len(b.sides[side]))
+	copy(out, b.sides[side])
+	return out
+}
+
+func (b *pairBolt) ResetForReshape(keep [2]bool) error {
+	for side, k := range keep {
+		if !k {
+			b.sides[side] = nil
+		}
+	}
+	return nil
+}
+
+func (b *pairBolt) ImportState(side int, tuples []types.Tuple) error {
+	b.sides[side] = append(b.sides[side], tuples...)
+	return nil
+}
+
+// buildAdaptiveTopo wires R and S spouts into a pairBolt joiner and a
+// gathering sink.
+func buildAdaptiveTopo(t *testing.T, nR, nS, par int, mk func() Bolt) (*Topology, *Gather) {
+	t.Helper()
+	g := NewGather()
+	topo, err := NewBuilder().
+		Spout("R", 1, GenSpout(nR, func(i int) types.Tuple { return types.Tuple{types.Int(int64(i))} })).
+		Spout("S", 1, GenSpout(nS, func(i int) types.Tuple { return types.Tuple{types.Int(int64(1_000_000 + i))} })).
+		Bolt("join", par, func(task, ntasks int) Bolt { return mk() }).
+		Bolt("sink", 1, g.Factory()).
+		Input("join", "R", Shuffle()).
+		Input("join", "S", Shuffle()).
+		Input("sink", "join", Global()).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, g
+}
+
+func pairBag(rows []types.Tuple) map[string]int {
+	bag := make(map[string]int, len(rows))
+	for _, r := range rows {
+		bag[r.Key()]++
+	}
+	return bag
+}
+
+// TestAdaptiveReshapePreservesPairs drives a heavily drifting |R|:|S| ratio
+// through the live adaptive operator and asserts the cross product is
+// produced exactly once despite one or more migrations, at both transports.
+func TestAdaptiveReshapePreservesPairs(t *testing.T) {
+	// |R| is large enough that the stream cannot fit in the in-flight
+	// budget (ChannelBuf x BatchSize x tasks) even at batch=64: the
+	// controller is guaranteed to observe the drift while tuples flow.
+	const nR, nS, par = 4000, 30, 8
+	for _, batch := range []int{1, 64} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			topo, g := buildAdaptiveTopo(t, nR, nS, par, func() Bolt { return &pairBolt{} })
+			pol := &AdaptivePolicy{
+				Component: "join", RStream: "R", SStream: "S",
+				InitialRows: 1, InitialCols: par, // stale shape: best for |S| >> |R|
+				ReportEvery: 16, MinObserved: 64, MinGain: 0.05,
+			}
+			// A shallow inbox backpressures the spouts behind the joiner, so
+			// the controller reliably observes the drift mid-stream instead
+			// of racing a spout that finishes in microseconds.
+			m, err := Run(topo, Options{Seed: 7, BatchSize: batch, Adaptive: pol, ChannelBuf: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Adapt.Reshapes.Load(); got < 1 {
+				t.Fatalf("expected at least one reshape, got %d", got)
+			}
+			if got := m.Adapt.MigratedTuples.Load(); got <= 0 {
+				t.Fatalf("expected migrated tuples, got %d", got)
+			}
+			if got := m.Adapt.MigratedBytes.Load(); got <= 0 {
+				t.Fatalf("expected migrated bytes, got %d", got)
+			}
+			rows := g.Rows()
+			if len(rows) != nR*nS {
+				t.Fatalf("got %d pairs, want %d", len(rows), nR*nS)
+			}
+			bag := pairBag(rows)
+			for r := 0; r < nR; r++ {
+				for s := 0; s < nS; s++ {
+					key := types.Tuple{types.Int(int64(r)), types.Int(int64(1_000_000 + s))}.Key()
+					if bag[key] != 1 {
+						t.Fatalf("pair (%d,%d) produced %d times", r, s, bag[key])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveStaticNeverReshapes pins the baseline: a Static policy routes
+// through the same machinery but keeps its matrix.
+func TestAdaptiveStaticNeverReshapes(t *testing.T) {
+	topo, g := buildAdaptiveTopo(t, 300, 30, 6, func() Bolt { return &pairBolt{} })
+	pol := &AdaptivePolicy{
+		Component: "join", RStream: "R", SStream: "S",
+		InitialRows: 1, InitialCols: 6,
+		ReportEvery: 8, MinObserved: 16, MinGain: 0.01,
+		Static: true,
+	}
+	m, err := Run(topo, Options{Seed: 3, Adaptive: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Adapt.Reshapes.Load(); got != 0 {
+		t.Fatalf("static run reshaped %d times", got)
+	}
+	if got := m.Adapt.MigratedTuples.Load(); got != 0 {
+		t.Fatalf("static run migrated %d tuples", got)
+	}
+	if len(g.Rows()) != 300*30 {
+		t.Fatalf("got %d pairs, want %d", len(g.Rows()), 300*30)
+	}
+}
+
+// TestAdaptiveBoltErrorAborts makes sure a bolt failure with the control
+// plane installed unwinds the gate, the controller and every task instead
+// of deadlocking.
+func TestAdaptiveBoltErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	topo, _ := buildAdaptiveTopo(t, 500, 500, 4, func() Bolt { return &pairBolt{fail: boom, failAfter: 64} })
+	pol := &AdaptivePolicy{
+		Component: "join", RStream: "R", SStream: "S",
+		ReportEvery: 8, MinObserved: 16, MinGain: 0.01,
+	}
+	_, err := Run(topo, Options{Seed: 1, Adaptive: pol, ChannelBuf: 4})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want bolt error, got %v", err)
+	}
+}
+
+// TestAdaptivePolicyValidation rejects malformed policies before starting.
+func TestAdaptivePolicyValidation(t *testing.T) {
+	mk := func() Bolt { return &pairBolt{} }
+	cases := []struct {
+		name string
+		pol  AdaptivePolicy
+	}{
+		{"unknown component", AdaptivePolicy{Component: "nope", RStream: "R", SStream: "S"}},
+		{"unknown stream", AdaptivePolicy{Component: "join", RStream: "R", SStream: "nope"}},
+		{"same streams", AdaptivePolicy{Component: "join", RStream: "R", SStream: "R"}},
+		{"oversized matrix", AdaptivePolicy{Component: "join", RStream: "R", SStream: "S", InitialRows: 3, InitialCols: 3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			topo, _ := buildAdaptiveTopo(t, 4, 4, 4, mk)
+			if _, err := Run(topo, Options{Adaptive: &c.pol}); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+}
+
+// TestAdaptiveNonRepartitioner rejects adaptive components whose bolts lack
+// the migration hooks.
+func TestAdaptiveNonRepartitioner(t *testing.T) {
+	topo, _ := buildAdaptiveTopo(t, 64, 64, 2, func() Bolt { return FuncBolt{} })
+	pol := &AdaptivePolicy{Component: "join", RStream: "R", SStream: "S"}
+	if _, err := Run(topo, Options{Adaptive: pol}); err == nil {
+		t.Fatal("want Repartitioner error")
+	}
+}

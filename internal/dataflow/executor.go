@@ -45,18 +45,26 @@ type Options struct {
 	// and by analytical benches where network cost must be excluded
 	// (Figure 5 isolates it explicitly instead).
 	NoSerialize bool
+	// Adaptive, when set, runs one 2-way join component as a live adaptive
+	// 1-Bucket operator: its input edges route by the policy's matrix, a
+	// controller reshapes the matrix as the observed size ratio drifts, and
+	// joiner state migrates between tasks (see adapt.go).
+	Adaptive *AdaptivePolicy
 }
 
 // envelope is one channel message: a batch of tuples sharing provenance
 // (same producer task, same stream), a single inline tuple (the legacy
-// BatchSize=1 framing, which must not pay a slice allocation per tuple), or
-// an EOS marker.
+// BatchSize=1 framing, which must not pay a slice allocation per tuple), an
+// EOS marker, or an adaptive control message (barrier / migration traffic).
 type envelope struct {
 	batch  []types.Tuple
 	single types.Tuple
 	stream string
 	from   int
 	eos    bool
+	ctrl   ctrlKind
+	cmd    *reshapeCmd // ctrlReshape payload
+	mig    *migBatch   // ctrlMigBatch / ctrlMigDone payload
 }
 
 // Collector routes a task's emitted tuples to the downstream tasks chosen by
@@ -75,6 +83,17 @@ type Collector struct {
 	dec       wire.BatchDecoder
 	// out[edge][target] is the pending batch bound for one downstream inbox.
 	out [][][]types.Tuple
+	// adaptSide[edge] is the adaptive side (0 = R, 1 = S) of each outgoing
+	// edge, -1 for normal edges; nil when this node has no adaptive edges.
+	adaptSide []int
+	// adaptOut[edge][coord] is the pending adaptive batch for one matrix
+	// coordinate (row for the R side, column for S): tuples are buffered
+	// once per coordinate and the flushed frame is replicated to every cell
+	// of that row/column. adaptEpoch is the routing epoch the pending
+	// batches were assigned under; adaptReroute is reroute scratch.
+	adaptOut     [][][]types.Tuple
+	adaptEpoch   int
+	adaptReroute []types.Tuple
 }
 
 // Emit ships t to all subscribed downstream components. The tuple may be
@@ -87,6 +106,12 @@ func (c *Collector) Emit(t types.Tuple) error {
 		return c.emitLegacy(t)
 	}
 	for ei, e := range c.node.outputs {
+		if c.adaptSide != nil && c.adaptSide[ei] >= 0 {
+			if err := c.emitAdaptive(ei, c.adaptSide[ei], t); err != nil {
+				return err
+			}
+			continue
+		}
 		c.tbuf = e.grouping.Targets(t, e.to.par, c.rng, c.tbuf[:0])
 		for _, target := range c.tbuf {
 			if target < 0 || target >= e.to.par {
@@ -109,7 +134,13 @@ func (c *Collector) Emit(t types.Tuple) error {
 // buffered (so EOS has nothing to flush and aborts are observed per tuple).
 func (c *Collector) emitLegacy(t types.Tuple) error {
 	encoded := false
-	for _, e := range c.node.outputs {
+	for ei, e := range c.node.outputs {
+		if c.adaptSide != nil && c.adaptSide[ei] >= 0 {
+			if err := c.emitAdaptive(ei, c.adaptSide[ei], t); err != nil {
+				return err
+			}
+			continue
+		}
 		c.tbuf = e.grouping.Targets(t, e.to.par, c.rng, c.tbuf[:0])
 		for _, target := range c.tbuf {
 			if target < 0 || target >= e.to.par {
@@ -198,7 +229,13 @@ func (c *Collector) eos() {
 		c.ex.fail(fmt.Errorf("dataflow: %s[%d] final flush: %w", c.node.name, c.task, err))
 		return
 	}
-	for _, e := range c.node.outputs {
+	for ei, e := range c.node.outputs {
+		if c.adaptSide != nil && c.adaptSide[ei] >= 0 {
+			// EOS on an adaptive edge goes through the pause gate so it
+			// cannot interleave with a reshape barrier (adapt.go).
+			c.producerEOS(ei)
+			continue
+		}
 		for target := 0; target < e.to.par; target++ {
 			if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, eos: true}) {
 				return
@@ -216,6 +253,7 @@ type execution struct {
 	abort   chan struct{}
 	once    sync.Once
 	err     error
+	adapt   *adaptState // non-nil when Options.Adaptive is set
 }
 
 func (ex *execution) fail(err error) {
@@ -286,9 +324,17 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 		ex.inboxes[n] = chans
 		ex.metrics.Components[n.name] = cm
 	}
+	if opts.Adaptive != nil {
+		if err := ex.initAdaptive(opts.Adaptive); err != nil {
+			return nil, err
+		}
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
+	if ex.adapt != nil {
+		go ex.adapt.run()
+	}
 	for _, n := range t.nodes {
 		for task := 0; task < n.par; task++ {
 			wg.Add(1)
@@ -300,6 +346,11 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 		}
 	}
 	wg.Wait()
+	if ex.adapt != nil {
+		close(ex.adapt.quit)
+		<-ex.adapt.done
+		ex.adapt.exportWG.Wait()
+	}
 	ex.metrics.Elapsed = time.Since(start)
 	return ex.metrics, ex.err
 }
@@ -309,6 +360,19 @@ func (ex *execution) collector(n *node, task int) *Collector {
 	for i, e := range n.outputs {
 		out[i] = make([][]types.Tuple, e.to.par)
 	}
+	var adaptSide []int
+	var adaptOut [][][]types.Tuple
+	if ex.adapt != nil {
+		if adaptSide = ex.adapt.sidesFor(n); adaptSide != nil {
+			adaptOut = make([][][]types.Tuple, len(n.outputs))
+			for ei, side := range adaptSide {
+				if side >= 0 {
+					// A coordinate never exceeds the joiner's task count.
+					adaptOut[ei] = make([][]types.Tuple, ex.adapt.node.par)
+				}
+			}
+		}
+	}
 	return &Collector{
 		ex:        ex,
 		node:      n,
@@ -317,6 +381,8 @@ func (ex *execution) collector(n *node, task int) *Collector {
 		metrics:   ex.metrics.Components[n.name].Tasks[task],
 		batchSize: ex.opts.BatchSize,
 		out:       out,
+		adaptSide: adaptSide,
+		adaptOut:  adaptOut,
 	}
 }
 
@@ -353,6 +419,21 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	mem, hasMem := bolt.(MemReporter)
 	tm := col.metrics
 
+	// Adaptive joiner tasks repartition state on reshape barriers and feed
+	// the controller load reports.
+	var rep Repartitioner
+	adaptHere := ex.adapt != nil && ex.adapt.node == n
+	if adaptHere {
+		var ok bool
+		if rep, ok = bolt.(Repartitioner); !ok {
+			ex.fail(fmt.Errorf("dataflow: adaptive bolt %s[%d] (%T) does not implement Repartitioner", n.name, task, bolt))
+			return
+		}
+	}
+	var mig *migSession  // non-nil while a migration round is open
+	var early []envelope // migration traffic that outran our barrier marker
+	taskEpoch := 0       // reshape epoch this task's state conforms to
+
 	expectEOS := 0
 	for _, e := range n.inputs {
 		expectEOS += e.from.par
@@ -360,7 +441,7 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	inbox := ex.inboxes[n][task]
 	processed := 0
 	one := make([]types.Tuple, 1) // consumer-owned adapter for single-tuple envelopes
-	for expectEOS > 0 {
+	for expectEOS > 0 || mig != nil {
 		var env envelope
 		select {
 		case env = <-inbox:
@@ -370,6 +451,45 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 		if env.eos {
 			expectEOS--
 			continue
+		}
+		if env.ctrl != ctrlNone {
+			if env.ctrl == ctrlReshape {
+				var err error
+				if mig, err = ex.adapt.beginMigration(task, rep, tm, env.cmd); err == nil {
+					for _, e2 := range early {
+						if err = ex.adapt.applyMig(mig, rep, e2); err != nil {
+							break
+						}
+					}
+					early = nil
+				}
+				if err != nil {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] reshape: %w", n.name, task, err))
+					return
+				}
+			} else if mig == nil {
+				// A peer's exports for the round whose barrier marker we
+				// have not drained to yet; replay them once it arrives.
+				early = append(early, env)
+			} else if err := ex.adapt.applyMig(mig, rep, env); err != nil {
+				ex.fail(fmt.Errorf("dataflow: bolt %s[%d] migration: %w", n.name, task, err))
+				return
+			}
+			if mig != nil && mig.complete(n.par) {
+				taskEpoch = mig.epoch
+				// The ack carries this task's post-migration load refresh
+				// on a blocking path, so the controller's first
+				// post-reshape decision sees every task's slice of the new
+				// placement rather than a partial picture that would
+				// whipsaw it.
+				ex.adapt.ackMigration(task, taskEpoch, rep)
+				mig = nil
+			}
+			continue
+		}
+		if mig != nil {
+			ex.fail(fmt.Errorf("dataflow: bolt %s[%d] received data mid-migration (barrier violated)", n.name, task))
+			return
 		}
 		batch := env.batch
 		if batch == nil {
@@ -385,6 +505,9 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 				return
 			}
 			processed++
+			if adaptHere && processed%ex.adapt.pol.ReportEvery == 0 {
+				ex.adapt.report(task, taskEpoch, rep)
+			}
 			if hasMem && processed%256 == 0 {
 				ex.checkMem(n, task, tm, mem)
 				select {

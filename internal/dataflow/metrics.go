@@ -85,7 +85,10 @@ func (c *ComponentMetrics) SkewDegree() float64 {
 type RunMetrics struct {
 	Elapsed    time.Duration
 	Components map[string]*ComponentMetrics
-	topo       *Topology
+	// Adapt counts live-reshape activity when an adaptation policy ran:
+	// reshape rounds completed and the state migrated between tasks.
+	Adapt AdaptMetrics
+	topo  *Topology
 }
 
 // Component returns the metrics of one component (nil if unknown).

@@ -48,7 +48,10 @@ type TupleJoin struct {
 	full        uint64
 }
 
-var _ localjoin.MultiJoin = (*TupleJoin)(nil)
+var (
+	_ localjoin.MultiJoin = (*TupleJoin)(nil)
+	_ localjoin.Migrator  = (*TupleJoin)(nil)
+)
 
 // NewTupleJoin builds the operator, materializing a view for every
 // connected, non-full subset of relations.
@@ -102,18 +105,51 @@ func (j *TupleJoin) OnTuple(rel int, t types.Tuple) ([]localjoin.Delta, error) {
 	if err != nil {
 		return nil, err
 	}
+	return out, j.Insert(rel, t)
+}
+
+// Insert stores a tuple with full view maintenance but without computing
+// the delta result — the silent path used by state preload and by the
+// adaptive operator's migration import (localjoin.Migrator).
+func (j *TupleJoin) Insert(rel int, t types.Tuple) error {
+	if rel < 0 || rel >= j.g.NumRels {
+		return fmt.Errorf("dbtoaster: relation %d out of range", rel)
+	}
 	for _, mask := range j.updateOrder[rel] {
 		deltas, err := j.joinWith(rel, t, mask&^(1<<rel))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, d := range deltas {
 			if err := j.insert(j.views[mask], d); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// RelCount returns the stored base tuples of one relation (its singleton
+// view's combos).
+func (j *TupleJoin) RelCount(rel int) int {
+	v := j.views[uint64(1)<<rel]
+	if v == nil {
+		return 0
+	}
+	return len(v.combos)
+}
+
+// ExportRel snapshots the stored base tuples of one relation.
+func (j *TupleJoin) ExportRel(rel int) []types.Tuple {
+	v := j.views[uint64(1)<<rel]
+	if v == nil {
+		return nil
+	}
+	out := make([]types.Tuple, len(v.combos))
+	for i, d := range v.combos {
+		out[i] = d[rel]
+	}
+	return out
 }
 
 // joinWith extends tuple t of relation rel across the connected components

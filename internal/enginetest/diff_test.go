@@ -1,0 +1,118 @@
+package enginetest
+
+import (
+	"testing"
+
+	"squall"
+)
+
+var (
+	allSchemes = []squall.SchemeKind{squall.HashHypercube, squall.RandomHypercube, squall.HybridHypercube}
+	allLocals  = []squall.LocalJoinKind{squall.Traditional, squall.DBToaster}
+	allBatches = []int{1, 3, 64}
+)
+
+// TestDifferentialAllConfigs is the harness proper: randomized workloads
+// through every (scheme x local join x batch size x adaptive on/off)
+// combination, bag-compared against the nested-loop oracle. Seeds are
+// logged so any failure reproduces by pinning the seed.
+func TestDifferentialAllConfigs(t *testing.T) {
+	cases := []struct {
+		name               string
+		seed               int64
+		rels, rows, domain int
+		theta              bool
+	}{
+		{"2way-equi", 11, 2, 200, 25, false},
+		{"2way-theta", 12, 2, 120, 20, true},
+		{"3way-chain", 13, 3, 60, 10, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			t.Logf("workload seed=%d rels=%d rows=%d domain=%d theta=%v", c.seed, c.rels, c.rows, c.domain, c.theta)
+			w := RandomWorkload(c.seed, c.rels, c.rows, c.domain, c.theta)
+			ref := w.ReferenceBag()
+			if len(ref) == 0 {
+				t.Fatalf("degenerate workload: oracle produced no rows")
+			}
+			for _, scheme := range allSchemes {
+				for _, local := range allLocals {
+					for _, batch := range allBatches {
+						for _, adaptive := range []bool{false, true} {
+							if adaptive && c.rels != 2 {
+								continue // the adaptive 1-Bucket operator is 2-way
+							}
+							ec := EngineConfig{
+								Scheme: scheme, Local: local, BatchSize: batch,
+								Adaptive: adaptive, Machines: 6, Seed: c.seed,
+							}
+							t.Run(ec.String(), func(t *testing.T) {
+								got, _, err := w.RunEngine(ec)
+								if err != nil {
+									t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
+								}
+								if diff := DiffBags(ref, got); diff != "" {
+									t.Fatalf("seed=%d %v: engine diverges from oracle:\n%s", c.seed, ec, diff)
+								}
+							})
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialAdaptiveDrift is the acceptance scenario: under a
+// heavily drifting |R| : |S| ratio the adaptive run must reshape at least
+// once, report migrated bytes, and stay bag-equal to both the oracle and
+// the frozen-matrix static run.
+func TestDifferentialAdaptiveDrift(t *testing.T) {
+	const seed = int64(21)
+	t.Logf("workload seed=%d", seed)
+	w := RandomWorkload(seed, 2, 60, 40, false)
+	// Drift: rebuild relation 0 much larger than relation 1, so the ratio
+	// the controller observes wanders far from the initial square-ish guess.
+	big := RandomWorkload(seed+1, 2, 6000, 40, false)
+	w.Rels[0] = big.Rels[0]
+	ref := w.ReferenceBag()
+
+	// A moderate batch size keeps the in-flight tuple budget small enough
+	// that the controller observes the drift while the stream is live.
+	adaptiveCfg := EngineConfig{
+		Scheme: squall.RandomHypercube, Local: squall.Traditional,
+		BatchSize: 16, Adaptive: true, Machines: 8, Seed: seed,
+	}
+	staticCfg := adaptiveCfg
+	staticCfg.Adaptive = false
+
+	q := w.query(adaptiveCfg)
+	// Start from the worst shape for an R-heavy stream: one row means every
+	// machine receives every R tuple.
+	q.Adapt.InitialRows, q.Adapt.InitialCols = 1, 8
+	res, err := q.Run(squall.Options{Seed: seed, BatchSize: 16, ChannelBuf: 8})
+	if err != nil {
+		t.Fatalf("seed=%d adaptive run: %v", seed, err)
+	}
+	if got := res.Metrics.Adapt.Reshapes.Load(); got < 1 {
+		t.Fatalf("seed=%d: adaptive run performed %d reshapes, want >= 1", seed, got)
+	}
+	if got := res.Metrics.Adapt.MigratedBytes.Load(); got <= 0 {
+		t.Fatalf("seed=%d: adaptive run reported %d migrated bytes, want > 0", seed, got)
+	}
+	adaptiveBag := make(map[string]int, len(res.Rows))
+	for _, r := range res.Rows {
+		adaptiveBag[r.Key()]++
+	}
+	if diff := DiffBags(ref, adaptiveBag); diff != "" {
+		t.Fatalf("seed=%d: adaptive run diverges from oracle:\n%s", seed, diff)
+	}
+
+	staticBag, _, err := w.RunEngine(staticCfg)
+	if err != nil {
+		t.Fatalf("seed=%d static run: %v", seed, err)
+	}
+	if diff := DiffBags(staticBag, adaptiveBag); diff != "" {
+		t.Fatalf("seed=%d: adaptive and static runs disagree:\n%s", seed, diff)
+	}
+}

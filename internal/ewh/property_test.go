@@ -1,0 +1,206 @@
+package ewh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests cross-checking the EWH scheme against a brute-force oracle
+// over generated band and inequality joins: every productive matrix cell is
+// covered by exactly one region, matching key pairs always meet in exactly
+// one region, and region weights stay within the paper's balance bound.
+
+// genCase is one randomized scenario.
+type genCase struct {
+	band     Band
+	rSample  []int64
+	sSample  []int64
+	buckets  int
+	machines int
+}
+
+func randBand(rng *rand.Rand) Band {
+	switch rng.Intn(4) {
+	case 0:
+		return Within(int64(1 + rng.Intn(40)))
+	case 1:
+		return LessThan()
+	case 2: // asymmetric closed band
+		lo := int64(-(1 + rng.Intn(30)))
+		return Band{Lo: lo, Hi: lo + int64(1+rng.Intn(60))}
+	default: // one-sided upper-open band: a - b >= Lo
+		return Band{Lo: int64(-(1 + rng.Intn(20))), HiOpen: true}
+	}
+}
+
+func randCase(rng *rand.Rand) genCase {
+	domain := int64(20 + rng.Intn(400))
+	mkSample := func(n int) []int64 {
+		out := make([]int64, n)
+		heavy := rng.Int63n(domain) // a heavy key: duplicate boundaries happen
+		for i := range out {
+			if rng.Intn(4) == 0 {
+				out[i] = heavy
+			} else {
+				out[i] = rng.Int63n(domain)
+			}
+		}
+		return out
+	}
+	return genCase{
+		band:     randBand(rng),
+		rSample:  mkSample(50 + rng.Intn(400)),
+		sSample:  mkSample(50 + rng.Intn(400)),
+		buckets:  2 + rng.Intn(14),
+		machines: 1 + rng.Intn(15),
+	}
+}
+
+// oracleWeights recomputes the cell-weight matrix exactly as Build defines
+// it, straight from the samples — the brute-force reference the region
+// tiling is checked against.
+func oracleWeights(s *Scheme, c genCase) [][]float64 {
+	rCnt := bucketCounts(c.rSample, s.rBounds)
+	sCnt := bucketCounts(c.sSample, s.sBounds)
+	w := make([][]float64, len(s.rBounds))
+	for i := range w {
+		w[i] = make([]float64, len(s.sBounds))
+		aLo, aHi := s.bucketRange(s.rBounds, i)
+		for j := range w[i] {
+			bLo, bHi := s.bucketRange(s.sBounds, j)
+			if c.band.mayMatch(aLo, aHi, bLo, bHi) {
+				w[i][j] = float64(rCnt[i]) * float64(sCnt[j])
+				if w[i][j] == 0 {
+					w[i][j] = 1e-9
+				}
+			}
+		}
+	}
+	return w
+}
+
+// TestPropertyCoverage: every productive cell belongs to exactly one region,
+// regions are disjoint rectangles, and no pruned-only weight is assigned.
+func TestPropertyCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		c := randCase(rng)
+		s, err := Build(c.rSample, c.sSample, c.buckets, c.machines, c.band)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := s.Machines(); got > c.machines {
+			t.Fatalf("trial %d: %d regions exceed %d machines", trial, got, c.machines)
+		}
+		w := oracleWeights(s, c)
+		// Every productive cell is owned by exactly one region whose
+		// rectangle contains it; every unproductive cell is unowned.
+		for i := range w {
+			for j := range w[i] {
+				idx := s.cellRegion[i][j]
+				switch {
+				case w[i][j] > 0 && idx < 0:
+					t.Fatalf("trial %d: productive cell (%d,%d) uncovered", trial, i, j)
+				case w[i][j] == 0 && idx >= 0:
+					t.Fatalf("trial %d: pruned cell (%d,%d) assigned region %d", trial, i, j, idx)
+				case idx >= 0:
+					r := s.regions[idx]
+					if i < r.Row0 || i > r.Row1 || j < r.Col0 || j > r.Col1 {
+						t.Fatalf("trial %d: cell (%d,%d) outside its region %d rect %+v", trial, i, j, idx, r)
+					}
+				}
+			}
+		}
+		// Rectangles are pairwise disjoint (guillotine cuts), so "exactly
+		// one region" holds for every cell, not just the marked ones.
+		for a := 0; a < len(s.regions); a++ {
+			for b := a + 1; b < len(s.regions); b++ {
+				ra, rb := s.regions[a], s.regions[b]
+				if ra.Row0 <= rb.Row1 && rb.Row0 <= ra.Row1 && ra.Col0 <= rb.Col1 && rb.Col0 <= ra.Col1 {
+					t.Fatalf("trial %d: regions %d and %d overlap: %+v vs %+v", trial, a, b, ra, rb)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyMeetOracle: for random key pairs, the routing agrees with the
+// brute-force predicate — matching pairs meet in exactly one region (the
+// MeetRegion), and RouteR/RouteS never lose it.
+func TestPropertyMeetOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		c := randCase(rng)
+		s, err := Build(c.rSample, c.sSample, c.buckets, c.machines, c.band)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for probe := 0; probe < 200; probe++ {
+			a := c.rSample[rng.Intn(len(c.rSample))] + int64(rng.Intn(21)-10)
+			b := c.sSample[rng.Intn(len(c.sSample))] + int64(rng.Intn(21)-10)
+			rRoute := s.RouteR(a)
+			sRoute := s.RouteS(b)
+			var meet []int
+			for _, r := range rRoute {
+				for _, q := range sRoute {
+					if r == q {
+						meet = append(meet, r)
+					}
+				}
+			}
+			if c.band.Matches(a, b) {
+				m := s.MeetRegion(a, b)
+				if m < 0 {
+					t.Fatalf("trial %d: matching pair (%d,%d) in pruned cell", trial, a, b)
+				}
+				if len(meet) != 1 || meet[0] != m {
+					t.Fatalf("trial %d: pair (%d,%d) meets in %v, want exactly [%d]", trial, a, b, meet, m)
+				}
+			} else if len(meet) > 1 {
+				// Non-matching pairs may share the (unpruned) cell's owner,
+				// but never more than one region — rectangles are disjoint.
+				t.Fatalf("trial %d: non-matching pair (%d,%d) meets in %d regions", trial, a, b, len(meet))
+			}
+		}
+	}
+}
+
+// TestPropertyBalanceBound: the guillotine tiling keeps every region's
+// estimated output weight within the scheme's balance bound — the ideal
+// share plus one indivisible cell per halving level (a heavy cell cannot be
+// split, and the recursive bisection can miss its target by at most a cell
+// at each of the ~log2(machines) levels).
+func TestPropertyBalanceBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		c := randCase(rng)
+		s, err := Build(c.rSample, c.sSample, c.buckets, c.machines, c.band)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		w := oracleWeights(s, c)
+		total, maxCell := 0.0, 0.0
+		for i := range w {
+			for j := range w[i] {
+				total += w[i][j]
+				if w[i][j] > maxCell {
+					maxCell = w[i][j]
+				}
+			}
+		}
+		if total == 0 {
+			continue // fully pruned: nothing to balance
+		}
+		levels := 1.0
+		for m := c.machines; m > 1; m /= 2 {
+			levels++
+		}
+		bound := total/float64(c.machines) + levels*maxCell
+		for idx, r := range s.regions {
+			if r.Weight > bound+1e-6 {
+				t.Fatalf("trial %d: region %d weight %.1f exceeds bound %.1f (total %.1f, machines %d, maxCell %.1f)",
+					trial, idx, r.Weight, bound, total, c.machines, maxCell)
+			}
+		}
+	}
+}

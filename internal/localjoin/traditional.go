@@ -43,6 +43,20 @@ type MultiJoin interface {
 	StoredTuples() int
 }
 
+// Migrator is implemented by local joins whose per-relation state can be
+// snapshotted and silently rebuilt — the hooks live repartitioning (the
+// adaptive 1-Bucket operator's state migration) is built on.
+type Migrator interface {
+	// RelCount returns the stored tuples of one relation.
+	RelCount(rel int) int
+	// ExportRel snapshots the stored tuples of one relation; the returned
+	// slice stays valid after further inserts.
+	ExportRel(rel int) []types.Tuple
+	// Insert stores a tuple with index/view maintenance but produces no
+	// delta results (state preload and migration import).
+	Insert(rel int, t types.Tuple) error
+}
+
 // store holds one relation's tuples plus its per-conjunct indexes.
 type store struct {
 	all    []types.Tuple
@@ -50,6 +64,8 @@ type store struct {
 	rngIdx map[int]*index.Tree // conjunct id -> tree on this relation's side
 	mem    int
 }
+
+var _ Migrator = (*Traditional)(nil)
 
 // Traditional is the index-nested-loop online multi-way join.
 type Traditional struct {
@@ -110,8 +126,19 @@ func (j *Traditional) OnTuple(rel int, t types.Tuple) ([]Delta, error) {
 }
 
 // Insert stores a tuple without producing results (state preload, e.g.
-// during fault-tolerance recovery).
+// during fault-tolerance recovery, or migration import).
 func (j *Traditional) Insert(rel int, t types.Tuple) error { return j.insert(rel, t) }
+
+// RelCount returns the stored tuples of one relation.
+func (j *Traditional) RelCount(rel int) int { return len(j.stores[rel].all) }
+
+// ExportRel snapshots the stored tuples of one relation.
+func (j *Traditional) ExportRel(rel int) []types.Tuple {
+	s := j.stores[rel]
+	out := make([]types.Tuple, len(s.all))
+	copy(out, s.all)
+	return out
+}
 
 // Remove deletes a stored tuple (window expiration).
 func (j *Traditional) Remove(rel int, t types.Tuple) (bool, error) {

@@ -36,17 +36,18 @@ func (k LocalJoinKind) String() string {
 // pipeline. relOf maps upstream component names to relation indexes.
 func JoinBolt(g *expr.JoinGraph, kind LocalJoinKind, relOf map[string]int, post Pipeline) dataflow.BoltFactory {
 	return func(task, ntasks int) dataflow.Bolt {
-		var mj localjoin.MultiJoin
-		if kind == DBToaster {
-			mj = dbtoaster.NewTupleJoin(g)
-		} else {
-			mj = localjoin.NewTraditional(g)
+		mk := func() localjoin.MultiJoin {
+			if kind == DBToaster {
+				return dbtoaster.NewTupleJoin(g)
+			}
+			return localjoin.NewTraditional(g)
 		}
-		return &joinBolt{mj: mj, relOf: relOf, post: post}
+		return &joinBolt{mk: mk, mj: mk(), relOf: relOf, post: post}
 	}
 }
 
 type joinBolt struct {
+	mk    func() localjoin.MultiJoin // fresh operator for reshape rebuilds
 	mj    localjoin.MultiJoin
 	relOf map[string]int
 	post  Pipeline
@@ -81,6 +82,92 @@ func (b *joinBolt) Execute(in dataflow.Input, out *dataflow.Collector) error {
 func (b *joinBolt) Finish(*dataflow.Collector) error { return nil }
 
 func (b *joinBolt) MemSize() int { return b.mj.MemSize() }
+
+// Live-repartitioning hooks (dataflow.Repartitioner), backed by the local
+// join's localjoin.Migrator snapshot/silent-insert primitives. Sides are
+// the adaptive 1-Bucket relation indexes (0 = rows, 1 = columns).
+var _ dataflow.Repartitioner = (*joinBolt)(nil)
+
+// migrator returns the local join's migration hooks, or an error for local
+// algorithms that cannot snapshot their state.
+func (b *joinBolt) migrator() (localjoin.Migrator, error) {
+	m, ok := b.mj.(localjoin.Migrator)
+	if !ok {
+		return nil, fmt.Errorf("ops: local join %T does not support state migration", b.mj)
+	}
+	return m, nil
+}
+
+// StoredCount reports one side's stored tuples for the control plane's
+// load reports.
+func (b *joinBolt) StoredCount(side int) int {
+	m, err := b.migrator()
+	if err != nil {
+		return 0
+	}
+	return m.RelCount(side)
+}
+
+// ExportState snapshots one side's stored tuples for migration.
+func (b *joinBolt) ExportState(side int) []types.Tuple {
+	m, err := b.migrator()
+	if err != nil {
+		return nil
+	}
+	return m.ExportRel(side)
+}
+
+// ResetForReshape rebuilds the local join from scratch, re-inserting only
+// the sides this task keeps under the new matrix. Rebuilding (rather than
+// deleting per-tuple) keeps the hook implementable by every local
+// algorithm, including view-materializing ones.
+func (b *joinBolt) ResetForReshape(keep [2]bool) error {
+	if keep[0] && keep[1] {
+		// Both sides stay in place (the cell's coordinates survived the
+		// reshape): nothing to rebuild, and any merged-in state arrives
+		// through ImportState.
+		return nil
+	}
+	m, err := b.migrator()
+	if err != nil {
+		return err
+	}
+	var kept [2][]types.Tuple
+	for side, k := range keep {
+		if k {
+			kept[side] = m.ExportRel(side)
+		}
+	}
+	fresh := b.mk()
+	fm, ok := fresh.(localjoin.Migrator)
+	if !ok {
+		return fmt.Errorf("ops: local join %T does not support state migration", fresh)
+	}
+	for side, ts := range kept {
+		for _, t := range ts {
+			if err := fm.Insert(side, t); err != nil {
+				return err
+			}
+		}
+	}
+	b.mj = fresh
+	return nil
+}
+
+// ImportState silently inserts migrated tuples: no delta results, because
+// every pair among pre-barrier state already met at exactly one old cell.
+func (b *joinBolt) ImportState(side int, tuples []types.Tuple) error {
+	m, err := b.migrator()
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		if err := m.Insert(side, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // AggJoinBolt runs the aggregate-view DBToaster operator (HyLD with a final
 // aggregation pushed into the joiner). Each task emits partial rows

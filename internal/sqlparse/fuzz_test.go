@@ -1,0 +1,153 @@
+package sqlparse
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// render prints a parsed Query back as SQL such that reparsing yields an
+// identical AST: expressions are fully parenthesized (parens are transparent
+// in the grammar), aliases always use AS, floats always carry a decimal
+// point, and <> is the canonical inequality spelling (the parser normalizes
+// != to <>).
+func render(q *Query) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range q.Select {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			fmt.Fprintf(&sb, "%s(*)", it.Agg)
+		case it.Agg != "":
+			fmt.Fprintf(&sb, "%s(%s)", it.Agg, renderNode(it.Expr))
+		default:
+			sb.WriteString(renderNode(it.Expr))
+		}
+	}
+	sb.WriteString(" FROM ")
+	for i, tr := range q.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(tr.Name)
+		if tr.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(tr.Alias)
+		}
+	}
+	if len(q.Where) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, cmp := range q.Where {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			fmt.Fprintf(&sb, "%s %s %s", renderNode(cmp.L), cmp.Op, renderNode(cmp.R))
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, cr := range q.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(renderNode(cr))
+		}
+	}
+	return sb.String()
+}
+
+func renderNode(n Node) string {
+	switch e := n.(type) {
+	case ColRefExpr:
+		if e.Table != "" {
+			return e.Table + "." + e.Column
+		}
+		return e.Column
+	case LitExpr:
+		switch {
+		case e.IsString:
+			return "'" + e.S + "'"
+		case e.IsFloat:
+			s := strconv.FormatFloat(e.F, 'f', -1, 64)
+			if !strings.Contains(s, ".") {
+				s += ".0"
+			}
+			return s
+		default:
+			return strconv.FormatInt(e.I, 10)
+		}
+	case BinExpr:
+		return "(" + renderNode(e.L) + " " + string(e.Op) + " " + renderNode(e.R) + ")"
+	case FuncExpr:
+		return e.Name + "(" + renderNode(e.Arg) + ")"
+	default:
+		panic(fmt.Sprintf("sqlparse: unknown node %T", n))
+	}
+}
+
+var fuzzSeeds = []string{
+	"SELECT * FROM t",
+	"SELECT o.custkey, COUNT(*) FROM customer AS c, orders o WHERE c.custkey = o.custkey GROUP BY o.custkey",
+	"SELECT SUM(l.extendedprice * (1 - l.discount)) FROM lineitem l, orders WHERE l.orderkey = orders.orderkey AND orders.orderdate < '1995-03-15'",
+	"SELECT AVG(a.x + 2.5) FROM a WHERE a.x <> 3 AND a.y >= a.x / 2 GROUP BY a.z",
+	"SELECT DATE(o.orderdate), COUNT(x) FROM o WHERE 2 * o.a < o.b AND o.s != 'x y''",
+	"SELECT COUNT FROM COUNT WHERE COUNT = COUNT.COUNT",
+	"SELECT (1 + 2) * 3 - 4 / 5 FROM t WHERE t.a <= 9999999999",
+	"SELECT a FROM WHERE",
+	"SELECT 1.",
+	"SELECT '",
+	"select x from y group by",
+}
+
+// FuzzParse asserts the parser never panics on arbitrary input, and that
+// every successfully parsed query survives a render -> reparse round trip
+// with an identical AST (so the lexer and parser agree on every construct
+// the parser can produce).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		rendered := render(q)
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip: %q parsed, but its rendering %q does not: %v", src, rendered, err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round trip: %q -> %q changed the AST:\n%#v\nvs\n%#v", src, rendered, q, q2)
+		}
+	})
+}
+
+// FuzzLex asserts the lexer never panics, always terminates with EOF, and
+// reports monotonically non-decreasing token positions inside the input.
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("lex %q: missing EOF terminator", src)
+		}
+		prev := 0
+		for _, tok := range toks {
+			if tok.Pos < prev || tok.Pos > len(src) {
+				t.Fatalf("lex %q: token %q position %d out of order (prev %d)", src, tok.Text, tok.Pos, prev)
+			}
+			prev = tok.Pos
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"squall/internal/adaptive"
 	"squall/internal/core"
 	"squall/internal/dataflow"
 	"squall/internal/dbtoaster"
@@ -111,6 +112,39 @@ type JoinQuery struct {
 	// received load, so a skewed Hash-Hypercube task can exhaust its budget
 	// (Figure 7's "Memory Overflow") — at the cost of shipping every delta.
 	ForceDeltaJoin bool
+	// AdaptiveJoin runs a 2-way join as the live Adaptive 1-Bucket operator
+	// (§5): tuples route by a rows x cols matrix over the Machines budget,
+	// and a runtime control plane reshapes the matrix as the observed
+	// |R| : |S| ratio drifts, migrating joiner state between tasks. The
+	// partitioning Scheme is bypassed on the joiner edges, and the
+	// aggregate-view fast path is disabled (aggregate views cannot migrate).
+	// Set via the Adaptive method; tune with Adapt.
+	AdaptiveJoin bool
+	// Adapt tunes the adaptive execution (nil = defaults).
+	Adapt *AdaptConfig
+}
+
+// AdaptConfig tunes the live Adaptive 1-Bucket execution.
+type AdaptConfig struct {
+	// InitialRows x InitialCols is the starting matrix; zero means the
+	// offline optimizer's choice for the declared Source sizes.
+	InitialRows, InitialCols int
+	// ReportEvery, MinGain, MinObserved and MaxReshapes map onto
+	// dataflow.AdaptivePolicy (zero = that policy's defaults).
+	ReportEvery int
+	MinGain     float64
+	MinObserved int64
+	MaxReshapes int
+	// Static freezes the initial matrix — the fixed-matrix baseline an
+	// adaptive run is measured against, on identical transport.
+	Static bool
+}
+
+// Adaptive toggles the live Adaptive 1-Bucket execution and returns q, so a
+// query can be built as experiments.Query(...).Adaptive(true).
+func (q *JoinQuery) Adaptive(on bool) *JoinQuery {
+	q.AdaptiveJoin = on
+	return q
 }
 
 // Options tune one execution.
@@ -246,7 +280,17 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 
 	sink := &limitSink{limit: opt.CollectLimit}
 	const joiner = "joiner"
-	useAggViews := q.Agg != nil && q.Local == DBToaster && q.Graph.IsEquiOnly() && !q.ForceDeltaJoin
+	joinerPar := hc.Machines()
+	var policy *dataflow.AdaptivePolicy
+	if q.AdaptiveJoin {
+		if policy, err = q.adaptivePolicy(joiner); err != nil {
+			return nil, err
+		}
+		// The matrix may grow into the whole budget, so the joiner runs at
+		// full parallelism rather than the static scheme's choice.
+		joinerPar = q.Machines
+	}
+	useAggViews := q.Agg != nil && q.Local == DBToaster && q.Graph.IsEquiOnly() && !q.ForceDeltaJoin && !q.AdaptiveJoin
 	switch {
 	case useAggViews:
 		// HyLD with the aggregation inside the joiner (aggregate views).
@@ -255,7 +299,7 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 			spec.Kind = dbtoaster.AggSum
 			spec.Sum = q.Agg.Sum
 		}
-		b.Bolt(joiner, hc.Machines(), ops.AggJoinBolt(q.Graph, spec, relOf, false))
+		b.Bolt(joiner, joinerPar, ops.AggJoinBolt(q.Graph, spec, relOf, false))
 		b.Bolt("merge", opt.FinalPar, ops.MergeBolt(len(q.Agg.GroupBy), q.Agg.Kind, false))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("merge", joiner, mergeGrouping(len(q.Agg.GroupBy)))
@@ -281,18 +325,25 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 			}
 			sumE = expr.C(offsets[q.Agg.Sum.Rel] + col)
 		}
-		b.Bolt(joiner, hc.Machines(), ops.JoinBolt(q.Graph, q.Local, relOf, nil))
+		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, nil))
 		b.Bolt("agg", opt.FinalPar, ops.AggBolt(groupEs, q.Agg.Kind, sumE, false))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("agg", joiner, dataflow.Fields(groupCols...))
 		b.Input("sink", "agg", dataflow.Global())
 	default:
-		b.Bolt(joiner, hc.Machines(), ops.JoinBolt(q.Graph, q.Local, relOf, q.Post))
+		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, q.Post))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("sink", joiner, dataflow.Global())
 	}
 	for i, s := range q.Sources {
-		b.Input(joiner, s.Name, hc.GroupingFor(i))
+		g := hc.GroupingFor(i)
+		if q.AdaptiveJoin {
+			// The executor routes adaptive edges by the live matrix; the
+			// registered grouping is never consulted (and the static scheme
+			// was built for a different parallelism anyway).
+			g = dataflow.Shuffle()
+		}
+		b.Input(joiner, s.Name, g)
 	}
 	topo, err := b.Build()
 	if err != nil {
@@ -304,6 +355,7 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 		BatchSize:       opt.BatchSize,
 		MemLimitPerTask: opt.MemLimitPerTask,
 		NoSerialize:     opt.NoSerialize,
+		Adaptive:        policy,
 	})
 	res := &Result{
 		Rows:            sink.rows,
@@ -313,6 +365,40 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 		JoinerComponent: joiner,
 	}
 	return res, runErr
+}
+
+// adaptivePolicy translates the query's adaptive knobs into the dataflow
+// control plane's policy, defaulting the initial matrix to the offline
+// optimizer's choice for the declared source sizes.
+func (q *JoinQuery) adaptivePolicy(joiner string) (*dataflow.AdaptivePolicy, error) {
+	if len(q.Sources) != 2 {
+		return nil, fmt.Errorf("squall: adaptive 1-Bucket execution needs exactly 2 sources, got %d", len(q.Sources))
+	}
+	if q.Machines < 1 {
+		return nil, fmt.Errorf("squall: adaptive 1-Bucket execution needs Machines >= 1")
+	}
+	cfg := AdaptConfig{}
+	if q.Adapt != nil {
+		cfg = *q.Adapt
+	}
+	rows, cols := cfg.InitialRows, cfg.InitialCols
+	if rows == 0 && cols == 0 {
+		m := adaptive.OptimalMatrix(q.Machines,
+			float64(max64(q.Sources[0].Size, 1)), float64(max64(q.Sources[1].Size, 1)))
+		rows, cols = m.Rows, m.Cols
+	}
+	return &dataflow.AdaptivePolicy{
+		Component:   joiner,
+		RStream:     q.Sources[0].Name,
+		SStream:     q.Sources[1].Name,
+		InitialRows: rows,
+		InitialCols: cols,
+		ReportEvery: cfg.ReportEvery,
+		MinGain:     cfg.MinGain,
+		MinObserved: cfg.MinObserved,
+		MaxReshapes: cfg.MaxReshapes,
+		Static:      cfg.Static,
+	}, nil
 }
 
 // relOffsets returns each relation's column offset in the concatenated join
