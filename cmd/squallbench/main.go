@@ -1,6 +1,6 @@
 // squallbench regenerates the paper's tables and figures as text tables.
 //
-//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|all]
+//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|state|all]
 //
 // The extra `batch` experiment measures the PR 1 batched-transport speedup
 // (network-hop and full-join stages at batch=1 vs the default batch size,
@@ -12,6 +12,12 @@
 // it writes BENCH_PR2.json, and with -smoke it runs at CI scale. It exits
 // non-zero when the adaptive run fails the paper's claims, so CI uses it
 // as an acceptance gate.
+//
+// The `state` experiment (PR 3) compares the compact slab-backed operator
+// state against the pre-slab map layout — insert/probe throughput,
+// bytes/stored-tuple and allocs/op at a million-tuple join, plus end-to-end
+// full-join time; with -json it writes BENCH_PR3.json, and it exits
+// non-zero when the compact layout stops paying for itself (the CI gate).
 //
 // Scales are thousandth-scale stand-ins for the paper's cluster runs; the
 // expected shapes (orderings, rough ratios) are documented per experiment in
@@ -34,7 +40,7 @@ var allSchemes = []squall.SchemeKind{squall.HashHypercube, squall.RandomHypercub
 
 var (
 	jsonOut = flag.Bool("json", false, "write machine-readable results (BENCH_PR1.json / BENCH_PR2.json) for the batch and adapt experiments")
-	smoke   = flag.Bool("smoke", false, "run the adapt experiment at CI smoke scale")
+	smoke   = flag.Bool("smoke", false, "run the adapt/state experiments at CI smoke scale")
 )
 
 func main() {
@@ -59,6 +65,7 @@ func main() {
 		"section5": section5,
 		"batch":    batchTransport,
 		"adapt":    adaptBench,
+		"state":    stateBench,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -68,7 +75,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt all\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state all\n", what)
 		os.Exit(2)
 	}
 	f()

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"squall"
+	"squall/internal/dataflow"
+	"squall/internal/expr"
+	"squall/internal/localjoin"
+	"squall/internal/types"
+)
+
+// benchFileState is where `-json state` records the PR 3 numbers.
+const benchFileState = "BENCH_PR3.json"
+
+// stateModeResult measures one state layout at the Figure-8-style scale
+// point: a 2-way equi join storing `tuples` R rows, probed by `probes` S
+// rows (each matching ~1 stored row), TPC-H-ish 4-column tuples.
+type stateModeResult struct {
+	Name              string  `json:"name"`
+	InsertNSPerTuple  float64 `json:"insert_ns_per_tuple"`
+	ProbeNSPerTuple   float64 `json:"probe_ns_per_tuple"`
+	InsertProbePerSec float64 `json:"insert_probe_tuples_per_sec"`
+	MemBytesPerTuple  float64 `json:"memsize_bytes_per_stored_tuple"`
+	HeapBytesPerTuple float64 `json:"heap_bytes_per_stored_tuple"`
+	AllocsPerOp       float64 `json:"allocs_per_probe_op"`
+}
+
+type stateReport struct {
+	PR              int                `json:"pr"`
+	Benchmark       string             `json:"benchmark"`
+	Tuples          int                `json:"stored_tuples"`
+	Probes          int                `json:"probe_tuples"`
+	Map             stateModeResult    `json:"map"`
+	Slab            stateModeResult    `json:"slab"`
+	BytesReductionX float64            `json:"bytes_per_tuple_reduction_x"`
+	HeapReductionX  float64            `json:"heap_bytes_reduction_x"`
+	ThroughputX     float64            `json:"insert_probe_speedup_x"`
+	FullJoin        fullJoinStateBench `json:"full_join"`
+}
+
+type fullJoinStateBench struct {
+	RTuples  int     `json:"r_tuples"`
+	STuples  int     `json:"s_tuples"`
+	MapMS    float64 `json:"map_ms"`
+	SlabMS   float64 `json:"slab_ms"`
+	SpeedupX float64 `json:"speedup_x"`
+	Rows     int64   `json:"result_rows"`
+}
+
+// stateTuple synthesizes a TPC-H-ish row: int key, date string, float, tag.
+func stateTuple(key int64, i int) types.Tuple {
+	return types.Tuple{
+		types.Int(key),
+		types.Str(fmt.Sprintf("1996-%02d-%02d", 1+i%12, 1+i%28)),
+		types.Float(float64(i%100000) + 0.25),
+		types.Str("BUILDING"),
+	}
+}
+
+// stateJoinGraph is the 2-way equi join R.key = S.key.
+func stateJoinGraph() *expr.JoinGraph {
+	return expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
+}
+
+// heapInUse forces a collection and returns live heap bytes.
+func heapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// measureStateMode builds the join state of one layout and measures
+// insert/probe cost, real memory per stored tuple and allocs per probe.
+func measureStateMode(name string, mk func(*expr.JoinGraph) *localjoin.Traditional, n, probes int) stateModeResult {
+	g := stateJoinGraph()
+
+	// Heap baseline precedes input generation: the map layout retains the
+	// generated tuples as its state while the slab layout copies them into
+	// the arena and lets them die, so measuring (heap with state, inputs
+	// dropped) - (heap before inputs) attributes exactly the live state to
+	// each layout.
+	base := heapInUse()
+	rRows := make([]types.Tuple, n)
+	for i := range rRows {
+		rRows[i] = stateTuple(int64(i), i)
+	}
+	j := mk(g)
+	start := time.Now()
+	for _, t := range rRows {
+		if err := j.Insert(0, t); err != nil {
+			fmt.Fprintf(os.Stderr, "state: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	insertDur := time.Since(start)
+	for i := range rRows {
+		rRows[i] = nil
+	}
+	heapPer := (float64(heapInUse()) - float64(base)) / float64(n)
+
+	sRows := make([]types.Tuple, probes)
+	for i := range sRows {
+		sRows[i] = stateTuple(int64((i*2654435761)%n), i)
+	}
+	start = time.Now()
+	matched := 0
+	for _, t := range sRows {
+		deltas, err := j.OnTuple(1, t)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "state: %v\n", err)
+			os.Exit(1)
+		}
+		matched += len(deltas)
+	}
+	probeDur := time.Since(start)
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "state: probe workload produced no matches")
+		os.Exit(1)
+	}
+
+	memPer := float64(j.MemSize()) / float64(j.StoredTuples())
+
+	// Allocs per probe+insert op at steady state (small fresh state so the
+	// benchmark loop stays fast; the alloc profile is scale-free).
+	alloc := testing.Benchmark(func(b *testing.B) {
+		bj := mk(g)
+		for i := 0; i < 10000; i++ {
+			if err := bj.Insert(0, stateTuple(int64(i), i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bj.OnTuple(1, stateTuple(int64(i%10000), i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	total := insertDur + probeDur
+	res := stateModeResult{
+		Name:              name,
+		InsertNSPerTuple:  float64(insertDur.Nanoseconds()) / float64(n),
+		ProbeNSPerTuple:   float64(probeDur.Nanoseconds()) / float64(probes),
+		InsertProbePerSec: float64(n+probes) / total.Seconds(),
+		MemBytesPerTuple:  memPer,
+		HeapBytesPerTuple: heapPer,
+		AllocsPerOp:       float64(alloc.AllocsPerOp()),
+	}
+	runtime.KeepAlive(j)
+	return res
+}
+
+// fullJoinState runs the end-to-end 2-way full join through the engine in
+// both state layouts and compares elapsed time and row counts.
+func fullJoinState(rn, sn int) fullJoinStateBench {
+	g := stateJoinGraph()
+	rRows := make([]types.Tuple, rn)
+	for i := range rRows {
+		rRows[i] = stateTuple(int64(i%(rn/4+1)), i)
+	}
+	sRows := make([]types.Tuple, sn)
+	for i := range sRows {
+		sRows[i] = stateTuple(int64(i%(rn/4+1)), i)
+	}
+	run := func(legacy bool) (time.Duration, int64) {
+		q := &squall.JoinQuery{
+			Graph:    g,
+			Scheme:   squall.HybridHypercube,
+			Machines: 8,
+			Local:    squall.Traditional,
+			Sources: []squall.Source{
+				{Name: "R", Spout: dataflow.SliceSpout(rRows), Size: int64(rn)},
+				{Name: "S", Spout: dataflow.SliceSpout(sRows), Size: int64(sn)},
+			},
+		}
+		runtime.GC()
+		res, err := q.Run(squall.Options{Seed: 7, CollectLimit: 1, LegacyState: legacy})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "state: full join (legacy=%v): %v\n", legacy, err)
+			os.Exit(1)
+		}
+		return res.Metrics.Elapsed, res.RowCount
+	}
+	const reps = 3
+	mean := func(legacy bool) (time.Duration, int64) {
+		run(legacy) // warmup, discarded
+		var total time.Duration
+		var rows int64
+		for i := 0; i < reps; i++ {
+			d, r := run(legacy)
+			total += d
+			rows = r
+		}
+		return total / reps, rows
+	}
+	mapD, mapRows := mean(true)
+	slabD, slabRows := mean(false)
+	if mapRows != slabRows {
+		fmt.Fprintf(os.Stderr, "state: FAIL: full join rows diverge: map %d, slab %d\n", mapRows, slabRows)
+		os.Exit(1)
+	}
+	return fullJoinStateBench{
+		RTuples: rn, STuples: sn,
+		MapMS:    float64(mapD.Microseconds()) / 1000,
+		SlabMS:   float64(slabD.Microseconds()) / 1000,
+		SpeedupX: float64(mapD) / float64(slabD),
+		Rows:     slabRows,
+	}
+}
+
+// stateBench is the PR 3 experiment: map-backed vs slab-backed operator
+// state at a Figure-8-style million-tuple join. It exits non-zero when the
+// compact layout stops paying for itself (CI smoke gate): bytes/stored-tuple
+// must drop >= 2x and insert+probe throughput must not regress (>= 1.5x at
+// the full million-tuple scale point, where GC pressure dominates the map
+// layout; the smoke scale asserts no regression).
+func stateBench() {
+	n, probes := 1_000_000, 250_000
+	fullR, fullS := 240_000, 60_000
+	throughputGate := 1.5
+	if *smoke {
+		n, probes = 60_000, 15_000
+		fullR, fullS = 24_000, 6_000
+		throughputGate = 1.0
+	}
+	header(fmt.Sprintf("Compact slab state vs map state (2-way equi join, %d stored / %d probes)", n, probes))
+
+	mapRes := measureStateMode("map", localjoin.NewTraditionalMap, n, probes)
+	slabRes := measureStateMode("slab", localjoin.NewTraditional, n, probes)
+
+	fmt.Printf("  %-6s %12s %12s %14s %11s %11s %9s\n",
+		"state", "insert ns/t", "probe ns/t", "ins+prb t/s", "mem B/t", "heap B/t", "allocs/op")
+	for _, r := range []stateModeResult{mapRes, slabRes} {
+		fmt.Printf("  %-6s %12.0f %12.0f %14.0f %11.1f %11.1f %9.1f\n",
+			r.Name, r.InsertNSPerTuple, r.ProbeNSPerTuple, r.InsertProbePerSec,
+			r.MemBytesPerTuple, r.HeapBytesPerTuple, r.AllocsPerOp)
+	}
+
+	report := stateReport{
+		PR: 3,
+		Benchmark: fmt.Sprintf("slab-backed vs map-backed join state (%d stored tuples, %d probes, 4-col TPC-H-ish rows)",
+			n, probes),
+		Tuples: n, Probes: probes,
+		Map: mapRes, Slab: slabRes,
+		BytesReductionX: mapRes.MemBytesPerTuple / slabRes.MemBytesPerTuple,
+		HeapReductionX:  mapRes.HeapBytesPerTuple / slabRes.HeapBytesPerTuple,
+		ThroughputX:     slabRes.InsertProbePerSec / mapRes.InsertProbePerSec,
+	}
+	report.FullJoin = fullJoinState(fullR, fullS)
+
+	fmt.Printf("  bytes/stored-tuple: %.1fx smaller (MemSize), %.1fx smaller (live heap)\n",
+		report.BytesReductionX, report.HeapReductionX)
+	fmt.Printf("  insert+probe throughput: %.2fx\n", report.ThroughputX)
+	fmt.Printf("  end-to-end full join (%d:%d, 8J): map %.1fms, slab %.1fms (%.2fx), %d rows\n",
+		fullR, fullS, report.FullJoin.MapMS, report.FullJoin.SlabMS, report.FullJoin.SpeedupX, report.FullJoin.Rows)
+
+	ok := true
+	if report.BytesReductionX < 2 {
+		fmt.Fprintf(os.Stderr, "  FAIL: bytes/stored-tuple reduction %.2fx < 2x\n", report.BytesReductionX)
+		ok = false
+	}
+	if report.ThroughputX < throughputGate {
+		fmt.Fprintf(os.Stderr, "  FAIL: insert+probe throughput %.2fx < %.2fx gate\n", report.ThroughputX, throughputGate)
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(benchFileState, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", benchFileState, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", benchFileState)
+	}
+}

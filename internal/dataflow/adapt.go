@@ -59,6 +59,18 @@ type Repartitioner interface {
 	ImportState(side int, tuples []types.Tuple) error
 }
 
+// FrameExporter is optionally implemented by Repartitioners whose state is
+// stored wire-encoded (the slab layout): ExportStateFrames streams one
+// side's stored tuples as ready-made wire batch frames of up to batchSize
+// tuples, blitted from the packed rows without materializing []types.Value
+// tuples. The frame buffer is only valid during the visit callback; visit
+// returning false stops the stream. It reports false when the state is not
+// frame-exportable (map layout), in which case the migration path falls
+// back to ExportState.
+type FrameExporter interface {
+	ExportStateFrames(side, batchSize int, visit func(frame []byte, count int) bool) bool
+}
+
 // AdaptivePolicy configures live 1-Bucket adaptation of one 2-way join
 // component. The component's two input edges (from RStream and SStream) stop
 // using their registered groupings: R tuples pick a random row of the
@@ -480,10 +492,34 @@ type migSession struct {
 
 func (s *migSession) complete(par int) bool { return s.dones == par }
 
-// sideExport is the state one primary ships for one side.
+// sideExport is the state one primary ships for one side: either pre-built
+// wire batch frames (slab-backed state, snapshotted by blitting rows) or
+// materialized tuples (map layout, or the NoSerialize path).
 type sideExport struct {
+	frames [][]byte // each a complete wire batch frame
 	tuples []types.Tuple
 	dests  []int
+}
+
+// snapshotExport captures one side's state before ResetForReshape rebuilds
+// it. With serialization on and frame-exporting state it copies the packed
+// frames — encoded bytes, no tuple materialization; otherwise it snapshots
+// decoded tuples.
+func (a *adaptState) snapshotExport(rep Repartitioner, side int, dests []int) sideExport {
+	exp := sideExport{dests: dests}
+	if !a.ex.opts.NoSerialize {
+		if fe, ok := rep.(FrameExporter); ok {
+			done := fe.ExportStateFrames(side, a.ex.opts.BatchSize, func(frame []byte, _ int) bool {
+				exp.frames = append(exp.frames, append([]byte(nil), frame...))
+				return true
+			})
+			if done {
+				return exp
+			}
+		}
+	}
+	exp.tuples = rep.ExportState(side)
+	return exp
 }
 
 // beginMigration runs the task-local half of the barrier: resolve what this
@@ -519,7 +555,7 @@ func (a *adaptState) beginMigration(task int, rep Repartitioner, tm *TaskMetrics
 				dests = append(dests, d)
 			}
 			if len(dests) > 0 {
-				exports[0] = sideExport{tuples: rep.ExportState(0), dests: dests}
+				exports[0] = a.snapshotExport(rep, 0, dests)
 			}
 		}
 		if row == 0 {
@@ -533,7 +569,7 @@ func (a *adaptState) beginMigration(task int, rep Repartitioner, tm *TaskMetrics
 				dests = append(dests, d)
 			}
 			if len(dests) > 0 {
-				exports[1] = sideExport{tuples: rep.ExportState(1), dests: dests}
+				exports[1] = a.snapshotExport(rep, 1, dests)
 			}
 		}
 	}
@@ -546,43 +582,60 @@ func (a *adaptState) beginMigration(task int, rep Repartitioner, tm *TaskMetrics
 }
 
 // sendExports ships one task's exports as wire batch frames, then marks the
-// end of its exports to every peer. Runs concurrently with the task's main
-// loop; TaskMetrics fields are atomics.
+// end of its exports to every peer. Slab-backed state arrives as pre-built
+// frames (snapshotExport blitted the packed rows), so this path never
+// re-encodes; map-layout tuples are chunked and encoded here. Runs
+// concurrently with the task's main loop; TaskMetrics fields are atomics.
 func (a *adaptState) sendExports(task int, tm *TaskMetrics, epoch int, exports [2]sideExport) {
 	defer a.exportWG.Done()
 	var scratch []byte
 	var dec wire.BatchDecoder
 	batchSize := a.ex.opts.BatchSize
+	// shipFrame delivers one encoded frame to every destination, each
+	// receiving its own decoded copies and the sender charged the frame
+	// bytes, exactly like a data hop (DESIGN.md substitution table).
+	shipFrame := func(frame []byte, side int, dests []int) bool {
+		for _, d := range dests {
+			out, _, err := dec.Decode(frame)
+			if err != nil {
+				a.ex.fail(fmt.Errorf("dataflow: migration wire corruption at %s[%d]: %w", a.node.name, task, err))
+				return false
+			}
+			tm.BytesOut.Add(int64(len(frame)))
+			a.ex.metrics.Adapt.MigratedBytes.Add(int64(len(frame)))
+			a.ex.metrics.Adapt.MigratedTuples.Add(int64(len(out)))
+			env := envelope{from: task, ctrl: ctrlMigBatch, mig: &migBatch{epoch: epoch, side: side, tuples: out}}
+			if !a.ex.send(a.node, d, env) {
+				return false
+			}
+		}
+		return true
+	}
 	for side, exp := range exports {
+		for _, frame := range exp.frames {
+			if !shipFrame(frame, side, exp.dests) {
+				return
+			}
+		}
 		for start := 0; start < len(exp.tuples); start += batchSize {
 			end := start + batchSize
 			if end > len(exp.tuples) {
 				end = len(exp.tuples)
 			}
 			chunk := exp.tuples[start:end]
-			if !a.ex.opts.NoSerialize {
-				scratch = wire.EncodeBatch(scratch[:0], chunk)
-			}
-			for _, d := range exp.dests {
-				out := chunk
-				if !a.ex.opts.NoSerialize {
-					// Each destination gets its own decoded copies and the
-					// sender is charged the frame bytes, exactly like a
-					// data hop (DESIGN.md substitution table).
-					var err error
-					out, _, err = dec.Decode(scratch)
-					if err != nil {
-						a.ex.fail(fmt.Errorf("dataflow: migration wire corruption at %s[%d]: %w", a.node.name, task, err))
+			if a.ex.opts.NoSerialize {
+				for _, d := range exp.dests {
+					a.ex.metrics.Adapt.MigratedTuples.Add(int64(len(chunk)))
+					env := envelope{from: task, ctrl: ctrlMigBatch, mig: &migBatch{epoch: epoch, side: side, tuples: chunk}}
+					if !a.ex.send(a.node, d, env) {
 						return
 					}
-					tm.BytesOut.Add(int64(len(scratch)))
-					a.ex.metrics.Adapt.MigratedBytes.Add(int64(len(scratch)))
 				}
-				a.ex.metrics.Adapt.MigratedTuples.Add(int64(len(out)))
-				env := envelope{from: task, ctrl: ctrlMigBatch, mig: &migBatch{epoch: epoch, side: side, tuples: out}}
-				if !a.ex.send(a.node, d, env) {
-					return
-				}
+				continue
+			}
+			scratch = wire.EncodeBatch(scratch[:0], chunk)
+			if !shipFrame(scratch, side, exp.dests) {
+				return
 			}
 		}
 	}

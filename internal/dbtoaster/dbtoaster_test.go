@@ -9,6 +9,7 @@ import (
 	"squall/internal/expr"
 	"squall/internal/localjoin"
 	"squall/internal/types"
+	"squall/internal/wire"
 )
 
 func genRel(r *rand.Rand, n, arity int, domain int64) []types.Tuple {
@@ -88,9 +89,12 @@ func TestTupleJoinMatchesTraditionalPerDelta(t *testing.T) {
 		name string
 		g    *expr.JoinGraph
 		rels int
+		mk   func(*expr.JoinGraph) *TupleJoin
 	}{
-		{"chain3", chain3(), 3},
-		{"chain4", chain4(), 4},
+		{"chain3/slab", chain3(), 3, NewTupleJoin},
+		{"chain4/slab", chain4(), 4, NewTupleJoin},
+		{"chain3/map", chain3(), 3, NewTupleJoinMap},
+		{"chain4/map", chain4(), 4, NewTupleJoinMap},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			r := rand.New(rand.NewSource(5))
@@ -99,7 +103,7 @@ func TestTupleJoinMatchesTraditionalPerDelta(t *testing.T) {
 				rels[i] = genRel(r, 25, 2, 5)
 			}
 			trad := localjoin.NewTraditional(tc.g)
-			dbt := NewTupleJoin(tc.g)
+			dbt := tc.mk(tc.g)
 			for _, e := range shuffled(r, rels) {
 				dt, err := trad.OnTuple(e.rel, e.t)
 				if err != nil {
@@ -121,25 +125,32 @@ func TestTupleJoinThetaMatchesTraditional(t *testing.T) {
 		expr.EquiCol(0, 0, 1, 0),
 		expr.ThetaCol(1, 0, expr.Lt, 2, 0),
 	)
-	r := rand.New(rand.NewSource(11))
-	rels := [][]types.Tuple{genRel(r, 20, 1, 6), genRel(r, 20, 1, 6), genRel(r, 20, 1, 6)}
-	trad := localjoin.NewTraditional(g)
-	dbt := NewTupleJoin(g)
-	total := 0
-	for _, e := range shuffled(r, rels) {
-		dt, err := trad.OnTuple(e.rel, e.t)
-		if err != nil {
-			t.Fatal(err)
-		}
-		dd, err := dbt.OnTuple(e.rel, e.t)
-		if err != nil {
-			t.Fatal(err)
-		}
-		total += len(dt)
-		sameTuples(t, "delta", concatAll(dt), concatAll(dd))
-	}
-	if total == 0 {
-		t.Fatal("workload produced no output")
+	for _, mode := range []struct {
+		name string
+		mk   func(*expr.JoinGraph) *TupleJoin
+	}{{"slab", NewTupleJoin}, {"map", NewTupleJoinMap}} {
+		t.Run(mode.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(11))
+			rels := [][]types.Tuple{genRel(r, 20, 1, 6), genRel(r, 20, 1, 6), genRel(r, 20, 1, 6)}
+			trad := localjoin.NewTraditional(g)
+			dbt := mode.mk(g)
+			total := 0
+			for _, e := range shuffled(r, rels) {
+				dt, err := trad.OnTuple(e.rel, e.t)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dd, err := dbt.OnTuple(e.rel, e.t)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += len(dt)
+				sameTuples(t, "delta", concatAll(dt), concatAll(dd))
+			}
+			if total == 0 {
+				t.Fatal("workload produced no output")
+			}
+		})
 	}
 }
 
@@ -378,5 +389,54 @@ func TestDBToasterCheaperPerProbe(t *testing.T) {
 	// The {R,S} view must hold ONE signature (boundary z=1), not n^2 combos.
 	if agg.views[0b011] == nil || len(agg.views[0b011].entries) != 1 {
 		t.Errorf("RS view entries = %d, want 1 (aggregated)", len(agg.views[0b011].entries))
+	}
+}
+
+// TestTupleJoinExportParityAndFrames: slab and map layouts snapshot
+// identical base relations, and the slab layout's frame export decodes to
+// the same tuples through the wire batch decoder (the migration fast path).
+func TestTupleJoinExportParityAndFrames(t *testing.T) {
+	g := chain3()
+	r := rand.New(rand.NewSource(19))
+	rels := [][]types.Tuple{genRel(r, 30, 2, 4), genRel(r, 30, 2, 4), genRel(r, 30, 2, 4)}
+	slabJ, mapJ := NewTupleJoin(g), NewTupleJoinMap(g)
+	for _, e := range shuffled(r, rels) {
+		if err := slabJ.Insert(e.rel, e.t); err != nil {
+			t.Fatal(err)
+		}
+		if err := mapJ.Insert(e.rel, e.t); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sj, mj := slabJ.ViewSizes(), mapJ.ViewSizes(); len(sj) != len(mj) {
+		t.Fatalf("view counts diverge: %v vs %v", sj, mj)
+	} else {
+		for mask, n := range mj {
+			if sj[mask] != n {
+				t.Fatalf("view %b: slab %d combos, map %d", mask, sj[mask], n)
+			}
+		}
+	}
+	for rel := range rels {
+		a, b := slabJ.ExportRel(rel), mapJ.ExportRel(rel)
+		sameTuples(t, "export", a, b)
+		if slabJ.RelCount(rel) != mapJ.RelCount(rel) {
+			t.Fatalf("rel %d: RelCount diverges", rel)
+		}
+		var fromFrames []types.Tuple
+		if !slabJ.ExportRelFrames(rel, 8, func(frame []byte, count int) bool {
+			tuples, _, err := wire.DecodeBatch(frame)
+			if err != nil || len(tuples) != count {
+				t.Fatalf("rel %d frame: %v", rel, err)
+			}
+			fromFrames = append(fromFrames, tuples...)
+			return true
+		}) {
+			t.Fatal("slab layout must support frame export")
+		}
+		sameTuples(t, "frames", fromFrames, b)
+		if mapJ.ExportRelFrames(rel, 8, func([]byte, int) bool { return true }) {
+			t.Error("map layout must report frames unsupported")
+		}
 	}
 }

@@ -15,6 +15,15 @@
 //     COUNT/SUM/AVG group-by queries over equi-joins; its per-tuple work is
 //     proportional to the number of distinct groups rather than the number
 //     of matching combinations, the core of DBToaster's advantage.
+//
+// TupleJoin state defaults to the compact slab layout (PR 3): base tuples
+// live as packed rows in per-relation arenas and every materialized combo is
+// a fixed-stride array of 32-bit refs into them — an n-way combo costs 4n
+// bytes instead of n boxed tuple headers — with open-addressing RefHash
+// indexes on the boundary conjuncts. NewTupleJoinMap keeps the pre-slab
+// layout as the opt-out baseline. AggJoin stays map-backed by design: its
+// state scales with distinct signatures, not stored tuples, so the slab
+// trade (decode-on-probe for packed rows) does not pay there.
 package dbtoaster
 
 import (
@@ -25,44 +34,93 @@ import (
 	"squall/internal/expr"
 	"squall/internal/index"
 	"squall/internal/localjoin"
+	"squall/internal/slab"
 	"squall/internal/types"
 )
 
 // tview is one materialized intermediate join: the combos of a connected
 // relation subset, with indexes on every boundary-crossing conjunct.
+//
+// Compact layout: singleton views own a slab arena of base rows; every view
+// (singleton included) stores combos as a flat []slab.Ref with stride
+// len(rels), ref i·stride+k addressing rels[k]'s base row in that
+// relation's singleton arena. eqRef postings and rngIdx items are combo
+// ordinals. Map layout: combos are []localjoin.Delta sharing tuple headers,
+// eqIdx buckets hold combo-ordinal tuples.
 type tview struct {
-	mask   uint64
+	mask uint64
+	rels []int // relations of mask, ascending; stride of refCombos
+
+	// compact layout
+	arena     *slab.Arena // singleton views only: the relation's base rows
+	refCombos []slab.Ref
+
+	// map layout
 	combos []localjoin.Delta
-	eqIdx  map[int]*index.Hash // conjunct id -> hash on the inside-side value
-	rngIdx map[int]*index.Tree
+	eqIdx  map[int]*index.Hash
 	mem    int
+
+	eqRef  map[int]*index.RefHash // compact layout
+	rngIdx map[int]*index.Tree    // combo ordinals in both layouts
+}
+
+// size returns the number of materialized combos.
+func (v *tview) size(compact bool) int {
+	if compact {
+		return len(v.refCombos) / len(v.rels)
+	}
+	return len(v.combos)
 }
 
 // TupleJoin is the tuple-level DBToaster operator.
 type TupleJoin struct {
-	g     *expr.JoinGraph
-	views map[uint64]*tview
+	g       *expr.JoinGraph
+	views   map[uint64]*tview
+	compact bool
 	// updateOrder[rel] lists connected subsets containing rel (excluding the
 	// full set), ascending popcount: the views refreshed on each arrival.
+	// Ascending popcount puts rel's singleton view first, so the arriving
+	// tuple's ref exists before any combo referencing it.
 	updateOrder [][]uint64
 	full        uint64
+	refScratch  []uint32 // probe scratch
 }
 
 var (
-	_ localjoin.MultiJoin = (*TupleJoin)(nil)
-	_ localjoin.Migrator  = (*TupleJoin)(nil)
+	_ localjoin.MultiJoin     = (*TupleJoin)(nil)
+	_ localjoin.Migrator      = (*TupleJoin)(nil)
+	_ localjoin.FrameExporter = (*TupleJoin)(nil)
 )
 
-// NewTupleJoin builds the operator, materializing a view for every
-// connected, non-full subset of relations.
-func NewTupleJoin(g *expr.JoinGraph) *TupleJoin {
-	j := &TupleJoin{g: g, views: map[uint64]*tview{}, full: (uint64(1) << g.NumRels) - 1}
+// NewTupleJoin builds the operator with the compact slab state layout,
+// materializing a view for every connected, non-full subset of relations.
+func NewTupleJoin(g *expr.JoinGraph) *TupleJoin { return newTupleJoin(g, true) }
+
+// NewTupleJoinMap builds the operator with the pre-slab map state layout —
+// the opt-out baseline (squall.Options.LegacyState).
+func NewTupleJoinMap(g *expr.JoinGraph) *TupleJoin { return newTupleJoin(g, false) }
+
+func newTupleJoin(g *expr.JoinGraph, compact bool) *TupleJoin {
+	j := &TupleJoin{g: g, views: map[uint64]*tview{}, compact: compact, full: (uint64(1) << g.NumRels) - 1}
 	j.updateOrder = make([][]uint64, g.NumRels)
 	for mask := uint64(1); mask < j.full; mask++ {
 		if !g.Connected(mask) {
 			continue
 		}
-		v := &tview{mask: mask, eqIdx: map[int]*index.Hash{}, rngIdx: map[int]*index.Tree{}}
+		v := &tview{mask: mask, rngIdx: map[int]*index.Tree{}}
+		for rel := 0; rel < g.NumRels; rel++ {
+			if mask&(1<<rel) != 0 {
+				v.rels = append(v.rels, rel)
+			}
+		}
+		if compact {
+			v.eqRef = map[int]*index.RefHash{}
+			if len(v.rels) == 1 {
+				v.arena = slab.New()
+			}
+		} else {
+			v.eqIdx = map[int]*index.Hash{}
+		}
 		for ci, c := range g.Conjuncts {
 			lin := mask&(1<<c.LRel) != 0
 			rin := mask&(1<<c.RRel) != 0
@@ -71,7 +129,11 @@ func NewTupleJoin(g *expr.JoinGraph) *TupleJoin {
 			}
 			switch c.Op {
 			case expr.Eq:
-				v.eqIdx[ci] = index.NewHash()
+				if compact {
+					v.eqRef[ci] = index.NewRefHash()
+				} else {
+					v.eqIdx[ci] = index.NewHash()
+				}
 			case expr.Lt, expr.Le, expr.Gt, expr.Ge:
 				v.rngIdx[ci] = index.NewTree()
 			}
@@ -95,6 +157,28 @@ func NewTupleJoin(g *expr.JoinGraph) *TupleJoin {
 	return j
 }
 
+// Compact reports whether the operator uses the slab state layout.
+func (j *TupleJoin) Compact() bool { return j.compact }
+
+// baseTuple decodes relation rel's base row ref (compact layout).
+func (j *TupleJoin) baseTuple(rel int, ref slab.Ref) types.Tuple {
+	return j.views[uint64(1)<<rel].arena.Decode(ref)
+}
+
+// comboDelta materializes one combo of a view as a Delta.
+func (j *TupleJoin) comboDelta(v *tview, idx int) localjoin.Delta {
+	d := make(localjoin.Delta, j.g.NumRels)
+	if j.compact {
+		stride := len(v.rels)
+		for k, rel := range v.rels {
+			d[rel] = j.baseTuple(rel, v.refCombos[idx*stride+k])
+		}
+		return d
+	}
+	copy(d, v.combos[idx])
+	return d
+}
+
 // OnTuple computes the delta result (t joined with the materialized views of
 // its complement's components) and refreshes every view containing rel.
 func (j *TupleJoin) OnTuple(rel int, t types.Tuple) ([]localjoin.Delta, error) {
@@ -115,15 +199,126 @@ func (j *TupleJoin) Insert(rel int, t types.Tuple) error {
 	if rel < 0 || rel >= j.g.NumRels {
 		return fmt.Errorf("dbtoaster: relation %d out of range", rel)
 	}
+	if j.compact {
+		return j.insertCompact(rel, t)
+	}
 	for _, mask := range j.updateOrder[rel] {
 		deltas, err := j.joinWith(rel, t, mask&^(1<<rel))
 		if err != nil {
 			return err
 		}
 		for _, d := range deltas {
-			if err := j.insert(j.views[mask], d); err != nil {
+			if err := j.insertMap(j.views[mask], d); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// insertCompact refreshes every view containing rel with ref combos: the
+// arriving tuple lands in its singleton arena first (updateOrder is
+// popcount-ascending), then each larger view's delta combos are assembled by
+// crossing the passing combos of its complement's component views — pure ref
+// merges, no tuple re-materialization.
+func (j *TupleJoin) insertCompact(rel int, t types.Tuple) error {
+	tRef := slab.NoRef
+	merged := make([]slab.Ref, j.g.NumRels)
+	for _, mask := range j.updateOrder[rel] {
+		v := j.views[mask]
+		if mask == uint64(1)<<rel {
+			tRef = v.arena.Append(t)
+			if err := j.appendCombo(v, []slab.Ref{tRef}, rel, t); err != nil {
+				return err
+			}
+			continue
+		}
+		comps := j.g.Components(mask &^ (uint64(1) << rel))
+		lists := make([][]int, len(comps))
+		empty := false
+		for i, cm := range comps {
+			cv := j.views[cm]
+			if cv == nil {
+				return fmt.Errorf("dbtoaster: missing view for component %b", cm)
+			}
+			idxs, _, err := j.probeView(cv, rel, t, false)
+			if err != nil {
+				return err
+			}
+			if len(idxs) == 0 {
+				empty = true
+				break
+			}
+			lists[i] = idxs
+		}
+		if empty {
+			continue
+		}
+		// Cross product of component combos, merged ref-wise.
+		var rec func(ci int) error
+		rec = func(ci int) error {
+			if ci == len(comps) {
+				refs := make([]slab.Ref, 0, len(v.rels))
+				for _, r := range v.rels {
+					refs = append(refs, merged[r])
+				}
+				return j.appendCombo(v, refs, rel, t)
+			}
+			cv := j.views[comps[ci]]
+			stride := len(cv.rels)
+			for _, idx := range lists[ci] {
+				for k, r := range cv.rels {
+					merged[r] = cv.refCombos[idx*stride+k]
+				}
+				if err := rec(ci + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		merged[rel] = tRef
+		if err := rec(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendCombo stores one ref combo in a view (compact layout) and maintains
+// its boundary indexes. t is the arriving tuple of relation rel, saving a
+// decode when a boundary expression reads it.
+func (j *TupleJoin) appendCombo(v *tview, refs []slab.Ref, rel int, t types.Tuple) error {
+	idx := v.size(true)
+	v.refCombos = append(v.refCombos, refs...)
+	for ci, c := range j.g.Conjuncts {
+		var inside expr.Expr
+		var insideRel int
+		switch {
+		case v.mask&(1<<c.LRel) != 0 && v.mask&(1<<c.RRel) == 0:
+			inside, insideRel = c.Left, c.LRel
+		case v.mask&(1<<c.RRel) != 0 && v.mask&(1<<c.LRel) == 0:
+			inside, insideRel = c.Right, c.RRel
+		default:
+			continue
+		}
+		tu := t
+		if insideRel != rel {
+			for k, r := range v.rels {
+				if r == insideRel {
+					tu = j.baseTuple(insideRel, refs[k])
+					break
+				}
+			}
+		}
+		val, err := inside.Eval(tu)
+		if err != nil {
+			return fmt.Errorf("dbtoaster: view key %s: %w", inside, err)
+		}
+		if h, ok := v.eqRef[ci]; ok {
+			h.Insert(val.Hash(), uint32(idx))
+		}
+		if tr, ok := v.rngIdx[ci]; ok {
+			tr.Insert(val, index.Item{T: types.Tuple{types.Int(int64(idx))}, W: 1})
 		}
 	}
 	return nil
@@ -136,6 +331,9 @@ func (j *TupleJoin) RelCount(rel int) int {
 	if v == nil {
 		return 0
 	}
+	if j.compact {
+		return v.arena.Len()
+	}
 	return len(v.combos)
 }
 
@@ -145,11 +343,34 @@ func (j *TupleJoin) ExportRel(rel int) []types.Tuple {
 	if v == nil {
 		return nil
 	}
+	if j.compact {
+		out := make([]types.Tuple, 0, v.arena.Len())
+		v.arena.Each(func(r slab.Ref) bool {
+			out = append(out, v.arena.Decode(r))
+			return true
+		})
+		return out
+	}
 	out := make([]types.Tuple, len(v.combos))
 	for i, d := range v.combos {
 		out[i] = d[rel]
 	}
 	return out
+}
+
+// ExportRelFrames streams one relation's base rows as wire batch frames by
+// blitting the packed rows (localjoin.FrameExporter). Reports false in the
+// map layout or when the relation has no singleton view.
+func (j *TupleJoin) ExportRelFrames(rel, batchSize int, visit func(frame []byte, count int) bool) bool {
+	if !j.compact {
+		return false
+	}
+	v := j.views[uint64(1)<<rel]
+	if v == nil {
+		return false
+	}
+	v.arena.EachFrame(batchSize, nil, visit)
+	return true
 }
 
 // joinWith extends tuple t of relation rel across the connected components
@@ -166,12 +387,12 @@ func (j *TupleJoin) joinWith(rel int, t types.Tuple, others uint64) ([]localjoin
 		if v == nil {
 			return nil, fmt.Errorf("dbtoaster: missing view for component %b", comp)
 		}
+		_, matches, err := j.probeView(v, rel, t, true)
+		if err != nil {
+			return nil, err
+		}
 		var next []localjoin.Delta
 		for _, partial := range acc {
-			matches, err := j.probeView(v, rel, t, partial)
-			if err != nil {
-				return nil, err
-			}
 			for _, m := range matches {
 				merged := make(localjoin.Delta, j.g.NumRels)
 				copy(merged, partial)
@@ -192,8 +413,12 @@ func (j *TupleJoin) joinWith(rel int, t types.Tuple, others uint64) ([]localjoin
 }
 
 // probeView finds the view combos joinable with t: one conjunct between rel
-// and the view is used as the index probe, the rest as filters.
-func (j *TupleJoin) probeView(v *tview, rel int, t types.Tuple, partial localjoin.Delta) ([]localjoin.Delta, error) {
+// and the view is used as the index probe, the rest as filters. It returns
+// the passing combo ordinals and, when materialize is set, their Deltas.
+// In the compact layout an equality probe matches by 64-bit key hash, so the
+// probe conjunct itself is re-verified — a hash collision can never
+// fabricate a result.
+func (j *TupleJoin) probeView(v *tview, rel int, t types.Tuple, materialize bool) ([]int, []localjoin.Delta, error) {
 	var incident []int
 	for ci, c := range j.g.Conjuncts {
 		inL := v.mask&(1<<c.LRel) != 0
@@ -220,21 +445,31 @@ func (j *TupleJoin) probeView(v *tview, rel int, t types.Tuple, partial localjoi
 			}
 		}
 	}
-	var candidates []int // combo indexes
+	var candidates []int // combo ordinals
+	probeExact := false  // probe conjunct guaranteed to hold for candidates
 	if probeCi < 0 {
-		candidates = make([]int, len(v.combos))
-		for i := range v.combos {
+		candidates = make([]int, v.size(j.compact))
+		for i := range candidates {
 			candidates[i] = i
 		}
 	} else {
 		c := j.g.Conjuncts[probeCi].Oriented(rel) // Left on t, Right inside view
 		val, err := c.Left.Eval(t)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch c.Op {
 		case expr.Eq:
-			candidates = refs(v.eqIdx[probeCi].Lookup(val))
+			if j.compact {
+				j.refScratch = v.eqRef[probeCi].AppendRefs(j.refScratch[:0], val.Hash())
+				candidates = make([]int, len(j.refScratch))
+				for i, r := range j.refScratch {
+					candidates[i] = int(r)
+				}
+			} else {
+				candidates = refs(v.eqIdx[probeCi].Lookup(val))
+				probeExact = true
+			}
 		case expr.Lt: // val < key
 			candidates = treeRefs(v.rngIdx[probeCi], index.Excl(val), index.Unbounded())
 		case expr.Le:
@@ -246,19 +481,20 @@ func (j *TupleJoin) probeView(v *tview, rel int, t types.Tuple, partial localjoi
 		}
 	}
 	scratch := make([]types.Tuple, j.g.NumRels)
-	var out []localjoin.Delta
+	var outIdx []int
+	var outDeltas []localjoin.Delta
 	for _, idx := range candidates {
-		combo := v.combos[idx]
+		combo := j.comboDelta(v, idx)
 		ok := true
 		for _, ci := range incident {
-			if ci == probeCi && j.g.Conjuncts[ci].Op == expr.Eq {
+			if ci == probeCi && probeExact {
 				continue
 			}
 			copy(scratch, combo)
 			scratch[rel] = t
 			holds, err := j.g.Conjuncts[ci].Holds(scratch)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if !holds {
 				ok = false
@@ -266,10 +502,13 @@ func (j *TupleJoin) probeView(v *tview, rel int, t types.Tuple, partial localjoi
 			}
 		}
 		if ok {
-			out = append(out, combo)
+			outIdx = append(outIdx, idx)
+			if materialize {
+				outDeltas = append(outDeltas, combo)
+			}
 		}
 	}
-	return out, nil
+	return outIdx, outDeltas, nil
 }
 
 func refs(payloads []types.Tuple) []int {
@@ -289,8 +528,9 @@ func treeRefs(tr *index.Tree, lo, hi index.Bound) []int {
 	return out
 }
 
-// insert appends a combo to a view and maintains its boundary indexes.
-func (j *TupleJoin) insert(v *tview, d localjoin.Delta) error {
+// insertMap appends a combo to a view (map layout) and maintains its
+// boundary indexes.
+func (j *TupleJoin) insertMap(v *tview, d localjoin.Delta) error {
 	idx := len(v.combos)
 	v.combos = append(v.combos, d)
 	for r := 0; r < j.g.NumRels; r++ {
@@ -325,12 +565,24 @@ func (j *TupleJoin) insert(v *tview, d localjoin.Delta) error {
 }
 
 // MemSize approximates total view state — DBToaster's memory-for-CPU trade.
+// In the compact layout this is the real footprint: base-row slabs, 4-byte
+// ref combos and flat index arrays.
 func (j *TupleJoin) MemSize() int {
 	n := 0
 	for _, v := range j.views {
-		n += v.mem + 48
-		for _, h := range v.eqIdx {
-			n += h.MemSize()
+		if j.compact {
+			if v.arena != nil {
+				n += v.arena.MemSize()
+			}
+			n += 4*cap(v.refCombos) + 48
+			for _, h := range v.eqRef {
+				n += h.MemSize()
+			}
+		} else {
+			n += v.mem + 48
+			for _, h := range v.eqIdx {
+				n += h.MemSize()
+			}
 		}
 		for _, t := range v.rngIdx {
 			n += t.MemSize()
@@ -344,7 +596,7 @@ func (j *TupleJoin) StoredTuples() int {
 	n := 0
 	for mask, v := range j.views {
 		if bits.OnesCount64(mask) == 1 {
-			n += len(v.combos)
+			n += v.size(j.compact)
 		}
 	}
 	return n
@@ -354,7 +606,7 @@ func (j *TupleJoin) StoredTuples() int {
 func (j *TupleJoin) ViewSizes() map[uint64]int {
 	out := make(map[uint64]int, len(j.views))
 	for mask, v := range j.views {
-		out[mask] = len(v.combos)
+		out[mask] = v.size(j.compact)
 	}
 	return out
 }

@@ -42,19 +42,28 @@ func TestDifferentialAllConfigs(t *testing.T) {
 							if adaptive && c.rels != 2 {
 								continue // the adaptive 1-Bucket operator is 2-way
 							}
-							ec := EngineConfig{
-								Scheme: scheme, Local: local, BatchSize: batch,
-								Adaptive: adaptive, Machines: 6, Seed: c.seed,
+							for _, legacy := range []bool{false, true} {
+								if legacy && adaptive && batch != allBatches[0] {
+									// The legacy-state x adaptive corner is
+									// covered once per batch matrix; the full
+									// cross runs on the slab default.
+									continue
+								}
+								ec := EngineConfig{
+									Scheme: scheme, Local: local, BatchSize: batch,
+									Adaptive: adaptive, LegacyState: legacy,
+									Machines: 6, Seed: c.seed,
+								}
+								t.Run(ec.String(), func(t *testing.T) {
+									got, _, err := w.RunEngine(ec)
+									if err != nil {
+										t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
+									}
+									if diff := DiffBags(ref, got); diff != "" {
+										t.Fatalf("seed=%d %v: engine diverges from oracle:\n%s", c.seed, ec, diff)
+									}
+								})
 							}
-							t.Run(ec.String(), func(t *testing.T) {
-								got, _, err := w.RunEngine(ec)
-								if err != nil {
-									t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
-								}
-								if diff := DiffBags(ref, got); diff != "" {
-									t.Fatalf("seed=%d %v: engine diverges from oracle:\n%s", c.seed, ec, diff)
-								}
-							})
 						}
 					}
 				}

@@ -99,8 +99,11 @@ type EngineConfig struct {
 	Local     squall.LocalJoinKind
 	BatchSize int
 	Adaptive  bool
-	Machines  int
-	Seed      int64
+	// LegacyState runs the pre-slab map-backed operator state (the PR 3
+	// opt-out) instead of the compact slab default.
+	LegacyState bool
+	Machines    int
+	Seed        int64
 }
 
 // String names the configuration for subtests and failure messages.
@@ -109,7 +112,11 @@ func (c EngineConfig) String() string {
 	if c.Adaptive {
 		mode = "adaptive"
 	}
-	return fmt.Sprintf("%v/%v/batch=%d/%s", c.Scheme, c.Local, c.BatchSize, mode)
+	state := "slab"
+	if c.LegacyState {
+		state = "map"
+	}
+	return fmt.Sprintf("%v/%v/batch=%d/%s/%s", c.Scheme, c.Local, c.BatchSize, mode, state)
 }
 
 // query assembles the JoinQuery for one configuration.
@@ -139,8 +146,9 @@ func (w *Workload) query(c EngineConfig) *squall.JoinQuery {
 // RunEngine executes one configuration and returns the result bag.
 func (w *Workload) RunEngine(c EngineConfig) (map[string]int, *squall.Result, error) {
 	res, err := w.query(c).Run(squall.Options{
-		Seed:      c.Seed,
-		BatchSize: c.BatchSize,
+		Seed:        c.Seed,
+		BatchSize:   c.BatchSize,
+		LegacyState: c.LegacyState,
 		// Shallow inboxes keep sources backpressured behind the joiner, so
 		// adaptive runs observe ratios mid-stream (and every run exercises
 		// flow control).

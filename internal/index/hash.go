@@ -12,6 +12,7 @@ type Hash struct {
 	m    map[string][]types.Tuple
 	size int
 	mem  int
+	kbuf []byte // scratch for alloc-free key canonicalization
 }
 
 // NewHash returns an empty hash index.
@@ -19,47 +20,52 @@ func NewHash() *Hash {
 	return &Hash{m: make(map[string][]types.Tuple)}
 }
 
-// keyOf canonicalizes a value into a map key consistent with Value equality
-// (Int(2) and Float(2.0) must collide).
-func keyOf(v types.Value) string {
+// appendKeyOf appends the canonical map key of a value to buf, consistent
+// with Value equality (Int(2) and Float(2.0) must collide). Unlike the old
+// keyOf it materializes no temporary Tuple and no string: lookups probe the
+// map with m[string(buf)], whose conversion the compiler elides.
+func appendKeyOf(buf []byte, v types.Value) []byte {
 	if v.Kind() == types.KindFloat {
 		if i, ok := v.AsInt(); ok && types.Int(i).Equal(v) {
-			return types.Tuple{types.Int(i)}.Key()
+			v = types.Int(i)
 		}
 	}
-	return types.Tuple{v}.Key()
+	return v.AppendKey(buf)
 }
 
-// Insert stores t under key.
+// Insert stores t under key. One string allocation remains — the map must
+// own its key — but only here, not on lookups.
 func (h *Hash) Insert(key types.Value, t types.Tuple) {
-	k := keyOf(key)
-	h.m[k] = append(h.m[k], t)
+	h.kbuf = appendKeyOf(h.kbuf[:0], key)
+	bucket := h.m[string(h.kbuf)] // alloc-free probe
+	h.m[string(h.kbuf)] = append(bucket, t)
 	h.size++
-	h.mem += t.MemSize() + len(k)
+	h.mem += t.MemSize() + len(h.kbuf)
 }
 
-// Lookup returns the tuples stored under key. The returned slice is shared;
-// callers must not mutate it.
+// Lookup returns the tuples stored under key, allocation-free. The returned
+// slice is shared; callers must not mutate it.
 func (h *Hash) Lookup(key types.Value) []types.Tuple {
-	return h.m[keyOf(key)]
+	h.kbuf = appendKeyOf(h.kbuf[:0], key)
+	return h.m[string(h.kbuf)]
 }
 
 // Delete removes the first stored tuple equal to t under key, reporting
 // whether a removal happened. Window expiration uses this.
 func (h *Hash) Delete(key types.Value, t types.Tuple) bool {
-	k := keyOf(key)
-	bucket := h.m[k]
+	h.kbuf = appendKeyOf(h.kbuf[:0], key)
+	bucket := h.m[string(h.kbuf)]
 	for i, bt := range bucket {
 		if bt.Equal(t) {
 			bucket[i] = bucket[len(bucket)-1]
 			bucket = bucket[:len(bucket)-1]
 			if len(bucket) == 0 {
-				delete(h.m, k)
+				delete(h.m, string(h.kbuf))
 			} else {
-				h.m[k] = bucket
+				h.m[string(h.kbuf)] = bucket
 			}
 			h.size--
-			h.mem -= t.MemSize() + len(k)
+			h.mem -= t.MemSize() + len(h.kbuf)
 			return true
 		}
 	}

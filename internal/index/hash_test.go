@@ -82,6 +82,47 @@ func TestHashEach(t *testing.T) {
 	}
 }
 
+// TestHashLookupAllocFree pins the satellite fix: probing must not allocate,
+// including the float→int canonicalization path (the old keyOf built a
+// temporary Tuple plus a string per call).
+func TestHashLookupAllocFree(t *testing.T) {
+	h := NewHash()
+	for i := 0; i < 1000; i++ {
+		h.Insert(types.Int(int64(i%100)), types.Tuple{types.Int(int64(i))})
+	}
+	probes := []types.Value{types.Int(42), types.Float(42.0), types.Float(2.5), types.Str("absent")}
+	var sink int
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, p := range probes {
+			sink += len(h.Lookup(p))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Lookup allocates %.1f objects per probe set, want 0", allocs)
+	}
+	_ = sink
+}
+
+// BenchmarkHashLookup measures the probe hot path; the 0 allocs/op report is
+// the satellite's acceptance number.
+func BenchmarkHashLookup(b *testing.B) {
+	h := NewHash()
+	for i := 0; i < 1<<14; i++ {
+		h.Insert(types.Int(int64(i)), types.Tuple{types.Int(int64(i)), types.Int(int64(i) * 7)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			sink += len(h.Lookup(types.Int(int64(i % (1 << 14)))))
+		} else {
+			sink += len(h.Lookup(types.Float(float64(i % (1 << 14)))))
+		}
+	}
+	_ = sink
+}
+
 func TestHashAgainstReferenceModel(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	h := NewHash()

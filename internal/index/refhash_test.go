@@ -1,0 +1,143 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRefHashInsertLookupDelete(t *testing.T) {
+	h := NewRefHash()
+	h.Insert(10, 1)
+	h.Insert(10, 2)
+	h.Insert(99, 3)
+	refs := h.AppendRefs(nil, 10)
+	if len(refs) != 2 {
+		t.Fatalf("AppendRefs(10) = %v", refs)
+	}
+	if got := h.AppendRefs(nil, 7); len(got) != 0 {
+		t.Fatalf("AppendRefs(7) = %v", got)
+	}
+	if h.Len() != 3 || h.Keys() != 2 {
+		t.Fatalf("Len=%d Keys=%d", h.Len(), h.Keys())
+	}
+	if !h.Delete(10, 1) || h.Delete(10, 1) {
+		t.Fatal("Delete must remove exactly one posting")
+	}
+	if refs = h.AppendRefs(refs[:0], 10); len(refs) != 1 || refs[0] != 2 {
+		t.Fatalf("after delete: %v", refs)
+	}
+	if !h.Delete(10, 2) {
+		t.Fatal("deleting last posting")
+	}
+	if h.Keys() != 1 || len(h.AppendRefs(nil, 10)) != 0 {
+		t.Fatal("key must vanish with its last posting")
+	}
+	// The tombstoned slot must not break probing for other keys.
+	if got := h.AppendRefs(nil, 99); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("AppendRefs(99) = %v", got)
+	}
+}
+
+// TestRefHashAgainstReferenceModel drives random inserts and deletes against
+// a map-of-slices oracle, including adversarial hashes that collide on the
+// low bits (same initial probe slot), exercising probe chains, tombstones
+// and rehash growth.
+func TestRefHashAgainstReferenceModel(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	h := NewRefHash()
+	ref := map[uint64][]uint32{}
+	hashes := make([]uint64, 40)
+	for i := range hashes {
+		// Many keys share low bits: adjacent probe chains collide hard.
+		hashes[i] = uint64(i%8) | uint64(i)<<32
+	}
+	for op := 0; op < 20000; op++ {
+		k := hashes[r.Intn(len(hashes))]
+		if r.Intn(3) != 0 || len(ref[k]) == 0 {
+			v := uint32(r.Intn(1000))
+			h.Insert(k, v)
+			ref[k] = append(ref[k], v)
+		} else {
+			victim := ref[k][r.Intn(len(ref[k]))]
+			if !h.Delete(k, victim) {
+				t.Fatalf("op %d: model has ref %d under %d, index lacks it", op, victim, k)
+			}
+			for i, v := range ref[k] {
+				if v == victim {
+					ref[k] = append(ref[k][:i], ref[k][i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	total, keys := 0, 0
+	scratch := make([]uint32, 0, 64)
+	for k, want := range ref {
+		got := h.AppendRefs(scratch[:0], k)
+		if len(got) != len(want) {
+			t.Fatalf("hash %d: index has %d refs, model %d", k, len(got), len(want))
+		}
+		// Bag equality: postings are unordered relative to the model.
+		bag := map[uint32]int{}
+		for _, v := range got {
+			bag[v]++
+		}
+		for _, v := range want {
+			bag[v]--
+		}
+		for v, n := range bag {
+			if n != 0 {
+				t.Fatalf("hash %d: ref %d count off by %d", k, v, n)
+			}
+		}
+		total += len(want)
+		if len(want) > 0 {
+			keys++
+		}
+	}
+	if h.Len() != total || h.Keys() != keys {
+		t.Fatalf("Len=%d Keys=%d, model %d/%d", h.Len(), h.Keys(), total, keys)
+	}
+}
+
+func TestRefHashEachEarlyStop(t *testing.T) {
+	h := NewRefHash()
+	for i := 0; i < 10; i++ {
+		h.Insert(5, uint32(i))
+	}
+	seen := 0
+	h.Each(5, func(uint32) bool { seen++; return seen < 4 })
+	if seen != 4 {
+		t.Fatalf("early stop visited %d", seen)
+	}
+}
+
+func TestRefHashMemSizeGrows(t *testing.T) {
+	h := NewRefHash()
+	before := h.MemSize()
+	for i := 0; i < 1000; i++ {
+		h.Insert(uint64(i), uint32(i))
+	}
+	if h.MemSize() <= before {
+		t.Error("MemSize must grow")
+	}
+	if per := float64(h.MemSize()-before) / 1000; per > 64 {
+		t.Errorf("%.1f bytes per posting; compactness lost", per)
+	}
+}
+
+// BenchmarkRefHashInsertProbe measures the hot multimap path with zero
+// allocations per operation (amortized growth aside).
+func BenchmarkRefHashInsertProbe(b *testing.B) {
+	h := NewRefHash()
+	for i := 0; i < 1<<16; i++ {
+		h.Insert(uint64(i*2654435761), uint32(i))
+	}
+	scratch := make([]uint32, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = h.AppendRefs(scratch[:0], uint64(i%(1<<16))*2654435761)
+	}
+	_ = scratch
+}

@@ -8,6 +8,13 @@
 // n-way join it re-enumerates all matching combinations from base-relation
 // indexes on every arrival, where DBToaster (internal/dbtoaster) reuses
 // materialized intermediate views.
+//
+// Stored state lives, by default, in the compact slab layout (PR 3): each
+// relation's tuples are packed rows in a slab.Arena addressed by 32-bit
+// refs, equi-conjunct indexes are open-addressing index.RefHash multimaps
+// keyed by the 64-bit canonical value hash, and tree indexes hold refs. The
+// pre-slab map layout ([]types.Tuple + map[string][]types.Tuple) is kept
+// behind NewTraditionalMap as the opt-out baseline.
 package localjoin
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"squall/internal/expr"
 	"squall/internal/index"
+	"squall/internal/slab"
 	"squall/internal/types"
 )
 
@@ -57,31 +65,73 @@ type Migrator interface {
 	Insert(rel int, t types.Tuple) error
 }
 
-// store holds one relation's tuples plus its per-conjunct indexes.
-type store struct {
-	all    []types.Tuple
-	eqIdx  map[int]*index.Hash // conjunct id -> hash on this relation's side
-	rngIdx map[int]*index.Tree // conjunct id -> tree on this relation's side
-	mem    int
+// FrameExporter is implemented by local joins that store relation state
+// wire-encoded (the slab layout) and can therefore stream it as ready-made
+// wire batch frames without materializing []types.Value tuples. It reports
+// false when the state is not frame-exportable (map layout), in which case
+// the caller falls back to ExportRel.
+type FrameExporter interface {
+	// ExportRelFrames passes one relation's stored tuples as wire batch
+	// frames of up to batchSize tuples to visit (frame buffer valid only
+	// during the callback; visit returning false stops the stream).
+	ExportRelFrames(rel, batchSize int, visit func(frame []byte, count int) bool) bool
 }
 
-var _ Migrator = (*Traditional)(nil)
+// store holds one relation's tuples plus its per-conjunct indexes, in one of
+// two layouts. Compact (arena != nil): packed rows addressed by refs, with
+// eqRef/rngIdx indexing refs. Map (arena == nil): the pre-PR3 layout with
+// shared tuple slices and string-keyed hash buckets.
+type store struct {
+	// compact layout
+	arena   *slab.Arena
+	eqRef   map[int]*index.RefHash // conjunct id -> refs by key hash
+	lastRef slab.Ref               // ref of the most recent insert (windows)
+	refBuf  []uint32               // probe scratch
+	decBuf  types.Tuple            // decode scratch (non-escaping uses only)
+	// candBuf is the reusable candidate slice: a store is probed at most
+	// once per expand chain, and the slice is only read during that chain,
+	// so reuse is safe (the decoded tuples themselves escape, the slice
+	// header does not).
+	candBuf []types.Tuple
+
+	// map layout
+	all   []types.Tuple
+	eqIdx map[int]*index.Hash
+	mem   int
+
+	// both layouts; compact stores Tuple{Int(ref)} items, map layout stores
+	// the tuples themselves.
+	rngIdx map[int]*index.Tree
+}
+
+var (
+	_ Migrator      = (*Traditional)(nil)
+	_ FrameExporter = (*Traditional)(nil)
+)
 
 // Traditional is the index-nested-loop online multi-way join.
 type Traditional struct {
-	g      *expr.JoinGraph
-	stores []*store
+	g       *expr.JoinGraph
+	stores  []*store
+	compact bool
 	// sideExpr[c][rel] is the rel-side expression of conjunct c (nil if rel
 	// is not a side of c).
 	sideExpr [][]expr.Expr
 }
 
-// NewTraditional builds the operator for a join graph, creating hash indexes
-// for equality conjuncts and tree indexes for order conjuncts (§3.3's
-// example: R.A = S.A AND 2·R.B < S.C builds hash indexes on R.A, S.A and
-// tree indexes on 2·R.B and S.C).
-func NewTraditional(g *expr.JoinGraph) *Traditional {
-	j := &Traditional{g: g}
+// NewTraditional builds the operator for a join graph with the compact slab
+// state layout, creating hash indexes for equality conjuncts and tree
+// indexes for order conjuncts (§3.3's example: R.A = S.A AND 2·R.B < S.C
+// builds hash indexes on R.A, S.A and tree indexes on 2·R.B and S.C).
+func NewTraditional(g *expr.JoinGraph) *Traditional { return newTraditional(g, true) }
+
+// NewTraditionalMap builds the operator with the pre-slab map state layout —
+// the opt-out baseline (squall.Options.LegacyState) the compact engine is
+// benchmarked against.
+func NewTraditionalMap(g *expr.JoinGraph) *Traditional { return newTraditional(g, false) }
+
+func newTraditional(g *expr.JoinGraph, compact bool) *Traditional {
+	j := &Traditional{g: g, compact: compact}
 	j.sideExpr = make([][]expr.Expr, len(g.Conjuncts))
 	for ci, c := range g.Conjuncts {
 		j.sideExpr[ci] = make([]expr.Expr, g.NumRels)
@@ -90,14 +140,24 @@ func NewTraditional(g *expr.JoinGraph) *Traditional {
 	}
 	j.stores = make([]*store, g.NumRels)
 	for rel := range j.stores {
-		s := &store{eqIdx: map[int]*index.Hash{}, rngIdx: map[int]*index.Tree{}}
+		s := &store{rngIdx: map[int]*index.Tree{}}
+		if compact {
+			s.arena = slab.New()
+			s.eqRef = map[int]*index.RefHash{}
+		} else {
+			s.eqIdx = map[int]*index.Hash{}
+		}
 		for ci, c := range g.Conjuncts {
 			if c.LRel != rel && c.RRel != rel {
 				continue
 			}
 			switch c.Op {
 			case expr.Eq:
-				s.eqIdx[ci] = index.NewHash()
+				if compact {
+					s.eqRef[ci] = index.NewRefHash()
+				} else {
+					s.eqIdx[ci] = index.NewHash()
+				}
 			case expr.Lt, expr.Le, expr.Gt, expr.Ge:
 				s.rngIdx[ci] = index.NewTree()
 			}
@@ -106,6 +166,13 @@ func NewTraditional(g *expr.JoinGraph) *Traditional {
 	}
 	return j
 }
+
+// Compact reports whether the operator uses the slab state layout.
+func (j *Traditional) Compact() bool { return j.compact }
+
+// refTuple wraps a row ref as the single-int tuple tree indexes store in
+// compact mode.
+func refTuple(ref slab.Ref) types.Tuple { return types.Tuple{types.Int(int64(ref))} }
 
 // OnTuple joins t against the stored tuples of all other relations and then
 // stores t (with index maintenance) for future arrivals.
@@ -130,19 +197,62 @@ func (j *Traditional) OnTuple(rel int, t types.Tuple) ([]Delta, error) {
 func (j *Traditional) Insert(rel int, t types.Tuple) error { return j.insert(rel, t) }
 
 // RelCount returns the stored tuples of one relation.
-func (j *Traditional) RelCount(rel int) int { return len(j.stores[rel].all) }
+func (j *Traditional) RelCount(rel int) int {
+	s := j.stores[rel]
+	if j.compact {
+		return s.arena.Len()
+	}
+	return len(s.all)
+}
 
 // ExportRel snapshots the stored tuples of one relation.
 func (j *Traditional) ExportRel(rel int) []types.Tuple {
 	s := j.stores[rel]
+	if j.compact {
+		out := make([]types.Tuple, 0, s.arena.Len())
+		s.arena.Each(func(r slab.Ref) bool {
+			out = append(out, s.arena.Decode(r))
+			return true
+		})
+		return out
+	}
 	out := make([]types.Tuple, len(s.all))
 	copy(out, s.all)
 	return out
 }
 
-// Remove deletes a stored tuple (window expiration).
+// ExportRelFrames streams one relation's stored rows as wire batch frames by
+// blitting the packed rows — no tuple materialization. Reports false in the
+// map layout.
+func (j *Traditional) ExportRelFrames(rel, batchSize int, visit func(frame []byte, count int) bool) bool {
+	if !j.compact {
+		return false
+	}
+	j.stores[rel].arena.EachFrame(batchSize, nil, visit)
+	return true
+}
+
+// LastRef returns the ref of the most recently inserted tuple of one
+// relation — how window expiration remembers what to remove. Only
+// meaningful in the compact layout.
+func (j *Traditional) LastRef(rel int) (slab.Ref, bool) {
+	if !j.compact || j.stores[rel].arena.Len() == 0 {
+		return 0, false
+	}
+	return j.stores[rel].lastRef, true
+}
+
+// Remove deletes a stored tuple (window expiration), locating it via an
+// equi index when one exists.
 func (j *Traditional) Remove(rel int, t types.Tuple) (bool, error) {
 	s := j.stores[rel]
+	if j.compact {
+		ref, ok, err := j.findRef(rel, t)
+		if err != nil || !ok {
+			return false, err
+		}
+		return true, j.RemoveRef(rel, ref)
+	}
 	found := -1
 	for i, st := range s.all {
 		if st.Equal(t) {
@@ -175,10 +285,79 @@ func (j *Traditional) Remove(rel int, t types.Tuple) (bool, error) {
 	return true, nil
 }
 
+// findRef locates a live row equal to t: through the first equi index when
+// the relation has one, by arena scan otherwise.
+func (j *Traditional) findRef(rel int, t types.Tuple) (slab.Ref, bool, error) {
+	s := j.stores[rel]
+	for ci, h := range s.eqRef {
+		e := j.sideExpr[ci][rel]
+		v, err := e.Eval(t)
+		if err != nil {
+			return 0, false, err
+		}
+		found, ok := slab.NoRef, false
+		h.Each(v.Hash(), func(ref uint32) bool {
+			s.decBuf = s.arena.DecodeInto(s.decBuf, slab.Ref(ref))
+			if s.decBuf.Equal(t) {
+				found, ok = slab.Ref(ref), true
+				return false
+			}
+			return true
+		})
+		return found, ok, nil
+	}
+	found, ok := slab.NoRef, false
+	s.arena.Each(func(ref slab.Ref) bool {
+		s.decBuf = s.arena.DecodeInto(s.decBuf, ref)
+		if s.decBuf.Equal(t) {
+			found, ok = ref, true
+			return false
+		}
+		return true
+	})
+	return found, ok, nil
+}
+
+// RemoveRef deletes a stored row by ref (window expiration's O(1) path).
+func (j *Traditional) RemoveRef(rel int, ref slab.Ref) error {
+	if !j.compact {
+		return fmt.Errorf("localjoin: RemoveRef needs the compact state layout")
+	}
+	s := j.stores[rel]
+	if !s.arena.Live(ref) {
+		return nil
+	}
+	t := s.arena.Decode(ref)
+	for ci := range j.g.Conjuncts {
+		e := j.sideExpr[ci][rel]
+		if e == nil {
+			continue
+		}
+		v, err := e.Eval(t)
+		if err != nil {
+			return err
+		}
+		if h, ok := s.eqRef[ci]; ok {
+			h.Delete(v.Hash(), uint32(ref))
+		}
+		if tr, ok := s.rngIdx[ci]; ok {
+			tr.Delete(v, refTuple(ref))
+		}
+	}
+	s.arena.Free(ref)
+	return nil
+}
+
 func (j *Traditional) insert(rel int, t types.Tuple) error {
 	s := j.stores[rel]
-	s.all = append(s.all, t)
-	s.mem += t.MemSize()
+	var ref slab.Ref
+	if j.compact {
+		ref = s.arena.Append(t)
+		s.lastRef = ref
+	} else {
+		s.all = append(s.all, t)
+		s.mem += t.MemSize()
+	}
 	for ci := range j.g.Conjuncts {
 		e := j.sideExpr[ci][rel]
 		if e == nil {
@@ -187,6 +366,15 @@ func (j *Traditional) insert(rel int, t types.Tuple) error {
 		v, err := e.Eval(t)
 		if err != nil {
 			return fmt.Errorf("localjoin: index key %s: %w", e, err)
+		}
+		if j.compact {
+			if h, ok := s.eqRef[ci]; ok {
+				h.Insert(v.Hash(), uint32(ref))
+			}
+			if tr, ok := s.rngIdx[ci]; ok {
+				tr.Insert(v, index.Item{T: refTuple(ref), W: 1})
+			}
+			continue
 		}
 		if h, ok := s.eqIdx[ci]; ok {
 			h.Insert(v, t)
@@ -304,7 +492,7 @@ func (j *Traditional) probe(partial []types.Tuple, have uint64, next int) ([]typ
 		}
 	}
 	if probeCi < 0 {
-		return s.all, filters, nil // cross join or Ne-only: scan
+		return j.scanAll(s), filters, nil // cross join or Ne-only: scan
 	}
 	// Orient: condition is Left(t_other) op Right(t_next) after Oriented().
 	c := j.g.Conjuncts[probeCi].Oriented(next)
@@ -315,21 +503,64 @@ func (j *Traditional) probe(partial []types.Tuple, have uint64, next int) ([]typ
 	}
 	switch c.Op {
 	case expr.Eq:
+		if j.compact {
+			// The equi probe matches by 64-bit key hash; verify each
+			// candidate's key value so a hash collision can never fabricate
+			// a result (one expression eval + compare per candidate, cheaper
+			// than re-running the conjunct as a filter).
+			s.refBuf = s.eqRef[probeCi].AppendRefs(s.refBuf[:0], v.Hash())
+			keyE := j.sideExpr[probeCi][next]
+			out := s.candBuf[:0]
+			for _, ref := range s.refBuf {
+				cand := s.arena.Decode(slab.Ref(ref))
+				kv, err := keyE.Eval(cand)
+				if err != nil {
+					return nil, nil, err
+				}
+				if kv.Equal(v) {
+					out = append(out, cand)
+				}
+			}
+			s.candBuf = out
+			return out, filters, nil
+		}
 		return s.eqIdx[probeCi].Lookup(v), filters, nil
 	case expr.Lt: // key < v
-		return treeCollect(s.rngIdx[probeCi], index.Unbounded(), index.Excl(v)), filters, nil
+		return j.treeCollect(s, s.rngIdx[probeCi], index.Unbounded(), index.Excl(v)), filters, nil
 	case expr.Le:
-		return treeCollect(s.rngIdx[probeCi], index.Unbounded(), index.Incl(v)), filters, nil
+		return j.treeCollect(s, s.rngIdx[probeCi], index.Unbounded(), index.Incl(v)), filters, nil
 	case expr.Gt: // key > v
-		return treeCollect(s.rngIdx[probeCi], index.Excl(v), index.Unbounded()), filters, nil
+		return j.treeCollect(s, s.rngIdx[probeCi], index.Excl(v), index.Unbounded()), filters, nil
 	case expr.Ge:
-		return treeCollect(s.rngIdx[probeCi], index.Incl(v), index.Unbounded()), filters, nil
+		return j.treeCollect(s, s.rngIdx[probeCi], index.Incl(v), index.Unbounded()), filters, nil
 	default:
-		return s.all, append(filters, probeCi), nil
+		return j.scanAll(s), append(filters, probeCi), nil
 	}
 }
 
-func treeCollect(tr *index.Tree, lo, hi index.Bound) []types.Tuple {
+// scanAll returns every stored tuple of a relation (cross joins).
+func (j *Traditional) scanAll(s *store) []types.Tuple {
+	if !j.compact {
+		return s.all
+	}
+	out := make([]types.Tuple, 0, s.arena.Len())
+	s.arena.Each(func(r slab.Ref) bool {
+		out = append(out, s.arena.Decode(r))
+		return true
+	})
+	return out
+}
+
+func (j *Traditional) treeCollect(s *store, tr *index.Tree, lo, hi index.Bound) []types.Tuple {
+	if j.compact {
+		out := s.candBuf[:0]
+		tr.Range(lo, hi, func(_ types.Value, it index.Item) bool {
+			out = append(out, s.arena.Decode(slab.Ref(it.T[0].I)))
+			return true
+		})
+		s.candBuf = out
+		return out
+	}
 	var out []types.Tuple
 	tr.Range(lo, hi, func(_ types.Value, it index.Item) bool {
 		out = append(out, it.T)
@@ -338,13 +569,22 @@ func treeCollect(tr *index.Tree, lo, hi index.Bound) []types.Tuple {
 	return out
 }
 
-// MemSize approximates operator state (stored tuples + indexes).
+// MemSize approximates operator state (stored tuples + indexes). In the
+// compact layout this is the real byte footprint of the slabs and index
+// arrays rather than a per-tuple estimate.
 func (j *Traditional) MemSize() int {
 	n := 0
 	for _, s := range j.stores {
-		n += s.mem + 24
-		for _, h := range s.eqIdx {
-			n += h.MemSize()
+		if j.compact {
+			n += s.arena.MemSize()
+			for _, h := range s.eqRef {
+				n += h.MemSize()
+			}
+		} else {
+			n += s.mem + 24
+			for _, h := range s.eqIdx {
+				n += h.MemSize()
+			}
 		}
 		for _, t := range s.rngIdx {
 			n += t.MemSize()
@@ -356,8 +596,8 @@ func (j *Traditional) MemSize() int {
 // StoredTuples counts tuples across relations.
 func (j *Traditional) StoredTuples() int {
 	n := 0
-	for _, s := range j.stores {
-		n += len(s.all)
+	for rel := range j.stores {
+		n += j.RelCount(rel)
 	}
 	return n
 }

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"squall/internal/expr"
+	"squall/internal/slab"
 	"squall/internal/types"
+	"squall/internal/wire"
 )
 
 // bruteForce computes the full join of the given relations by nested loops.
@@ -102,136 +104,168 @@ func chainGraph() *expr.JoinGraph {
 	)
 }
 
-func TestTraditionalEquiChainMatchesBruteForce(t *testing.T) {
-	g := chainGraph()
-	for seed := int64(0); seed < 5; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		rels := [][]types.Tuple{genRel(r, 30, 2, 6), genRel(r, 30, 2, 6), genRel(r, 30, 2, 6)}
-		want := bruteForce(t, g, rels)
-		got := streamJoin(t, NewTraditional(g), rels, seed)
-		if !equalTupleSets(got, want) {
-			t.Fatalf("seed %d: online join produced %d rows, brute force %d", seed, len(got), len(want))
-		}
+// stateModes runs a scenario under both state layouts: the compact slab
+// default and the map opt-out baseline.
+var stateModes = []struct {
+	name string
+	mk   func(*expr.JoinGraph) *Traditional
+}{
+	{"slab", NewTraditional},
+	{"map", NewTraditionalMap},
+}
+
+func runBothModes(t *testing.T, fn func(t *testing.T, mk func(*expr.JoinGraph) *Traditional)) {
+	for _, m := range stateModes {
+		t.Run(m.name, func(t *testing.T) { fn(t, m.mk) })
 	}
+}
+
+func TestTraditionalEquiChainMatchesBruteForce(t *testing.T) {
+	runBothModes(t, func(t *testing.T, mk func(*expr.JoinGraph) *Traditional) {
+		g := chainGraph()
+		for seed := int64(0); seed < 5; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			rels := [][]types.Tuple{genRel(r, 30, 2, 6), genRel(r, 30, 2, 6), genRel(r, 30, 2, 6)}
+			want := bruteForce(t, g, rels)
+			got := streamJoin(t, mk(g), rels, seed)
+			if !equalTupleSets(got, want) {
+				t.Fatalf("seed %d: online join produced %d rows, brute force %d", seed, len(got), len(want))
+			}
+		}
+	})
 }
 
 func TestTraditionalThetaJoin(t *testing.T) {
-	// R.A = S.A AND 2*R.B < S.C — the §3.3 example.
-	g := expr.MustJoinGraph(2,
-		expr.EquiCol(0, 0, 1, 0),
-		expr.JoinConjunct{LRel: 0, RRel: 1, Op: expr.Lt,
-			Left:  expr.Arith{Op: expr.Mul, L: expr.I(2), R: expr.C(1)},
-			Right: expr.C(1)},
-	)
-	r := rand.New(rand.NewSource(9))
-	rels := [][]types.Tuple{genRel(r, 50, 2, 10), genRel(r, 50, 2, 20)}
-	want := bruteForce(t, g, rels)
-	got := streamJoin(t, NewTraditional(g), rels, 9)
-	if len(want) == 0 {
-		t.Fatal("workload produced no matches")
-	}
-	if !equalTupleSets(got, want) {
-		t.Fatalf("theta join: %d vs brute force %d", len(got), len(want))
-	}
+	runBothModes(t, func(t *testing.T, mk func(*expr.JoinGraph) *Traditional) {
+		// R.A = S.A AND 2*R.B < S.C — the §3.3 example.
+		g := expr.MustJoinGraph(2,
+			expr.EquiCol(0, 0, 1, 0),
+			expr.JoinConjunct{LRel: 0, RRel: 1, Op: expr.Lt,
+				Left:  expr.Arith{Op: expr.Mul, L: expr.I(2), R: expr.C(1)},
+				Right: expr.C(1)},
+		)
+		r := rand.New(rand.NewSource(9))
+		rels := [][]types.Tuple{genRel(r, 50, 2, 10), genRel(r, 50, 2, 20)}
+		want := bruteForce(t, g, rels)
+		got := streamJoin(t, mk(g), rels, 9)
+		if len(want) == 0 {
+			t.Fatal("workload produced no matches")
+		}
+		if !equalTupleSets(got, want) {
+			t.Fatalf("theta join: %d vs brute force %d", len(got), len(want))
+		}
+	})
 }
 
 func TestTraditionalInequalityOnlyJoin(t *testing.T) {
-	g := expr.MustJoinGraph(2, expr.ThetaCol(0, 0, expr.Ge, 1, 0))
-	r := rand.New(rand.NewSource(17))
-	rels := [][]types.Tuple{genRel(r, 40, 1, 15), genRel(r, 40, 1, 15)}
-	want := bruteForce(t, g, rels)
-	got := streamJoin(t, NewTraditional(g), rels, 17)
-	if !equalTupleSets(got, want) {
-		t.Fatalf("inequality join: %d vs %d", len(got), len(want))
-	}
+	runBothModes(t, func(t *testing.T, mk func(*expr.JoinGraph) *Traditional) {
+		g := expr.MustJoinGraph(2, expr.ThetaCol(0, 0, expr.Ge, 1, 0))
+		r := rand.New(rand.NewSource(17))
+		rels := [][]types.Tuple{genRel(r, 40, 1, 15), genRel(r, 40, 1, 15)}
+		want := bruteForce(t, g, rels)
+		got := streamJoin(t, mk(g), rels, 17)
+		if !equalTupleSets(got, want) {
+			t.Fatalf("inequality join: %d vs %d", len(got), len(want))
+		}
+	})
 }
 
 func TestTraditionalNeJoinFallsBackToScan(t *testing.T) {
-	g := expr.MustJoinGraph(2, expr.ThetaCol(0, 0, expr.Ne, 1, 0))
-	r := rand.New(rand.NewSource(23))
-	rels := [][]types.Tuple{genRel(r, 20, 1, 4), genRel(r, 20, 1, 4)}
-	want := bruteForce(t, g, rels)
-	got := streamJoin(t, NewTraditional(g), rels, 23)
-	if !equalTupleSets(got, want) {
-		t.Fatalf("<> join: %d vs %d", len(got), len(want))
-	}
+	runBothModes(t, func(t *testing.T, mk func(*expr.JoinGraph) *Traditional) {
+		g := expr.MustJoinGraph(2, expr.ThetaCol(0, 0, expr.Ne, 1, 0))
+		r := rand.New(rand.NewSource(23))
+		rels := [][]types.Tuple{genRel(r, 20, 1, 4), genRel(r, 20, 1, 4)}
+		want := bruteForce(t, g, rels)
+		got := streamJoin(t, mk(g), rels, 23)
+		if !equalTupleSets(got, want) {
+			t.Fatalf("<> join: %d vs %d", len(got), len(want))
+		}
+	})
 }
 
 func TestTraditionalCrossJoinComponent(t *testing.T) {
-	// R joins S; T is a cross product (disconnected).
-	g := expr.MustJoinGraph(3, expr.EquiCol(0, 0, 1, 0))
-	r := rand.New(rand.NewSource(31))
-	rels := [][]types.Tuple{genRel(r, 10, 1, 4), genRel(r, 10, 1, 4), genRel(r, 5, 1, 4)}
-	want := bruteForce(t, g, rels)
-	got := streamJoin(t, NewTraditional(g), rels, 31)
-	if !equalTupleSets(got, want) {
-		t.Fatalf("cross join: %d vs %d", len(got), len(want))
-	}
+	runBothModes(t, func(t *testing.T, mk func(*expr.JoinGraph) *Traditional) {
+		// R joins S; T is a cross product (disconnected).
+		g := expr.MustJoinGraph(3, expr.EquiCol(0, 0, 1, 0))
+		r := rand.New(rand.NewSource(31))
+		rels := [][]types.Tuple{genRel(r, 10, 1, 4), genRel(r, 10, 1, 4), genRel(r, 5, 1, 4)}
+		want := bruteForce(t, g, rels)
+		got := streamJoin(t, mk(g), rels, 31)
+		if !equalTupleSets(got, want) {
+			t.Fatalf("cross join: %d vs %d", len(got), len(want))
+		}
+	})
 }
 
 func TestTraditionalBandJoin(t *testing.T) {
-	// |R.a - S.b| <= 2, as S.b <= R.a + 2 AND S.b >= R.a - 2.
-	g := expr.MustJoinGraph(2,
-		expr.JoinConjunct{LRel: 0, RRel: 1, Op: expr.Ge,
-			Left:  expr.Arith{Op: expr.Add, L: expr.C(0), R: expr.I(2)},
-			Right: expr.C(0)},
-		expr.JoinConjunct{LRel: 0, RRel: 1, Op: expr.Le,
-			Left:  expr.Arith{Op: expr.Sub, L: expr.C(0), R: expr.I(2)},
-			Right: expr.C(0)},
-	)
-	r := rand.New(rand.NewSource(37))
-	rels := [][]types.Tuple{genRel(r, 60, 1, 30), genRel(r, 60, 1, 30)}
-	want := bruteForce(t, g, rels)
-	got := streamJoin(t, NewTraditional(g), rels, 37)
-	if len(want) == 0 {
-		t.Fatal("no band matches")
-	}
-	if !equalTupleSets(got, want) {
-		t.Fatalf("band join: %d vs %d", len(got), len(want))
-	}
+	runBothModes(t, func(t *testing.T, mk func(*expr.JoinGraph) *Traditional) {
+		// |R.a - S.b| <= 2, as S.b <= R.a + 2 AND S.b >= R.a - 2.
+		g := expr.MustJoinGraph(2,
+			expr.JoinConjunct{LRel: 0, RRel: 1, Op: expr.Ge,
+				Left:  expr.Arith{Op: expr.Add, L: expr.C(0), R: expr.I(2)},
+				Right: expr.C(0)},
+			expr.JoinConjunct{LRel: 0, RRel: 1, Op: expr.Le,
+				Left:  expr.Arith{Op: expr.Sub, L: expr.C(0), R: expr.I(2)},
+				Right: expr.C(0)},
+		)
+		r := rand.New(rand.NewSource(37))
+		rels := [][]types.Tuple{genRel(r, 60, 1, 30), genRel(r, 60, 1, 30)}
+		want := bruteForce(t, g, rels)
+		got := streamJoin(t, mk(g), rels, 37)
+		if len(want) == 0 {
+			t.Fatal("no band matches")
+		}
+		if !equalTupleSets(got, want) {
+			t.Fatalf("band join: %d vs %d", len(got), len(want))
+		}
+	})
 }
 
 func TestTraditionalRemoveExpiresState(t *testing.T) {
-	g := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
-	j := NewTraditional(g)
-	old := types.Tuple{types.Int(5)}
-	if _, err := j.OnTuple(0, old); err != nil {
-		t.Fatal(err)
-	}
-	ok, err := j.Remove(0, old)
-	if err != nil || !ok {
-		t.Fatalf("Remove = %v, %v", ok, err)
-	}
-	deltas, err := j.OnTuple(1, types.Tuple{types.Int(5)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(deltas) != 0 {
-		t.Errorf("expired tuple still joins: %v", deltas)
-	}
-	if ok, _ := j.Remove(0, old); ok {
-		t.Error("double remove must fail")
-	}
-	if j.StoredTuples() != 1 {
-		t.Errorf("StoredTuples = %d", j.StoredTuples())
-	}
+	runBothModes(t, func(t *testing.T, mk func(*expr.JoinGraph) *Traditional) {
+		g := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
+		j := mk(g)
+		old := types.Tuple{types.Int(5)}
+		if _, err := j.OnTuple(0, old); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := j.Remove(0, old)
+		if err != nil || !ok {
+			t.Fatalf("Remove = %v, %v", ok, err)
+		}
+		deltas, err := j.OnTuple(1, types.Tuple{types.Int(5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(deltas) != 0 {
+			t.Errorf("expired tuple still joins: %v", deltas)
+		}
+		if ok, _ := j.Remove(0, old); ok {
+			t.Error("double remove must fail")
+		}
+		if j.StoredTuples() != 1 {
+			t.Errorf("StoredTuples = %d", j.StoredTuples())
+		}
+	})
 }
 
 func TestTraditionalMemSizeGrows(t *testing.T) {
-	g := chainGraph()
-	j := NewTraditional(g)
-	before := j.MemSize()
-	for i := 0; i < 100; i++ {
-		if _, err := j.OnTuple(i%3, types.Tuple{types.Int(int64(i)), types.Int(int64(i))}); err != nil {
-			t.Fatal(err)
+	runBothModes(t, func(t *testing.T, mk func(*expr.JoinGraph) *Traditional) {
+		g := chainGraph()
+		j := mk(g)
+		before := j.MemSize()
+		for i := 0; i < 100; i++ {
+			if _, err := j.OnTuple(i%3, types.Tuple{types.Int(int64(i)), types.Int(int64(i))}); err != nil {
+				t.Fatal(err)
+			}
 		}
-	}
-	if j.MemSize() <= before {
-		t.Error("MemSize must grow with state")
-	}
-	if j.StoredTuples() != 100 {
-		t.Errorf("StoredTuples = %d", j.StoredTuples())
-	}
+		if j.MemSize() <= before {
+			t.Error("MemSize must grow with state")
+		}
+		if j.StoredTuples() != 100 {
+			t.Errorf("StoredTuples = %d", j.StoredTuples())
+		}
+	})
 }
 
 func TestTraditionalRejectsBadRelation(t *testing.T) {
@@ -245,5 +279,121 @@ func TestDeltaConcat(t *testing.T) {
 	d := Delta{types.Tuple{types.Int(1)}, types.Tuple{types.Int(2), types.Int(3)}}
 	if got := d.Concat(); !got.Equal(types.Tuple{types.Int(1), types.Int(2), types.Int(3)}) {
 		t.Errorf("Concat = %v", got)
+	}
+}
+
+// TestTraditionalRefLifecycle covers the compact layout's ref-based hooks:
+// LastRef after insert, RemoveRef unindexing, and export parity.
+func TestTraditionalRefLifecycle(t *testing.T) {
+	g := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
+	j := NewTraditional(g)
+	if !j.Compact() {
+		t.Fatal("NewTraditional must default to the compact layout")
+	}
+	if _, ok := j.LastRef(0); ok {
+		t.Error("LastRef on empty relation must report false")
+	}
+	var refs []slab.Ref
+	for i := 0; i < 10; i++ {
+		if _, err := j.OnTuple(0, types.Tuple{types.Int(int64(i % 3)), types.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		ref, ok := j.LastRef(0)
+		if !ok {
+			t.Fatal("LastRef after insert")
+		}
+		refs = append(refs, ref)
+	}
+	if err := j.RemoveRef(0, refs[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RemoveRef(0, refs[4]); err != nil { // idempotent on dead refs
+		t.Fatal(err)
+	}
+	if j.RelCount(0) != 9 {
+		t.Fatalf("RelCount = %d after RemoveRef", j.RelCount(0))
+	}
+	// The removed tuple (key 1, seq 4) must no longer join.
+	deltas, err := j.OnTuple(1, types.Tuple{types.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if d[0][1].I == 4 {
+			t.Fatalf("removed row still joins: %v", d)
+		}
+	}
+}
+
+// TestTraditionalExportParityAndFrames: both layouts export identical
+// relation snapshots, and the compact layout's frame export decodes to the
+// same tuples via the wire batch decoder.
+func TestTraditionalExportParityAndFrames(t *testing.T) {
+	g := chainGraph()
+	r := rand.New(rand.NewSource(41))
+	rels := [][]types.Tuple{genRel(r, 40, 2, 6), genRel(r, 40, 2, 6), genRel(r, 40, 2, 6)}
+	slabJ, mapJ := NewTraditional(g), NewTraditionalMap(g)
+	for rel, rows := range rels {
+		for _, row := range rows {
+			if err := slabJ.Insert(rel, row); err != nil {
+				t.Fatal(err)
+			}
+			if err := mapJ.Insert(rel, row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for rel := range rels {
+		a, b := slabJ.ExportRel(rel), mapJ.ExportRel(rel)
+		if !equalTupleSets(a, b) {
+			t.Fatalf("rel %d: export parity broken (%d vs %d rows)", rel, len(a), len(b))
+		}
+		var fromFrames []types.Tuple
+		ok := slabJ.ExportRelFrames(rel, 7, func(frame []byte, count int) bool {
+			tuples, _, err := wire.DecodeBatch(frame)
+			if err != nil || len(tuples) != count {
+				t.Fatalf("rel %d frame: %v (%d tuples, count %d)", rel, err, len(tuples), count)
+			}
+			fromFrames = append(fromFrames, tuples...)
+			return true
+		})
+		if !ok {
+			t.Fatalf("compact join must support frame export")
+		}
+		if !equalTupleSets(fromFrames, b) {
+			t.Fatalf("rel %d: frame export diverges from snapshot", rel)
+		}
+		if mapJ.ExportRelFrames(rel, 7, func([]byte, int) bool { return true }) {
+			t.Error("map layout must report frames unsupported")
+		}
+	}
+}
+
+// BenchmarkTraditionalOnTuple measures the probe+insert hot path per state
+// layout: S arrivals joining against 100k stored R tuples (~1 match each).
+func BenchmarkTraditionalOnTuple(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mk   func(*expr.JoinGraph) *Traditional
+	}{{"slab", NewTraditional}, {"map", NewTraditionalMap}} {
+		b.Run(mode.name, func(b *testing.B) {
+			g := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
+			j := mode.mk(g)
+			const n = 100_000
+			for i := 0; i < n; i++ {
+				t := types.Tuple{types.Int(int64(i)), types.Str("1996-01-02"), types.Float(float64(i) + 0.25), types.Str("BUILDING")}
+				if err := j.Insert(0, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := types.Tuple{types.Int(int64(i % n)), types.Str("1996-01-02"), types.Float(float64(i)), types.Str("MACHINE")}
+				if _, err := j.OnTuple(1, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -33,14 +33,21 @@ func (k LocalJoinKind) String() string {
 
 // JoinBolt runs a local multi-way join per task and emits delta result
 // tuples (concatenated relation order), optionally post-processed by a
-// pipeline. relOf maps upstream component names to relation indexes.
-func JoinBolt(g *expr.JoinGraph, kind LocalJoinKind, relOf map[string]int, post Pipeline) dataflow.BoltFactory {
+// pipeline. relOf maps upstream component names to relation indexes; legacy
+// selects the pre-slab map state layout (squall.Options.LegacyState).
+func JoinBolt(g *expr.JoinGraph, kind LocalJoinKind, relOf map[string]int, post Pipeline, legacy bool) dataflow.BoltFactory {
 	return func(task, ntasks int) dataflow.Bolt {
 		mk := func() localjoin.MultiJoin {
-			if kind == DBToaster {
+			switch {
+			case kind == DBToaster && legacy:
+				return dbtoaster.NewTupleJoinMap(g)
+			case kind == DBToaster:
 				return dbtoaster.NewTupleJoin(g)
+			case legacy:
+				return localjoin.NewTraditionalMap(g)
+			default:
+				return localjoin.NewTraditional(g)
 			}
-			return localjoin.NewTraditional(g)
 		}
 		return &joinBolt{mk: mk, mj: mk(), relOf: relOf, post: post}
 	}
@@ -115,6 +122,19 @@ func (b *joinBolt) ExportState(side int) []types.Tuple {
 		return nil
 	}
 	return m.ExportRel(side)
+}
+
+// ExportStateFrames streams one side's state as ready wire batch frames
+// (dataflow.FrameExporter) when the local join stores rows wire-encoded —
+// the slab layouts blit packed rows without materializing tuples. Reports
+// false when the local algorithm cannot (map layout), sending the caller to
+// ExportState.
+func (b *joinBolt) ExportStateFrames(side, batchSize int, visit func(frame []byte, count int) bool) bool {
+	fe, ok := b.mj.(localjoin.FrameExporter)
+	if !ok {
+		return false
+	}
+	return fe.ExportRelFrames(side, batchSize, visit)
 }
 
 // ResetForReshape rebuilds the local join from scratch, re-inserting only

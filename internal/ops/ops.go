@@ -7,11 +7,15 @@
 package ops
 
 import (
+	"bytes"
 	"fmt"
 
 	"squall/internal/dataflow"
 	"squall/internal/expr"
+	"squall/internal/index"
+	"squall/internal/slab"
 	"squall/internal/types"
+	"squall/internal/wire"
 )
 
 // Op is one tuple-at-a-time operator stage: zero or more output tuples per
@@ -212,38 +216,77 @@ func (k AggKind) String() string {
 	}
 }
 
-// groupState is one group's accumulator.
+// groupState is one group's accumulator (map layout).
 type groupState struct {
 	group types.Tuple
 	cnt   int64
 	sum   float64
 }
 
+// groupAcc is one group's accumulator in the compact layout: the group key
+// lives as a wire-encoded row in the shared arena, addressed by ref.
+type groupAcc struct {
+	ref slab.Ref
+	cnt int64
+	sum float64
+}
+
 // Agg is a hash group-by aggregation over a single input stream. In
 // full-history mode every input updates the group's accumulator and the
 // final values are emitted on Finish; with Incremental set, the refreshed
 // aggregate row is emitted on every update (online view maintenance).
+//
+// The group table defaults to the compact slab layout (PR 3): group keys are
+// wire-encoded rows in a slab.Arena, probed through an open-addressing
+// index.RefHash on the hash of the encoded bytes and verified by byte
+// equality — exact (two groups are one iff their encodings match, the same
+// identity the old string keys had) with zero allocations per update. The
+// pre-slab map layout survives behind NewMapAgg as the opt-out baseline.
 type Agg struct {
 	GroupBy     []expr.Expr
 	Kind        AggKind
 	SumE        expr.Expr // required for Sum/Avg
 	Incremental bool
 
+	// compact layout
+	arena  *slab.Arena
+	idx    *index.RefHash
+	states []groupAcc
+
+	// map layout
 	groups map[string]*groupState
 	mem    int
+
+	// per-update scratch (one bolt task, single-threaded)
+	sKey types.Tuple
+	sBuf []byte
+	sRow types.Tuple
 }
 
-// NewAgg copies the configuration into a fresh accumulator.
+// NewAgg copies the configuration into a fresh accumulator with the compact
+// group table.
 func NewAgg(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental bool) *Agg {
+	return &Agg{GroupBy: groupBy, Kind: kind, SumE: sumE, Incremental: incremental,
+		arena: slab.New(), idx: index.NewRefHash()}
+}
+
+// NewMapAgg builds the accumulator with the pre-slab map group table — the
+// opt-out baseline (squall.Options.LegacyState).
+func NewMapAgg(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental bool) *Agg {
 	return &Agg{GroupBy: groupBy, Kind: kind, SumE: sumE, Incremental: incremental,
 		groups: map[string]*groupState{}}
 }
 
 // Update folds one tuple with an explicit (cnt, sum) weight — the join bolts
 // feed pre-aggregated deltas this way. It returns the refreshed output row
-// when Incremental is set.
+// when Incremental is set. The group key is evaluated into reusable scratch
+// and only owned (cloned / appended to the arena) on a group's first
+// appearance, so steady-state updates allocate nothing.
 func (a *Agg) Update(t types.Tuple, cnt int64, sum float64) (types.Tuple, error) {
-	g := make(types.Tuple, len(a.GroupBy))
+	if cap(a.sKey) < len(a.GroupBy) {
+		a.sKey = make(types.Tuple, len(a.GroupBy))
+	}
+	g := a.sKey[:len(a.GroupBy)]
 	for i, e := range a.GroupBy {
 		v, err := e.Eval(t)
 		if err != nil {
@@ -251,19 +294,45 @@ func (a *Agg) Update(t types.Tuple, cnt int64, sum float64) (types.Tuple, error)
 		}
 		g[i] = v
 	}
-	k := g.Key()
-	st, ok := a.groups[k]
-	if !ok {
-		st = &groupState{group: g}
-		a.groups[k] = st
-		a.mem += g.MemSize() + len(k) + 32
+	if a.groups != nil { // map layout
+		a.sBuf = g.AppendKey(a.sBuf[:0])
+		st, ok := a.groups[string(a.sBuf)] // alloc-free probe
+		if !ok {
+			st = &groupState{group: g.Clone()}
+			k := string(a.sBuf) // owned copy, the map retains it
+			a.groups[k] = st
+			a.mem += st.group.MemSize() + len(k) + 32
+		}
+		st.cnt += cnt
+		st.sum += sum
+		if !a.Incremental {
+			return nil, nil
+		}
+		return a.rowOf(st.group, st.cnt, st.sum), nil
 	}
+	a.sBuf = wire.Encode(a.sBuf[:0], g)
+	h := index.BytesHash(a.sBuf)
+	slot := -1
+	a.idx.Each(h, func(ref uint32) bool {
+		if bytes.Equal(a.arena.RowBytes(a.states[ref].ref), a.sBuf) {
+			slot = int(ref)
+			return false
+		}
+		return true
+	})
+	if slot < 0 {
+		slot = len(a.states)
+		a.states = append(a.states, groupAcc{ref: a.arena.AppendEncoded(a.sBuf)})
+		a.idx.Insert(h, uint32(slot))
+	}
+	st := &a.states[slot]
 	st.cnt += cnt
 	st.sum += sum
 	if !a.Incremental {
 		return nil, nil
 	}
-	return a.row(st), nil
+	a.sRow = a.arena.DecodeInto(a.sRow, st.ref)
+	return a.rowOf(a.sRow, st.cnt, st.sum), nil
 }
 
 // Fold feeds one raw tuple (cnt 1, sum = SumE(t) when configured).
@@ -285,18 +354,21 @@ func (a *Agg) Fold(t types.Tuple) (types.Tuple, error) {
 	return a.Update(t, 1, sum)
 }
 
-func (a *Agg) row(st *groupState) types.Tuple {
-	out := st.group.Clone()
+// rowOf renders one group's output row: the group values followed by the
+// aggregate. group is copied (it may be scratch).
+func (a *Agg) rowOf(group types.Tuple, cnt int64, sum float64) types.Tuple {
+	out := make(types.Tuple, 0, len(group)+1)
+	out = append(out, group...)
 	switch a.Kind {
 	case Count:
-		out = append(out, types.Int(st.cnt))
+		out = append(out, types.Int(cnt))
 	case Sum:
-		out = append(out, types.Float(st.sum))
+		out = append(out, types.Float(sum))
 	case Avg:
-		if st.cnt == 0 {
+		if cnt == 0 {
 			out = append(out, types.Null())
 		} else {
-			out = append(out, types.Float(st.sum/float64(st.cnt)))
+			out = append(out, types.Float(sum/float64(cnt)))
 		}
 	}
 	return out
@@ -304,15 +376,36 @@ func (a *Agg) row(st *groupState) types.Tuple {
 
 // Rows returns the current aggregate rows.
 func (a *Agg) Rows() []types.Tuple {
-	out := make([]types.Tuple, 0, len(a.groups))
-	for _, st := range a.groups {
-		out = append(out, a.row(st))
+	if a.groups != nil {
+		out := make([]types.Tuple, 0, len(a.groups))
+		for _, st := range a.groups {
+			out = append(out, a.rowOf(st.group, st.cnt, st.sum))
+		}
+		return out
+	}
+	out := make([]types.Tuple, 0, len(a.states))
+	for i := range a.states {
+		st := &a.states[i]
+		out = append(out, a.rowOf(a.arena.Decode(st.ref), st.cnt, st.sum))
 	}
 	return out
 }
 
-// MemSize approximates accumulator state.
-func (a *Agg) MemSize() int { return a.mem + 48 }
+// Groups returns the number of distinct groups.
+func (a *Agg) Groups() int {
+	if a.groups != nil {
+		return len(a.groups)
+	}
+	return len(a.states)
+}
+
+// MemSize approximates accumulator state; real bytes in the compact layout.
+func (a *Agg) MemSize() int {
+	if a.groups != nil {
+		return a.mem + 48
+	}
+	return a.arena.MemSize() + a.idx.MemSize() + 24*cap(a.states) + 48
+}
 
 // aggBolt adapts Agg to the dataflow engine.
 type aggBolt struct{ a *Agg }
@@ -342,25 +435,35 @@ func (b aggBolt) Finish(out *dataflow.Collector) error {
 
 func (b aggBolt) MemSize() int { return b.a.MemSize() }
 
+// newAgg picks the group-table layout: compact slab (default) or the map
+// opt-out (squall.Options.LegacyState).
+func newAgg(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental, legacy bool) *Agg {
+	if legacy {
+		return NewMapAgg(groupBy, kind, sumE, incremental)
+	}
+	return NewAgg(groupBy, kind, sumE, incremental)
+}
+
 // AggBolt builds a per-task aggregation component. Upstream edges must group
 // by the group-by columns (Fields or KeyMapped) so each group lands on one
-// task.
-func AggBolt(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental bool) dataflow.BoltFactory {
+// task. legacy selects the pre-slab map group table.
+func AggBolt(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental, legacy bool) dataflow.BoltFactory {
 	return func(task, ntasks int) dataflow.Bolt {
-		return aggBolt{NewAgg(groupBy, kind, sumE, incremental)}
+		return aggBolt{newAgg(groupBy, kind, sumE, incremental, legacy)}
 	}
 }
 
 // MergeBolt merges pre-aggregated partial rows of shape (group..., cnt, sum)
 // emitted by AggJoinBolt tasks into final aggregate rows. ngroup is the
-// number of leading group columns.
-func MergeBolt(ngroup int, kind AggKind, incremental bool) dataflow.BoltFactory {
+// number of leading group columns; legacy selects the pre-slab map group
+// table.
+func MergeBolt(ngroup int, kind AggKind, incremental, legacy bool) dataflow.BoltFactory {
 	return func(task, ntasks int) dataflow.Bolt {
 		groupBy := make([]expr.Expr, ngroup)
 		for i := range groupBy {
 			groupBy[i] = expr.C(i)
 		}
-		return &mergeBolt{a: NewAgg(groupBy, kind, nil, incremental), ngroup: ngroup}
+		return &mergeBolt{a: newAgg(groupBy, kind, nil, incremental, legacy), ngroup: ngroup}
 	}
 }
 

@@ -2,7 +2,6 @@ package types
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 )
 
@@ -64,30 +63,14 @@ func (t Tuple) Hash(cols ...int) uint64 {
 // elides that conversion's allocation — and only materialize an owned string
 // (Key) when inserting.
 func (t Tuple) AppendKey(buf []byte, cols ...int) []byte {
-	write := func(buf []byte, v Value) []byte {
-		switch v.KindV {
-		case KindNull:
-			buf = append(buf, 'n')
-		case KindInt:
-			buf = append(buf, 'i')
-			buf = strconv.AppendInt(buf, v.I, 10)
-		case KindFloat:
-			buf = append(buf, 'f')
-			buf = strconv.AppendFloat(buf, v.F, 'g', -1, 64)
-		case KindString:
-			buf = append(buf, 's')
-			buf = append(buf, v.Str...)
-		}
-		return append(buf, 0x1f) // unit separator: unambiguous joiner
-	}
 	if len(cols) == 0 {
 		for _, v := range t {
-			buf = write(buf, v)
+			buf = v.AppendKey(buf)
 		}
 		return buf
 	}
 	for _, c := range cols {
-		buf = write(buf, t[c])
+		buf = t[c].AppendKey(buf)
 	}
 	return buf
 }

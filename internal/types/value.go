@@ -223,6 +223,25 @@ func (v Value) Hash() uint64 {
 	return h
 }
 
+// AppendKey appends the value's canonical key bytes (the single-value form
+// of Tuple.AppendKey) to buf and returns the extended slice.
+func (v Value) AppendKey(buf []byte) []byte {
+	switch v.KindV {
+	case KindNull:
+		buf = append(buf, 'n')
+	case KindInt:
+		buf = append(buf, 'i')
+		buf = strconv.AppendInt(buf, v.I, 10)
+	case KindFloat:
+		buf = append(buf, 'f')
+		buf = strconv.AppendFloat(buf, v.F, 'g', -1, 64)
+	case KindString:
+		buf = append(buf, 's')
+		buf = append(buf, v.Str...)
+	}
+	return append(buf, 0x1f) // unit separator: unambiguous joiner
+}
+
 // MemSize approximates the in-memory footprint of the value in bytes. It is
 // used by the per-task memory-budget accounting that reproduces the paper's
 // "Memory Overflow" outcomes.

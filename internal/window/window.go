@@ -15,6 +15,7 @@ import (
 	"squall/internal/expr"
 	"squall/internal/localjoin"
 	"squall/internal/ops"
+	"squall/internal/slab"
 	"squall/internal/types"
 )
 
@@ -76,24 +77,84 @@ func SlidingConjuncts(relA, tsColA, relB, tsColB int, size int64) []expr.JoinCon
 // horizon h, a call to Advance(watermark) evicts tuples whose timestamp is
 // below watermark - h. Out-of-order arrivals later than the horizon are the
 // caller's contract to avoid (the usual watermark assumption).
+//
+// Entries live in time buckets of width horizon/16 ordered by a min-heap of
+// bucket ids, so Advance is O(evicted) — fully expired buckets evict
+// wholesale, only the single bucket straddling the cut is scanned — instead
+// of the pre-PR3 full-queue rescan per watermark; a min-timestamp early-out
+// makes watermark-only advances free. When the wrapped join uses the
+// compact slab layout the entries are row refs and eviction unindexes the
+// row in place (RemoveRef); the map layout falls back to tuple search.
 type Expirer struct {
 	join    *localjoin.Traditional
 	tsCols  []int // per relation
 	horizon int64
-	queue   []expEntry
+	granule int64
+	buckets map[int64]*expBucket
+	heap    []int64 // min-heap of bucket ids present in buckets
+	stored  int
 	evicted int
+	minTs   int64 // lower bound on the smallest live ts; valid when stored > 0
+	scanned int   // entries examined by Advance (regression instrumentation)
+}
+
+type expBucket struct {
+	entries []expEntry
 }
 
 type expEntry struct {
 	ts  int64
 	rel int
-	t   types.Tuple
+	ref slab.Ref    // compact layout
+	t   types.Tuple // map layout
 }
 
 // NewExpirer wraps a traditional join whose relation r carries its event
 // time in column tsCols[r].
 func NewExpirer(join *localjoin.Traditional, tsCols []int, horizon int64) *Expirer {
-	return &Expirer{join: join, tsCols: tsCols, horizon: horizon}
+	granule := horizon / 16
+	if granule < 1 {
+		granule = 1
+	}
+	return &Expirer{join: join, tsCols: tsCols, horizon: horizon, granule: granule,
+		buckets: map[int64]*expBucket{}}
+}
+
+// heapPush adds a bucket id to the min-heap.
+func (e *Expirer) heapPush(id int64) {
+	e.heap = append(e.heap, id)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if e.heap[p] <= e.heap[i] {
+			break
+		}
+		e.heap[p], e.heap[i] = e.heap[i], e.heap[p]
+		i = p
+	}
+}
+
+// heapPop removes the smallest bucket id.
+func (e *Expirer) heapPop() {
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(e.heap) && e.heap[l] < e.heap[small] {
+			small = l
+		}
+		if r < len(e.heap) && e.heap[r] < e.heap[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
 }
 
 // OnTuple feeds the join and registers the tuple for expiration.
@@ -106,34 +167,106 @@ func (e *Expirer) OnTuple(rel int, t types.Tuple) ([]localjoin.Delta, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.queue = append(e.queue, expEntry{ts: ts, rel: rel, t: t})
+	en := expEntry{ts: ts, rel: rel}
+	if ref, ok := e.join.LastRef(rel); ok {
+		en.ref = ref
+	} else {
+		en.t = t
+	}
+	id := floorDiv(ts, e.granule)
+	b := e.buckets[id]
+	if b == nil {
+		b = &expBucket{}
+		e.buckets[id] = b
+		e.heapPush(id)
+	}
+	b.entries = append(b.entries, en)
+	if e.stored == 0 || ts < e.minTs {
+		e.minTs = ts
+	}
+	e.stored++
 	return deltas, nil
 }
 
+// remove evicts one registered entry from the wrapped join.
+func (e *Expirer) remove(en expEntry) error {
+	if en.t == nil {
+		return e.join.RemoveRef(en.rel, en.ref)
+	}
+	_, err := e.join.Remove(en.rel, en.t)
+	return err
+}
+
 // Advance evicts every stored tuple with ts < watermark - horizon and
-// returns the number evicted. The queue is kept in arrival order; skewed
-// event times are handled by scanning the (amortized small) prefix.
+// returns the number evicted.
 func (e *Expirer) Advance(watermark int64) (int, error) {
 	cut := watermark - e.horizon
+	if e.stored == 0 || cut <= e.minTs {
+		return 0, nil // min-timestamp early-out: nothing can expire
+	}
 	n := 0
-	kept := e.queue[:0]
-	for _, en := range e.queue {
-		if en.ts < cut {
-			if _, err := e.join.Remove(en.rel, en.t); err != nil {
-				return n, err
+	for len(e.heap) > 0 {
+		front := e.heap[0]
+		b := e.buckets[front]
+		if (front+1)*e.granule <= cut {
+			// Every entry of this bucket has ts < (front+1)·granule <= cut:
+			// evict wholesale.
+			for _, en := range b.entries {
+				e.scanned++
+				if err := e.remove(en); err != nil {
+					return n, err
+				}
+				n++
 			}
-			n++
+			e.stored -= len(b.entries)
+			delete(e.buckets, front)
+			e.heapPop()
 			continue
 		}
-		kept = append(kept, en)
+		if front*e.granule < cut {
+			// The bucket straddles the cut: scan and filter it.
+			kept := b.entries[:0]
+			var minKept int64
+			for _, en := range b.entries {
+				e.scanned++
+				if en.ts < cut {
+					if err := e.remove(en); err != nil {
+						return n, err
+					}
+					n++
+					continue
+				}
+				if len(kept) == 0 || en.ts < minKept {
+					minKept = en.ts
+				}
+				kept = append(kept, en)
+			}
+			e.stored -= len(b.entries) - len(kept)
+			b.entries = kept
+			if len(kept) == 0 {
+				delete(e.buckets, front)
+				e.heapPop()
+				continue
+			}
+			// Remaining buckets start at or after this bucket's end, so the
+			// kept minimum is the global minimum.
+			e.minTs = minKept
+		}
+		break
 	}
-	e.queue = kept
 	e.evicted += n
+	if e.stored == 0 {
+		e.minTs = 0
+	} else if len(e.heap) > 0 && e.heap[0]*e.granule > e.minTs {
+		// Wholesale evictions dropped the bucket holding the old minimum:
+		// the front bucket's start is a valid (conservative) lower bound.
+		e.minTs = e.heap[0] * e.granule
+	}
 	return n, nil
 }
 
 // Stored returns the number of live (non-expired) tuples.
-func (e *Expirer) Stored() int { return len(e.queue) }
+func (e *Expirer) Stored() int { return e.stored }
 
 // Evicted returns the total tuples expired so far.
 func (e *Expirer) Evicted() int { return e.evicted }

@@ -168,6 +168,11 @@ type Options struct {
 	// BatchSize caps tuples per transport envelope (default
 	// dataflow.DefaultBatchSize; 1 = legacy per-tuple transport).
 	BatchSize int
+	// LegacyState opts out of the compact slab-backed operator state (PR 3)
+	// and runs joins and aggregations on the pre-slab map layout — the
+	// comparison baseline squallbench's `state` experiment measures against.
+	// Default off: compact state is the engine default.
+	LegacyState bool
 }
 
 // Result of a query execution.
@@ -300,7 +305,7 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 			spec.Sum = q.Agg.Sum
 		}
 		b.Bolt(joiner, joinerPar, ops.AggJoinBolt(q.Graph, spec, relOf, false))
-		b.Bolt("merge", opt.FinalPar, ops.MergeBolt(len(q.Agg.GroupBy), q.Agg.Kind, false))
+		b.Bolt("merge", opt.FinalPar, ops.MergeBolt(len(q.Agg.GroupBy), q.Agg.Kind, false, opt.LegacyState))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("merge", joiner, mergeGrouping(len(q.Agg.GroupBy)))
 		b.Input("sink", "merge", dataflow.Global())
@@ -325,13 +330,13 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 			}
 			sumE = expr.C(offsets[q.Agg.Sum.Rel] + col)
 		}
-		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, nil))
-		b.Bolt("agg", opt.FinalPar, ops.AggBolt(groupEs, q.Agg.Kind, sumE, false))
+		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, nil, opt.LegacyState))
+		b.Bolt("agg", opt.FinalPar, ops.AggBolt(groupEs, q.Agg.Kind, sumE, false, opt.LegacyState))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("agg", joiner, dataflow.Fields(groupCols...))
 		b.Input("sink", "agg", dataflow.Global())
 	default:
-		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, q.Post))
+		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, q.Post, opt.LegacyState))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("sink", joiner, dataflow.Global())
 	}
