@@ -19,6 +19,14 @@
 // full-join time; with -json it writes BENCH_PR3.json, and it exits
 // non-zero when the compact layout stops paying for itself (the CI gate).
 //
+// The `recover` experiment (PR 4) reproduces the §5 fault-tolerance claim
+// live: a replicated Random-Hypercube join with one joiner task killed
+// mid-run, recovered once from a peer machine and once from a disk
+// checkpoint. With -json it writes BENCH_PR4.json; it exits non-zero when a
+// recovered run stops being bag-equal to the fault-free run, when peer
+// recovery stops beating disk recovery, or when the recovered run's
+// end-to-end overhead reaches 25% (the CI gate).
+//
 // Scales are thousandth-scale stand-ins for the paper's cluster runs; the
 // expected shapes (orderings, rough ratios) are documented per experiment in
 // EXPERIMENTS.md.
@@ -66,6 +74,7 @@ func main() {
 		"batch":    batchTransport,
 		"adapt":    adaptBench,
 		"state":    stateBench,
+		"recover":  recoverBench,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -75,7 +84,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state all\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover all\n", what)
 		os.Exit(2)
 	}
 	f()

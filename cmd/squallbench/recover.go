@@ -1,0 +1,287 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"time"
+
+	"squall"
+	"squall/internal/dataflow"
+	"squall/internal/expr"
+	"squall/internal/recovery"
+	"squall/internal/types"
+)
+
+// Disk model for the recovery baseline, mirroring the engine's CPU-for-
+// network substitution: the paper's blades (§7) pair a 1 Gbit network with
+// contended local spinning disks, so checkpoint reads pay a seek plus
+// ~120 MB/s sequential bandwidth instead of this machine's page cache.
+const (
+	diskSeek      = 2 * time.Millisecond
+	diskReadBytes = 120 << 20
+)
+
+// benchFileRecover is where `-json recover` records the PR 4 numbers.
+const benchFileRecover = "BENCH_PR4.json"
+
+// recoverRun is one configuration's measurement: a fault-free or killed run
+// of the same replicated 2-way join.
+type recoverRun struct {
+	Name      string  `json:"name"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Rows      int64   `json:"result_rows"`
+	// RecoveryUS is the fault's gate-to-ack recovery time (0 when no fault).
+	RecoveryUS     float64 `json:"recovery_us,omitempty"`
+	PeerRels       int64   `json:"peer_rels,omitempty"`
+	CheckpointRels int64   `json:"checkpoint_rels,omitempty"`
+	RestoredTuples int64   `json:"restored_tuples,omitempty"`
+	ReplayedTuples int64   `json:"replayed_tuples,omitempty"`
+	Checkpoints    int64   `json:"checkpoints,omitempty"`
+	CheckpointKB   float64 `json:"checkpoint_kb,omitempty"`
+}
+
+type recoverReport struct {
+	PR        int        `json:"pr"`
+	Benchmark string     `json:"benchmark"`
+	RTuples   int        `json:"r_tuples"`
+	STuples   int        `json:"s_tuples"`
+	Machines  int        `json:"machines"`
+	KillAfter int        `json:"kill_after_tuples"`
+	Baseline  recoverRun `json:"baseline"`
+	FaultFree recoverRun `json:"fault_free_checkpointing"`
+	Peer      recoverRun `json:"kill_peer_recovery"`
+	Disk      recoverRun `json:"kill_disk_recovery"`
+	// PeerSpeedupX is disk recovery time / peer recovery time — the §5
+	// claim ("network accesses are several times faster than disk").
+	PeerSpeedupX float64 `json:"peer_recovery_speedup_x"`
+	// RecoveredOverheadX is the killed-and-recovered run's elapsed time over
+	// the fault-free run of the same configuration — the cost of the fault
+	// itself (gate: < 1.25).
+	RecoveredOverheadX float64 `json:"recovered_run_overhead_x"`
+	// CheckpointOverheadX is fault-free-with-checkpointing over the plain
+	// no-recovery baseline — the steady-state cost of the subsystem.
+	CheckpointOverheadX float64 `json:"checkpoint_overhead_x"`
+}
+
+// recoverTuple synthesizes a padded row so restores move realistic bytes.
+func recoverTuple(key int64, i int) types.Tuple {
+	return types.Tuple{
+		types.Int(key),
+		types.Int(int64(i)),
+		types.Str("recover-bench-payload-0123456789"),
+	}
+}
+
+// bagHash is an order-independent multiset hash of the collected rows: two
+// runs are bag-equal iff counts and hashes agree (the smoke gate's cheap
+// stand-in for a full bag diff at bench scales).
+func bagHash(rows []types.Tuple) uint64 {
+	var sum uint64
+	for _, r := range rows {
+		h := fnv.New64a()
+		h.Write([]byte(r.Key()))
+		sum += h.Sum64()
+	}
+	return sum
+}
+
+// recoverBench is the PR 4 experiment: the §5 fault-tolerance claim made
+// live. A Random-Hypercube 2-way join (fully replicated, so every relation
+// is peer-recoverable) runs fault-free, then with one joiner task killed
+// mid-run and recovered from a peer, then with the same kill recovered from
+// a disk checkpoint. Gates (CI smoke): every run bag-equal to the fault-free
+// baseline, peer recovery strictly faster than disk recovery, and the
+// recovered run's end-to-end overhead under 25%.
+func recoverBench() {
+	nR, nS := 60_000, 60_000
+	if *smoke {
+		nR, nS = 16_000, 16_000
+	}
+	domain := int64(nR / 4)
+	const machines = 8
+	killAfter := nR / machines
+	header(fmt.Sprintf("Live fault tolerance: peer vs disk recovery (R=%d, S=%d, %dJ, kill after %d tuples)", nR, nS, machines, killAfter))
+
+	rRows := make([]types.Tuple, nR)
+	for i := range rRows {
+		rRows[i] = recoverTuple(int64(i)%domain, i)
+	}
+	sRows := make([]types.Tuple, nS)
+	for i := range sRows {
+		sRows[i] = recoverTuple(int64(i*7)%domain, i)
+	}
+	g := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
+	mkQuery := func() *squall.JoinQuery {
+		return &squall.JoinQuery{
+			Graph:    g,
+			Scheme:   squall.RandomHypercube,
+			Machines: machines,
+			Local:    squall.Traditional,
+			Sources: []squall.Source{
+				{Name: "R", Spout: dataflow.SliceSpout(rRows), Size: int64(nR)},
+				{Name: "S", Spout: dataflow.SliceSpout(sRows), Size: int64(nS)},
+			},
+		}
+	}
+
+	ckptRoot, err := os.MkdirTemp("", "squall-ckpt-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recover: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(ckptRoot)
+
+	runs := 0
+	runOnce := func(name string, kill, disablePeer, withRecovery bool) (recoverRun, uint64) {
+		// Every run gets a fresh checkpoint directory: each execution models
+		// a fresh cluster, and a stale manifest from a previous run must
+		// never masquerade as this run's history.
+		runs++
+		store, err := recovery.NewModeledDiskStore(fmt.Sprintf("%s/run%d", ckptRoot, runs), diskSeek, diskReadBytes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recover: %v\n", err)
+			os.Exit(1)
+		}
+		opts := squall.Options{
+			Seed: 11,
+			// Shallow inboxes backpressure the spouts, so the kill lands
+			// genuinely mid-stream and post-recovery tuples join against the
+			// restored state.
+			ChannelBuf: 4,
+		}
+		if withRecovery {
+			opts.Recovery = &squall.RecoveryOptions{
+				// A couple of checkpoints land before the kill point, so the
+				// disk route genuinely restores from the medium (plus a
+				// bounded replay) instead of degenerating to replay-only.
+				CheckpointEvery: killAfter * 3 / 4,
+				Store:           store,
+				DisablePeer:     disablePeer,
+			}
+		}
+		if kill {
+			opts.FaultPlan = &squall.FaultPlan{Task: 0, AfterTuples: killAfter}
+		}
+		res, err := mkQuery().Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recover: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rm := &res.Metrics.Recovery
+		if kill && rm.Faults.Load() != 1 {
+			fmt.Fprintf(os.Stderr, "recover: %s: %d faults fired, want 1\n", name, rm.Faults.Load())
+			os.Exit(1)
+		}
+		return recoverRun{
+			Name:           name,
+			ElapsedMS:      float64(res.Metrics.Elapsed.Microseconds()) / 1000,
+			Rows:           res.RowCount,
+			RecoveryUS:     float64(rm.LastRecoveryNS.Load()) / 1000,
+			PeerRels:       rm.PeerRels.Load(),
+			CheckpointRels: rm.CheckpointRels.Load(),
+			RestoredTuples: rm.RestoredTuples.Load(),
+			ReplayedTuples: rm.ReplayedTuples.Load(),
+			Checkpoints:    rm.Checkpoints.Load(),
+			CheckpointKB:   float64(rm.CheckpointBytes.Load()) / 1024,
+		}, bagHash(res.Rows)
+	}
+
+	// Best-of-reps for the timing claims (elapsed and recovery time are
+	// minimized independently — a noisy neighbor should not decide the §5
+	// comparison); every rep must produce the identical result bag.
+	const reps = 3
+	measure := func(name string, kill, disablePeer, withRecovery bool) (recoverRun, uint64) {
+		best, bestBag := runOnce(name, kill, disablePeer, withRecovery)
+		for i := 1; i < reps; i++ {
+			r, bag := runOnce(name, kill, disablePeer, withRecovery)
+			if bag != bestBag || r.Rows != best.Rows {
+				fmt.Fprintf(os.Stderr, "recover: %s: nondeterministic result bag across reps\n", name)
+				os.Exit(1)
+			}
+			if r.ElapsedMS < best.ElapsedMS {
+				best.ElapsedMS = r.ElapsedMS
+			}
+			if r.RecoveryUS > 0 && (best.RecoveryUS == 0 || r.RecoveryUS < best.RecoveryUS) {
+				best.RecoveryUS = r.RecoveryUS
+			}
+		}
+		return best, bestBag
+	}
+
+	base, baseBag := measure("baseline", false, false, false)
+	ff, ffBag := measure("fault-free+ckpt", false, false, true)
+	peer, peerBag := measure("kill+peer", true, false, true)
+	disk, diskBag := measure("kill+disk", true, true, true)
+
+	report := recoverReport{
+		PR: 4,
+		Benchmark: fmt.Sprintf("mid-run joiner kill on a replicated Random-Hypercube 2-way join (%d+%d tuples, %dJ)",
+			nR, nS, machines),
+		RTuples: nR, STuples: nS, Machines: machines, KillAfter: killAfter,
+		Baseline: base, FaultFree: ff, Peer: peer, Disk: disk,
+		PeerSpeedupX:        disk.RecoveryUS / peer.RecoveryUS,
+		RecoveredOverheadX:  peer.ElapsedMS / ff.ElapsedMS,
+		CheckpointOverheadX: ff.ElapsedMS / base.ElapsedMS,
+	}
+
+	fmt.Printf("  %-18s %10s %10s %12s %8s %10s %10s %8s\n",
+		"run", "elapsed", "recovery", "rows", "routes", "restored", "replayed", "ckpts")
+	for _, r := range []recoverRun{base, ff, peer, disk} {
+		routes := "-"
+		if r.PeerRels+r.CheckpointRels > 0 {
+			routes = fmt.Sprintf("%dp/%dc", r.PeerRels, r.CheckpointRels)
+		}
+		recovery := "-"
+		if r.RecoveryUS > 0 {
+			recovery = fmt.Sprintf("%.0fµs", r.RecoveryUS)
+		}
+		fmt.Printf("  %-18s %9.1fms %10s %12d %8s %10d %10d %8d\n",
+			r.Name, r.ElapsedMS, recovery, r.Rows, routes, r.RestoredTuples, r.ReplayedTuples, r.Checkpoints)
+	}
+	fmt.Printf("  peer recovery %.2fx faster than disk-checkpoint recovery (%.0fµs vs %.0fµs; disk modeled at %v seek + %dMB/s)\n",
+		report.PeerSpeedupX, peer.RecoveryUS, disk.RecoveryUS, diskSeek, diskReadBytes>>20)
+	fmt.Printf("  recovered-run overhead %.2fx vs fault-free; checkpointing alone %.2fx vs no recovery\n",
+		report.RecoveredOverheadX, report.CheckpointOverheadX)
+
+	ok := true
+	if baseBag != ffBag || baseBag != peerBag || baseBag != diskBag ||
+		base.Rows != ff.Rows || base.Rows != peer.Rows || base.Rows != disk.Rows {
+		fmt.Fprintf(os.Stderr, "  FAIL: recovered runs are not bag-equal to the fault-free run\n")
+		ok = false
+	}
+	if peer.PeerRels != 2 {
+		fmt.Fprintf(os.Stderr, "  FAIL: replicated scheme recovered %d of 2 relations from peers\n", peer.PeerRels)
+		ok = false
+	}
+	if disk.CheckpointRels != 2 {
+		fmt.Fprintf(os.Stderr, "  FAIL: disk run recovered %d of 2 relations from checkpoints\n", disk.CheckpointRels)
+		ok = false
+	}
+	if peer.RecoveryUS >= disk.RecoveryUS {
+		fmt.Fprintf(os.Stderr, "  FAIL: peer recovery (%.0fµs) not faster than disk recovery (%.0fµs)\n",
+			peer.RecoveryUS, disk.RecoveryUS)
+		ok = false
+	}
+	if report.RecoveredOverheadX >= 1.25 {
+		fmt.Fprintf(os.Stderr, "  FAIL: recovered-run overhead %.2fx >= 1.25x\n", report.RecoveredOverheadX)
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(benchFileRecover, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", benchFileRecover, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", benchFileRecover)
+	}
+}

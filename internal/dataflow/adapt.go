@@ -430,8 +430,13 @@ func (a *adaptState) run() {
 }
 
 // reshape runs one barrier/migrate/resume round. It reports false when the
-// run is shutting down (abort, or all tasks already finished).
+// run is shutting down (abort, or all tasks already finished). The round
+// holds the execution's roundMu end to end, serializing it against recovery
+// rounds (recover.go) — a task is never migrating and restoring at once, and
+// the recovery manager reads a.cur under the same lock.
 func (a *adaptState) reshape(next adaptive.Matrix) bool {
+	a.ex.roundMu.Lock()
+	defer a.ex.roundMu.Unlock()
 	if !a.pause() {
 		return false
 	}
@@ -773,6 +778,10 @@ func (c *Collector) flushAdaptive(ei, side, coord int, m adaptive.Matrix) error 
 			c.tbuf = append(c.tbuf, row*m.Cols+coord)
 		}
 	}
+	// On a recovery-tracked edge each destination's copy is stamped with its
+	// own (producer, target) sequence and retained for replay; the caller
+	// already holds the recovery gate (emitAdaptiveGated / eos).
+	tracked := c.recTracked != nil && c.recTracked[ei]
 	if c.ex.opts.NoSerialize {
 		// Destinations share the (immutable) tuples and the slice; the
 		// buffer cannot be reused because consumers own what they receive.
@@ -781,7 +790,13 @@ func (c *Collector) flushAdaptive(ei, side, coord int, m adaptive.Matrix) error 
 		for _, target := range c.tbuf {
 			c.metrics.Sent.Add(int64(len(out)))
 			c.metrics.Batches.Add(1)
-			if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, batch: out}) {
+			env := envelope{stream: c.node.name, from: c.task, batch: out}
+			if tracked {
+				c.recSeq[ei][target]++
+				env.seq = c.recSeq[ei][target]
+				c.ex.rec.record(c.recPid, target, replayEnt{seq: env.seq, tuples: out, count: len(out)})
+			}
+			if !c.ex.send(e.to, target, env) {
 				return c.ex.abortErr()
 			}
 		}
@@ -789,6 +804,7 @@ func (c *Collector) flushAdaptive(ei, side, coord int, m adaptive.Matrix) error 
 	}
 	c.scratch = wire.EncodeBatch(c.scratch[:0], batch)
 	c.adaptOut[ei][coord] = batch[:0]
+	var sharedFrame []byte // one retained copy backs every destination's entry
 	for _, target := range c.tbuf {
 		out, _, err := c.dec.Decode(c.scratch)
 		if err != nil {
@@ -797,7 +813,16 @@ func (c *Collector) flushAdaptive(ei, side, coord int, m adaptive.Matrix) error 
 		c.metrics.BytesOut.Add(int64(len(c.scratch)))
 		c.metrics.Sent.Add(int64(len(out)))
 		c.metrics.Batches.Add(1)
-		if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, batch: out}) {
+		env := envelope{stream: c.node.name, from: c.task, batch: out}
+		if tracked {
+			if sharedFrame == nil {
+				sharedFrame = append([]byte(nil), c.scratch...)
+			}
+			c.recSeq[ei][target]++
+			env.seq = c.recSeq[ei][target]
+			c.ex.rec.record(c.recPid, target, replayEnt{seq: env.seq, frame: sharedFrame, count: len(out)})
+		}
+		if !c.ex.send(e.to, target, env) {
 			return c.ex.abortErr()
 		}
 	}

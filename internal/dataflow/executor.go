@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -50,21 +51,32 @@ type Options struct {
 	// controller reshapes the matrix as the observed size ratio drifts, and
 	// joiner state migrates between tasks (see adapt.go).
 	Adaptive *AdaptivePolicy
+	// Recovery, when set, protects one component with the live
+	// fault-tolerance subsystem: sequence-tagged inputs, incremental
+	// checkpoints, and kill/panic recovery by peer refetch or checkpoint +
+	// replay (see recover.go).
+	Recovery *RecoveryPolicy
 }
 
 // envelope is one channel message: a batch of tuples sharing provenance
 // (same producer task, same stream), a single inline tuple (the legacy
 // BatchSize=1 framing, which must not pay a slice allocation per tuple), an
-// EOS marker, or an adaptive control message (barrier / migration traffic).
+// EOS marker, or a control message (adaptive barrier / migration traffic, or
+// recovery kill / restore traffic).
 type envelope struct {
 	batch  []types.Tuple
 	single types.Tuple
 	stream string
 	from   int
-	eos    bool
-	ctrl   ctrlKind
-	cmd    *reshapeCmd // ctrlReshape payload
-	mig    *migBatch   // ctrlMigBatch / ctrlMigDone payload
+	// seq is the per-(producer task, destination task) sequence number on
+	// edges into a recovery-protected component (0 elsewhere): the consumer
+	// dedups replayed envelopes by it (exactly-once).
+	seq  int64
+	eos  bool
+	ctrl ctrlKind
+	cmd  *reshapeCmd // ctrlReshape payload
+	mig  *migBatch   // ctrlMigBatch / ctrlMigDone payload
+	rec  *recMsg     // recovery-plane payload
 }
 
 // Collector routes a task's emitted tuples to the downstream tasks chosen by
@@ -94,6 +106,38 @@ type Collector struct {
 	adaptOut     [][][]types.Tuple
 	adaptEpoch   int
 	adaptReroute []types.Tuple
+	// recTracked[edge] marks outgoing edges into the recovery-protected
+	// component (nil when this node has none): their sends are sequence-
+	// tagged, retained for replay, and pass through the recovery pause gate.
+	// recSeq[edge][target] is the last assigned sequence; recShared[edge]
+	// records whether any currently-buffered tuple of the edge routed to
+	// multiple targets (such tuples must flush as one gate session, see
+	// Emit); recPid is this producer task's id in the replay-buffer table;
+	// inRecGate tracks gate re-entrancy (the gate is counting, so a nested
+	// enter while paused would self-deadlock).
+	recTracked []bool
+	recSeq     [][]int64
+	recShared  []bool
+	recPid     int
+	inRecGate  bool
+}
+
+// recEnter joins the recovery pause gate unless this goroutine already holds
+// it; entered reports whether recExit must be called, ok is false on abort.
+func (c *Collector) recEnter() (entered, ok bool) {
+	if c.inRecGate {
+		return false, true
+	}
+	if !c.ex.rec.enter() {
+		return false, false
+	}
+	c.inRecGate = true
+	return true, true
+}
+
+func (c *Collector) recExit() {
+	c.inRecGate = false
+	c.ex.rec.exit()
 }
 
 // Emit ships t to all subscribed downstream components. The tuple may be
@@ -107,17 +151,48 @@ func (c *Collector) Emit(t types.Tuple) error {
 	}
 	for ei, e := range c.node.outputs {
 		if c.adaptSide != nil && c.adaptSide[ei] >= 0 {
-			if err := c.emitAdaptive(ei, c.adaptSide[ei], t); err != nil {
+			if err := c.emitAdaptiveGated(ei, c.adaptSide[ei], t); err != nil {
 				return err
 			}
 			continue
 		}
 		c.tbuf = e.grouping.Targets(t, e.to.par, c.rng, c.tbuf[:0])
+		full := false
 		for _, target := range c.tbuf {
 			if target < 0 || target >= e.to.par {
 				return fmt.Errorf("dataflow: grouping on edge %s->%s chose task %d of %d", e.from.name, e.to.name, target, e.to.par)
 			}
 			c.out[ei][target] = append(c.out[ei][target], t)
+			if len(c.out[ei][target]) >= c.batchSize {
+				full = true
+			}
+		}
+		if c.recTracked != nil && c.recTracked[ei] && len(c.tbuf) > 1 {
+			c.recShared[ei] = true
+		}
+		if !full {
+			continue
+		}
+		if c.recTracked != nil && c.recTracked[ei] && c.recShared[ei] {
+			// A replicated tuple is pending somewhere on this edge: flush
+			// every target together inside one gate session, so the tuple is
+			// never delivered to one copy's task while still buffered for
+			// another when a recovery round quiesces the edge — a peer
+			// snapshot would disagree with the failed task's applied
+			// history. Edges carrying only unicast tuples keep the ordinary
+			// per-target flush (full batch amortization): with no replicas,
+			// nothing can be split. Replicating edges deliberately accept
+			// sub-BatchSize frames for the uneven targets here: flushing
+			// only the targets sharing pending replicas would need
+			// per-tuple target-set bookkeeping on the hot path, and the
+			// conservative whole-edge flush is what the `recover`
+			// experiment's <25% overhead gate already prices in.
+			if err := c.flushEdgeTracked(ei); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, target := range c.tbuf {
 			if len(c.out[ei][target]) >= c.batchSize {
 				if err := c.flush(ei, target); err != nil {
 					return err
@@ -128,18 +203,70 @@ func (c *Collector) Emit(t types.Tuple) error {
 	return nil
 }
 
+// flushEdgeTracked drains every pending batch of one recovery-tracked edge
+// inside a single gate session, so the gate never splits a replication group.
+func (c *Collector) flushEdgeTracked(ei int) error {
+	entered, ok := c.recEnter()
+	if !ok {
+		return c.ex.abortErr()
+	}
+	if entered {
+		defer c.recExit()
+	}
+	for target := range c.out[ei] {
+		if err := c.flush(ei, target); err != nil {
+			return err
+		}
+	}
+	c.recShared[ei] = false
+	return nil
+}
+
+// emitAdaptiveGated routes one adaptive-edge tuple, holding the recovery
+// gate (when installed) outside the adaptive gate — the lock order the
+// control planes' round serialization (roundMu) relies on.
+func (c *Collector) emitAdaptiveGated(ei, side int, t types.Tuple) error {
+	if c.recTracked != nil && c.recTracked[ei] {
+		entered, ok := c.recEnter()
+		if !ok {
+			return c.ex.abortErr()
+		}
+		if entered {
+			defer c.recExit()
+		}
+	}
+	return c.emitAdaptive(ei, side, t)
+}
+
 // emitLegacy is the BatchSize=1 transport, kept bit- and cost-faithful to
 // the pre-batching engine as the batching baseline: encode once per emit,
 // decode once per destination, one inline-tuple envelope per copy, nothing
 // buffered (so EOS has nothing to flush and aborts are observed per tuple).
 func (c *Collector) emitLegacy(t types.Tuple) error {
 	encoded := false
+	// One retained replay payload backs every tracked destination of this
+	// tuple (mirrors flushAdaptive's sharedFrame).
+	var trackedFrame []byte
+	var trackedTuples []types.Tuple
 	for ei, e := range c.node.outputs {
 		if c.adaptSide != nil && c.adaptSide[ei] >= 0 {
-			if err := c.emitAdaptive(ei, c.adaptSide[ei], t); err != nil {
+			if err := c.emitAdaptiveGated(ei, c.adaptSide[ei], t); err != nil {
 				return err
 			}
 			continue
+		}
+		tracked := c.recTracked != nil && c.recTracked[ei]
+		if tracked {
+			// One gate session covers every destination of the tuple: a
+			// recovery round must never observe a replicated tuple delivered
+			// to some copies but not others.
+			entered, ok := c.recEnter()
+			if !ok {
+				return c.ex.abortErr()
+			}
+			if entered {
+				defer c.recExit()
+			}
 		}
 		c.tbuf = e.grouping.Targets(t, e.to.par, c.rng, c.tbuf[:0])
 		for _, target := range c.tbuf {
@@ -163,7 +290,27 @@ func (c *Collector) emitLegacy(t types.Tuple) error {
 			}
 			c.metrics.Sent.Add(1)
 			c.metrics.Batches.Add(1)
-			if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, single: out}) {
+			env := envelope{stream: c.node.name, from: c.task, single: out}
+			if tracked {
+				ent := replayEnt{count: 1}
+				if c.ex.opts.NoSerialize {
+					if trackedTuples == nil {
+						trackedTuples = []types.Tuple{t}
+					}
+					ent.tuples = trackedTuples
+				} else {
+					if trackedFrame == nil {
+						trackedFrame = append([]byte(nil), c.scratch...)
+					}
+					ent.frame = trackedFrame
+					ent.single = true
+				}
+				c.recSeq[ei][target]++
+				env.seq = c.recSeq[ei][target]
+				ent.seq = env.seq
+				c.ex.rec.record(c.recPid, target, ent)
+			}
+			if !c.ex.send(e.to, target, env) {
 				return c.ex.abortErr()
 			}
 		}
@@ -171,20 +318,38 @@ func (c *Collector) emitLegacy(t types.Tuple) error {
 	return nil
 }
 
-// flush ships the pending batch of one (edge, target) buffer downstream.
+// flush ships the pending batch of one (edge, target) buffer downstream. On
+// edges into a recovery-protected component the send happens inside the
+// recovery gate, carries the next (producer, target) sequence number, and is
+// retained in the replay buffer.
 func (c *Collector) flush(ei, target int) error {
 	batch := c.out[ei][target]
 	if len(batch) == 0 {
 		return nil
 	}
 	e := c.node.outputs[ei]
+	tracked := c.recTracked != nil && c.recTracked[ei]
+	if tracked {
+		entered, ok := c.recEnter()
+		if !ok {
+			return c.ex.abortErr()
+		}
+		if entered {
+			defer c.recExit()
+		}
+	}
 	env := envelope{stream: c.node.name, from: c.task}
+	var ent replayEnt
 	switch {
 	case c.ex.opts.NoSerialize:
 		// The consumer takes ownership of the slice; start a fresh buffer.
 		env.batch = batch
 		c.out[ei][target] = make([]types.Tuple, 0, c.batchSize)
 		c.metrics.Sent.Add(int64(len(batch)))
+		if tracked {
+			// Replay re-delivers the same immutable tuples.
+			ent = replayEnt{tuples: batch, count: len(batch)}
+		}
 	default:
 		// One wire frame per flush: the destination receives its own
 		// deserialized copies, exactly as on a real network, but the frame
@@ -199,8 +364,17 @@ func (c *Collector) flush(ei, target int) error {
 		c.metrics.BytesOut.Add(int64(len(c.scratch)))
 		c.out[ei][target] = batch[:0]
 		c.metrics.Sent.Add(int64(len(out)))
+		if tracked {
+			ent = replayEnt{frame: append([]byte(nil), c.scratch...), count: len(out)}
+		}
 	}
 	c.metrics.Batches.Add(1)
+	if tracked {
+		c.recSeq[ei][target]++
+		env.seq = c.recSeq[ei][target]
+		ent.seq = env.seq
+		c.ex.rec.record(c.recPid, target, ent)
+	}
 	if !c.ex.send(e.to, target, env) {
 		return c.ex.abortErr()
 	}
@@ -208,8 +382,16 @@ func (c *Collector) flush(ei, target int) error {
 }
 
 // flushAll drains every pending batch, preserving per-target FIFO order.
+// Tracked edges with a replicated tuple pending drain inside one gate
+// session per edge (see Emit).
 func (c *Collector) flushAll() error {
 	for ei := range c.node.outputs {
+		if c.recTracked != nil && c.recTracked[ei] && c.recShared[ei] {
+			if err := c.flushEdgeTracked(ei); err != nil {
+				return err
+			}
+			continue
+		}
 		for target := range c.out[ei] {
 			if err := c.flush(ei, target); err != nil {
 				return err
@@ -231,9 +413,30 @@ func (c *Collector) eos() {
 	}
 	for ei, e := range c.node.outputs {
 		if c.adaptSide != nil && c.adaptSide[ei] >= 0 {
-			// EOS on an adaptive edge goes through the pause gate so it
-			// cannot interleave with a reshape barrier (adapt.go).
+			// EOS on an adaptive edge goes through the pause gate(s) so it
+			// cannot interleave with a reshape barrier (adapt.go) or a
+			// recovery round (recover.go).
+			if c.recTracked != nil && c.recTracked[ei] {
+				entered, ok := c.recEnter()
+				if !ok {
+					// Aborting; the adaptive controller still needs its exact
+					// live count to unwind.
+					c.ex.adapt.live.Add(-1)
+					return
+				}
+				c.producerEOS(ei)
+				if entered {
+					c.recExit()
+				}
+				continue
+			}
 			c.producerEOS(ei)
+			continue
+		}
+		if c.recTracked != nil && c.recTracked[ei] {
+			if !c.trackedEOS(ei) {
+				return
+			}
 			continue
 		}
 		for target := 0; target < e.to.par; target++ {
@@ -242,6 +445,25 @@ func (c *Collector) eos() {
 			}
 		}
 	}
+}
+
+// trackedEOS broadcasts a producer task's EOS on a recovery-tracked edge
+// from inside the gate, so a recovery round never interleaves with it.
+func (c *Collector) trackedEOS(ei int) bool {
+	e := c.node.outputs[ei]
+	entered, ok := c.recEnter()
+	if !ok {
+		return false
+	}
+	if entered {
+		defer c.recExit()
+	}
+	for target := 0; target < e.to.par; target++ {
+		if !c.ex.send(e.to, target, envelope{stream: c.node.name, from: c.task, eos: true}) {
+			return false
+		}
+	}
+	return true
 }
 
 // execution is the runtime state of one Run call.
@@ -254,6 +476,11 @@ type execution struct {
 	once    sync.Once
 	err     error
 	adapt   *adaptState // non-nil when Options.Adaptive is set
+	rec     *recState   // non-nil when Options.Recovery is set
+	// roundMu serializes control-plane rounds: an adaptive reshape and a
+	// recovery round each hold it end to end, so a task is never asked to
+	// migrate state and rebuild it in the same breath.
+	roundMu sync.Mutex
 }
 
 func (ex *execution) fail(err error) {
@@ -329,11 +556,19 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 			return nil, err
 		}
 	}
+	if opts.Recovery != nil {
+		if err := ex.initRecovery(opts.Recovery); err != nil {
+			return nil, err
+		}
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
 	if ex.adapt != nil {
 		go ex.adapt.run()
+	}
+	if ex.rec != nil {
+		go ex.rec.run()
 	}
 	for _, n := range t.nodes {
 		for task := 0; task < n.par; task++ {
@@ -350,6 +585,10 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 		close(ex.adapt.quit)
 		<-ex.adapt.done
 		ex.adapt.exportWG.Wait()
+	}
+	if ex.rec != nil {
+		close(ex.rec.quit)
+		<-ex.rec.done
 	}
 	ex.metrics.Elapsed = time.Since(start)
 	return ex.metrics, ex.err
@@ -373,16 +612,36 @@ func (ex *execution) collector(n *node, task int) *Collector {
 			}
 		}
 	}
+	var recTracked, recShared []bool
+	var recSeq [][]int64
+	recPid := 0
+	if ex.rec != nil {
+		if tr, base := ex.rec.tracksFor(n); tr != nil {
+			recTracked = tr
+			recPid = base + task
+			recSeq = make([][]int64, len(n.outputs))
+			recShared = make([]bool, len(n.outputs))
+			for ei, tracked := range tr {
+				if tracked {
+					recSeq[ei] = make([]int64, n.outputs[ei].to.par)
+				}
+			}
+		}
+	}
 	return &Collector{
-		ex:        ex,
-		node:      n,
-		task:      task,
-		rng:       rand.New(rand.NewSource(taskSeed(ex.opts.Seed, n.name, task))),
-		metrics:   ex.metrics.Components[n.name].Tasks[task],
-		batchSize: ex.opts.BatchSize,
-		out:       out,
-		adaptSide: adaptSide,
-		adaptOut:  adaptOut,
+		ex:         ex,
+		node:       n,
+		task:       task,
+		rng:        rand.New(rand.NewSource(taskSeed(ex.opts.Seed, n.name, task))),
+		metrics:    ex.metrics.Components[n.name].Tasks[task],
+		batchSize:  ex.opts.BatchSize,
+		out:        out,
+		adaptSide:  adaptSide,
+		adaptOut:   adaptOut,
+		recTracked: recTracked,
+		recSeq:     recSeq,
+		recShared:  recShared,
+		recPid:     recPid,
 	}
 }
 
@@ -412,6 +671,40 @@ func (ex *execution) runSpout(wg *sync.WaitGroup, n *node, task int) {
 	}
 }
 
+// panicFault is a panic captured inside Bolt.Execute, carried as an error so
+// the executor can either convert it into a recovery round or fail the run
+// with the stack attached.
+type panicFault struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicFault) Error() string { return fmt.Sprintf("bolt panic: %v", p.val) }
+
+// errPanicCaptured signals that a panic was absorbed into a recovery round.
+var errPanicCaptured = errors.New("dataflow: bolt panic captured")
+
+// safeExecute runs Bolt.Execute with panic capture.
+func safeExecute(b Bolt, in Input, col *Collector) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicFault{val: r, stack: debug.Stack()}
+		}
+	}()
+	return b.Execute(in, col)
+}
+
+// safeFinish runs Bolt.Finish with panic capture (never recoverable — the
+// stream is over — but a panic must fail the run, not crash the process).
+func safeFinish(b Bolt, col *Collector) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicFault{val: r, stack: debug.Stack()}
+		}
+	}()
+	return b.Finish(col)
+}
+
 func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	defer wg.Done()
 	col := ex.collector(n, task)
@@ -430,6 +723,30 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 			return
 		}
 	}
+	// Recovery-protected tasks track input cursors, checkpoint periodically,
+	// and rebuild their state after a kill or captured panic.
+	var rs *recSession
+	if ex.rec != nil && ex.rec.node == n {
+		if _, ok := bolt.(Repartitioner); !ok {
+			ex.fail(fmt.Errorf("dataflow: recovery bolt %s[%d] (%T) does not implement Repartitioner", n.name, task, bolt))
+			return
+		}
+		rs = ex.rec.newSession(task)
+	}
+	// rebirth replaces the bolt after a fault dropped its state.
+	rebirth := func() bool {
+		bolt = n.bolt(task, n.par)
+		mem, hasMem = bolt.(MemReporter)
+		if adaptHere {
+			rep, _ = bolt.(Repartitioner)
+		}
+		if _, ok := bolt.(Repartitioner); !ok {
+			ex.fail(fmt.Errorf("dataflow: recovery bolt %s[%d] (%T) does not implement Repartitioner", n.name, task, bolt))
+			return false
+		}
+		return true
+	}
+
 	var mig *migSession  // non-nil while a migration round is open
 	var early []envelope // migration traffic that outran our barrier marker
 	taskEpoch := 0       // reshape epoch this task's state conforms to
@@ -441,7 +758,99 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	inbox := ex.inboxes[n][task]
 	processed := 0
 	one := make([]types.Tuple, 1) // consumer-owned adapter for single-tuple envelopes
-	for expectEOS > 0 || mig != nil {
+
+	// deliver applies one data envelope tuple by tuple. A panic with an open
+	// recovery session (and no conflicting round) is captured as the
+	// poisoned envelope and reported via errPanicCaptured.
+	deliver := func(env envelope, count bool) error {
+		batch := env.batch
+		if batch == nil {
+			one[0] = env.single
+			batch = one
+		}
+		in := Input{Stream: env.stream, FromTask: env.from}
+		if count {
+			tm.Received.Add(int64(len(batch)))
+		}
+		for i := 0; i < len(batch); i++ {
+			in.Tuple = batch[i]
+			if err := safeExecute(bolt, in, col); err != nil {
+				pf, panicked := err.(*panicFault)
+				if !panicked {
+					return err
+				}
+				if rs != nil && !rs.recovering && ex.adapt == nil && mig == nil {
+					pb := batch
+					if env.batch == nil {
+						pb = []types.Tuple{env.single} // `one` is reused; copy
+					}
+					rs.poisoned = &poisonedEnv{env: env, batch: pb, idx: i}
+					return errPanicCaptured
+				}
+				return fmt.Errorf("dataflow: bolt %s[%d] panicked: %v\n%s", n.name, task, pf.val, pf.stack)
+			}
+			processed++
+			if adaptHere && processed%ex.adapt.pol.ReportEvery == 0 {
+				ex.adapt.report(task, taskEpoch, rep)
+			}
+			if hasMem && processed%256 == 0 {
+				ex.checkMem(n, task, tm, mem)
+				select {
+				case <-ex.abort:
+					return ex.abortErr()
+				default:
+				}
+			}
+		}
+		return nil
+	}
+
+	// finishRecovery closes a restore round: re-apply the poisoned envelope
+	// across its emission boundary, reprocess the stashed backlog with full
+	// emission, re-checkpoint, and ack the manager.
+	finishRecovery := func() error {
+		if p := rs.poisoned; p != nil {
+			rel := ex.rec.pol.RelOf[p.env.stream]
+			if p.idx > 0 {
+				// The applied prefix already emitted its deltas before the
+				// crash; re-import it silently.
+				if err := bolt.(Repartitioner).ImportState(rel, p.batch[:p.idx]); err != nil {
+					return err
+				}
+			}
+			// The crashing tuple and the rest of the batch never emitted:
+			// reprocess them fully (Received was counted at first delivery).
+			reEnv := p.env
+			reEnv.batch = p.batch[p.idx:]
+			reEnv.single = nil
+			if err := deliver(reEnv, false); err != nil {
+				return err
+			}
+			rs.applied(&p.env)
+			rs.poisoned = nil
+		}
+		for _, env := range rs.stash {
+			if err := deliver(env, true); err != nil {
+				return err
+			}
+			rs.applied(&env)
+		}
+		rs.stash = nil
+		// A fresh checkpoint pins the restored state as the new replay
+		// horizon before new input flows.
+		if err := rs.checkpoint(bolt); err != nil {
+			return err
+		}
+		rs.recovering = false
+		select {
+		case ex.rec.acks <- task:
+		case <-ex.abort:
+			return ex.abortErr()
+		}
+		return nil
+	}
+
+	for expectEOS > 0 || mig != nil || (rs != nil && rs.busy()) {
 		var env envelope
 		select {
 		case env = <-inbox:
@@ -450,6 +859,85 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 		}
 		if env.eos {
 			expectEOS--
+			continue
+		}
+		if env.ctrl >= ctrlKill {
+			switch env.ctrl {
+			case ctrlKill:
+				if rs == nil {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] received a kill without a recovery session", n.name, task))
+					return
+				}
+				rs.requested = false
+				// A captured panic may have beaten the marker here: the
+				// restore session it opened stands (clobbering it would lose
+				// the stash and the poisoned envelope), and the ack tells the
+				// manager to run this round with panic semantics instead.
+				alreadyPanicked := rs.recovering
+				if !alreadyPanicked {
+					// The kill lands at a quiesced point (every delivered
+					// envelope applied): the pending outputs are legitimate
+					// results in flight — flush them, then lose the state.
+					if err := col.flushAll(); err != nil {
+						ex.fail(fmt.Errorf("dataflow: bolt %s[%d] kill flush: %w", n.name, task, err))
+						return
+					}
+					if !rebirth() {
+						return
+					}
+					rs.startRecovery(false)
+				}
+				select {
+				case ex.rec.killAck <- alreadyPanicked:
+				case <-ex.abort:
+					return
+				}
+			case ctrlRecBegin:
+				if rs == nil || !rs.recovering {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] stray recovery begin", n.name, task))
+					return
+				}
+				rs.began = true
+				rs.routes = env.rec.routes
+				rs.manifest = env.rec.manifest
+			case ctrlRecBatch:
+				if rs == nil || !rs.recovering || !rs.began {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] stray recovery batch", n.name, task))
+					return
+				}
+				if err := bolt.(Repartitioner).ImportState(env.rec.rel, env.rec.tuples); err != nil {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] restore import: %w", n.name, task, err))
+					return
+				}
+			case ctrlRecDone:
+				if rs == nil || !rs.recovering || !rs.began {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] stray recovery done", n.name, task))
+					return
+				}
+				rs.dones++
+				if rs.dones == ex.rec.pol.NumRels {
+					if err := finishRecovery(); err != nil {
+						ex.fail(fmt.Errorf("dataflow: bolt %s[%d] recovery: %w", n.name, task, err))
+						return
+					}
+				}
+			case ctrlStateReq:
+				if rs == nil {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] stray state request", n.name, task))
+					return
+				}
+				if rs.recovering {
+					// A concurrently-panicked peer has been rebirthed and is
+					// mid-restore: exporting its (empty) state would silently
+					// restore the victim wrong. Concurrent double-fault
+					// recovery is out of scope — fail loudly instead.
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] asked to serve rel %d while itself recovering (concurrent double fault)", n.name, task, env.rec.rel))
+					return
+				}
+				if !rs.serveStateReq(bolt, tm, env.rec) {
+					return
+				}
+			}
 			continue
 		}
 		if env.ctrl != ctrlNone {
@@ -477,6 +965,16 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 			}
 			if mig != nil && mig.complete(n.par) {
 				taskEpoch = mig.epoch
+				// A reshape moved state between tasks without consuming
+				// input, so older checkpoints can no longer be reconciled
+				// with replay cursors: re-checkpoint the new placement
+				// before any post-reshape tuple arrives.
+				if rs != nil {
+					if err := rs.checkpoint(bolt); err != nil {
+						ex.fail(fmt.Errorf("dataflow: bolt %s[%d] post-reshape checkpoint: %w", n.name, task, err))
+						return
+					}
+				}
 				// The ack carries this task's post-migration load refresh
 				// on a blocking path, so the controller's first
 				// post-reshape decision sees every task's slice of the new
@@ -491,37 +989,133 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 			ex.fail(fmt.Errorf("dataflow: bolt %s[%d] received data mid-migration (barrier violated)", n.name, task))
 			return
 		}
-		batch := env.batch
-		if batch == nil {
-			one[0] = env.single
-			batch = one
+		if rs != nil {
+			if rs.recovering {
+				if !rs.began {
+					// Pre-gate traffic a panic left unapplied: reprocess it
+					// after the restore completes.
+					rs.stash = append(rs.stash, env)
+					continue
+				}
+				// Replayed input: silently re-import what was applied before
+				// the fault but after the checkpoint; older is in the
+				// checkpoint, newer is stashed.
+				rel, ok := ex.rec.pol.RelOf[env.stream]
+				if !ok {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] replay from unmapped stream %q", n.name, task, env.stream))
+					return
+				}
+				var ckptCur int64
+				if rs.manifest != nil {
+					ckptCur = rs.manifest.CursorFor(env.stream, env.from)
+				}
+				if env.seq > ckptCur && env.seq <= rs.cursors[env.stream][env.from] {
+					batch := env.batch
+					if batch == nil {
+						one[0] = env.single
+						batch = one
+					}
+					if err := bolt.(Repartitioner).ImportState(rel, batch); err != nil {
+						ex.fail(fmt.Errorf("dataflow: bolt %s[%d] replay import: %w", n.name, task, err))
+						return
+					}
+				}
+				continue
+			}
+			if !rs.dedup(&env) {
+				continue // late duplicate of replayed input
+			}
 		}
-		in := Input{Stream: env.stream, FromTask: env.from}
-		tm.Received.Add(int64(len(batch)))
-		for _, t := range batch {
-			in.Tuple = t
-			if err := bolt.Execute(in, col); err != nil {
-				ex.fail(fmt.Errorf("dataflow: bolt %s[%d]: %w", n.name, task, err))
-				return
+		nIn := 1
+		if env.batch != nil {
+			nIn = len(env.batch)
+		}
+		if err := deliver(env, true); err != nil {
+			if err == errPanicCaptured {
+				// Pending outputs hold only deltas of fully applied tuples
+				// (operators emit a tuple's deltas after OnTuple returns):
+				// flush them, drop the poisoned state, restore from the
+				// checkpoint route.
+				if ferr := col.flushAll(); ferr != nil {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] panic flush: %w", n.name, task, ferr))
+					return
+				}
+				if !rebirth() {
+					return
+				}
+				rs.startRecovery(true)
+				if !rs.requested {
+					select {
+					case ex.rec.faults <- faultNote{task: task, panicked: true}:
+					case <-ex.abort:
+						return
+					}
+				}
+				// With a kill trigger outstanding (rs.requested), no note is
+				// sent: the manager's in-flight kill round will reach this
+				// task, learn of the panic from the kill ack, and service
+				// this session with panic semantics — a second note would
+				// open a stray round against an already-restored task.
+				continue
 			}
-			processed++
-			if adaptHere && processed%ex.adapt.pol.ReportEvery == 0 {
-				ex.adapt.report(task, taskEpoch, rep)
-			}
-			if hasMem && processed%256 == 0 {
-				ex.checkMem(n, task, tm, mem)
+			ex.fail(fmt.Errorf("dataflow: bolt %s[%d]: %w", n.name, task, err))
+			return
+		}
+		if rs != nil {
+			rs.applied(&env)
+			if rs.armed && tm.Received.Load() >= int64(ex.rec.pol.Fault.AfterTuples) {
+				rs.armed = false
+				rs.requested = true
 				select {
+				case ex.rec.faults <- faultNote{task: task}:
 				case <-ex.abort:
 					return
-				default:
 				}
+			}
+			rs.sinceCkpt += nIn
+			if rs.sinceCkpt >= ex.rec.pol.CheckpointEvery {
+				if err := rs.checkpoint(bolt); err != nil {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] checkpoint: %w", n.name, task, err))
+					return
+				}
+			}
+		}
+	}
+	if rs != nil && ex.rec.scheduled {
+		if rs.armed {
+			// The plan never fired (this task received too few tuples):
+			// resolve it so lingering peers release.
+			select {
+			case ex.rec.faults <- faultNote{task: task, void: true}:
+			case <-ex.abort:
+				return
+			}
+		}
+		// Linger until the fault plan resolves: a kill landing at the very
+		// end of the stream must still find every peer alive and able to
+		// serve its partitions.
+		for lingering := true; lingering; {
+			select {
+			case <-ex.rec.planDone:
+				lingering = false
+			case env := <-inbox:
+				if env.ctrl == ctrlStateReq {
+					if !rs.serveStateReq(bolt, tm, env.rec) {
+						return
+					}
+				}
+			case <-ex.abort:
+				return
 			}
 		}
 	}
 	if hasMem {
 		ex.checkMem(n, task, tm, mem)
 	}
-	if err := bolt.Finish(col); err != nil {
+	if err := safeFinish(bolt, col); err != nil {
+		if pf, ok := err.(*panicFault); ok {
+			err = fmt.Errorf("panicked: %v\n%s", pf.val, pf.stack)
+		}
 		ex.fail(fmt.Errorf("dataflow: bolt %s[%d] finish: %w", n.name, task, err))
 		return
 	}

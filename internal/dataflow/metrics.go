@@ -88,7 +88,11 @@ type RunMetrics struct {
 	// Adapt counts live-reshape activity when an adaptation policy ran:
 	// reshape rounds completed and the state migrated between tasks.
 	Adapt AdaptMetrics
-	topo  *Topology
+	// Recovery counts fault-tolerance activity when a recovery policy ran:
+	// checkpoints taken, faults recovered, and the state restored or
+	// replayed (see RecoveryMetrics).
+	Recovery RecoveryMetrics
+	topo     *Topology
 }
 
 // Component returns the metrics of one component (nil if unknown).

@@ -72,6 +72,102 @@ func TestDifferentialAllConfigs(t *testing.T) {
 	}
 }
 
+// TestDifferentialChaosKill is the fault-tolerance acceptance matrix: every
+// (scheme x local join x batch x adaptive x slab) configuration runs with
+// one joiner task killed at a seeded point and must stay bag-equal to the
+// nested-loop oracle — the kill is recovered live (peer refetch where the
+// scheme replicates, checkpoint + replay elsewhere), never surfaced as an
+// error.
+func TestDifferentialChaosKill(t *testing.T) {
+	cases := []struct {
+		name               string
+		seed               int64
+		rels, rows, domain int
+		theta              bool
+	}{
+		{"2way-equi", 31, 2, 220, 25, false},
+		{"2way-theta", 32, 2, 120, 20, true},
+		{"3way-chain", 33, 3, 60, 10, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			t.Logf("workload seed=%d rels=%d rows=%d domain=%d theta=%v", c.seed, c.rels, c.rows, c.domain, c.theta)
+			w := RandomWorkload(c.seed, c.rels, c.rows, c.domain, c.theta)
+			ref := w.ReferenceBag()
+			if len(ref) == 0 {
+				t.Fatalf("degenerate workload: oracle produced no rows")
+			}
+			for _, scheme := range allSchemes {
+				for _, local := range allLocals {
+					for _, batch := range allBatches {
+						for _, adaptive := range []bool{false, true} {
+							if adaptive && c.rels != 2 {
+								continue // the adaptive 1-Bucket operator is 2-way
+							}
+							for _, legacy := range []bool{false, true} {
+								if legacy && (adaptive || batch != allBatches[0]) {
+									// The map layout shares the recovery hooks'
+									// fallback path; one batch point covers it.
+									continue
+								}
+								ec := EngineConfig{
+									Scheme: scheme, Local: local, BatchSize: batch,
+									Adaptive: adaptive, LegacyState: legacy,
+									Kill: true, Machines: 6, Seed: c.seed,
+								}
+								t.Run(ec.String(), func(t *testing.T) {
+									got, res, err := w.RunEngine(ec)
+									if err != nil {
+										t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
+									}
+									if f := res.Metrics.Recovery.Faults.Load(); f != 1 {
+										t.Fatalf("seed=%d %v: %d faults recovered, want 1", c.seed, ec, f)
+									}
+									if diff := DiffBags(ref, got); diff != "" {
+										t.Fatalf("seed=%d %v: engine diverges from oracle after kill:\n%s", c.seed, ec, diff)
+									}
+								})
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosKillMidStreamPeerRoute pins the §5 route on a mid-stream kill: a
+// Random-Hypercube replicates every relation, so the killed task's state
+// must come back from peers, and post-recovery arrivals must join against
+// the restored state (a wrong restore shows up as a bag mismatch).
+func TestChaosKillMidStreamPeerRoute(t *testing.T) {
+	const seed = int64(41)
+	w := RandomWorkload(seed, 2, 900, 60, false)
+	ref := w.ReferenceBag()
+	ec := EngineConfig{
+		Scheme: squall.RandomHypercube, Local: squall.Traditional,
+		BatchSize: 8, Kill: true, Machines: 6, Seed: seed,
+	}
+	got, res, err := w.RunEngine(ec)
+	if err != nil {
+		t.Fatalf("seed=%d: %v", seed, err)
+	}
+	rm := &res.Metrics.Recovery
+	if rm.Faults.Load() != 1 {
+		t.Fatalf("seed=%d: %d faults, want 1", seed, rm.Faults.Load())
+	}
+	if rm.PeerRels.Load() == 0 {
+		t.Fatalf("seed=%d: Random-Hypercube kill recovered without any peer route (peer=%d ckpt=%d)",
+			seed, rm.PeerRels.Load(), rm.CheckpointRels.Load())
+	}
+	if rm.RestoredTuples.Load() == 0 {
+		t.Fatalf("seed=%d: no tuples restored", seed)
+	}
+	if diff := DiffBags(ref, got); diff != "" {
+		t.Fatalf("seed=%d: diverges from oracle after mid-stream kill:\n%s", seed, diff)
+	}
+}
+
 // TestDifferentialAdaptiveDrift is the acceptance scenario: under a
 // heavily drifting |R| : |S| ratio the adaptive run must reshape at least
 // once, report migrated bytes, and stay bag-equal to both the oracle and

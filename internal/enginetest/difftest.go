@@ -102,8 +102,13 @@ type EngineConfig struct {
 	// LegacyState runs the pre-slab map-backed operator state (the PR 3
 	// opt-out) instead of the compact slab default.
 	LegacyState bool
-	Machines    int
-	Seed        int64
+	// Kill enables the chaos dimension (PR 4): one joiner task is killed at
+	// a seeded point mid-run and recovered live (peer refetch when the
+	// scheme replicates the relation, checkpoint + replay otherwise); the
+	// result must still be bag-equal to the oracle.
+	Kill     bool
+	Machines int
+	Seed     int64
 }
 
 // String names the configuration for subtests and failure messages.
@@ -116,7 +121,11 @@ func (c EngineConfig) String() string {
 	if c.LegacyState {
 		state = "map"
 	}
-	return fmt.Sprintf("%v/%v/batch=%d/%s/%s", c.Scheme, c.Local, c.BatchSize, mode, state)
+	chaos := ""
+	if c.Kill {
+		chaos = "/kill"
+	}
+	return fmt.Sprintf("%v/%v/batch=%d/%s/%s%s", c.Scheme, c.Local, c.BatchSize, mode, state, chaos)
 }
 
 // query assembles the JoinQuery for one configuration.
@@ -145,7 +154,7 @@ func (w *Workload) query(c EngineConfig) *squall.JoinQuery {
 
 // RunEngine executes one configuration and returns the result bag.
 func (w *Workload) RunEngine(c EngineConfig) (map[string]int, *squall.Result, error) {
-	res, err := w.query(c).Run(squall.Options{
+	opts := squall.Options{
 		Seed:        c.Seed,
 		BatchSize:   c.BatchSize,
 		LegacyState: c.LegacyState,
@@ -153,7 +162,15 @@ func (w *Workload) RunEngine(c EngineConfig) (map[string]int, *squall.Result, er
 		// adaptive runs observe ratios mid-stream (and every run exercises
 		// flow control).
 		ChannelBuf: 8,
-	})
+	}
+	if c.Kill {
+		// Task 0 always exists (and is always a matrix cell in adaptive
+		// runs); the trigger point and checkpoint cadence are seeded small
+		// so the kill lands while the task holds state.
+		opts.FaultPlan = &squall.FaultPlan{Task: 0, AfterTuples: 3 + int(c.Seed%11)}
+		opts.Recovery = &squall.RecoveryOptions{CheckpointEvery: 24}
+	}
+	res, err := w.query(c).Run(opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -117,7 +117,16 @@ type Traditional struct {
 	// sideExpr[c][rel] is the rel-side expression of conjunct c (nil if rel
 	// is not a side of c).
 	sideExpr [][]expr.Expr
+	// onCompact, when set, is invoked after a relation's arena is compacted
+	// with the ref remap, so external ref holders (window expiration queues)
+	// can rewrite their refs.
+	onCompact   func(rel int, remap []slab.Ref)
+	compactions int
 }
+
+// compactMinDeadBytes keeps tiny stores from thrashing: compaction only
+// fires once at least this much tombstoned garbage has accumulated.
+const compactMinDeadBytes = 4 << 10
 
 // NewTraditional builds the operator for a join graph with the compact slab
 // state layout, creating hash indexes for equality conjuncts and tree
@@ -345,19 +354,63 @@ func (j *Traditional) RemoveRef(rel int, ref slab.Ref) error {
 		}
 	}
 	s.arena.Free(ref)
+	return j.maybeCompact(rel)
+}
+
+// OnCompact registers the (single) compaction callback: fn runs after a
+// relation's arena has been rebuilt, with remap[old] giving each row's new
+// ref (slab.NoRef for rows that were dead). Holders of refs outside the
+// operator — the window expiration queue — must rewrite through it.
+func (j *Traditional) OnCompact(fn func(rel int, remap []slab.Ref)) { j.onCompact = fn }
+
+// Compactions reports how many arena compactions have run.
+func (j *Traditional) Compactions() int { return j.compactions }
+
+// maybeCompact rebuilds a relation's arena and indexes once tombstoned
+// bytes dominate live bytes (the DeadBytes/LiveBytes signal DESIGN.md
+// documents): the arena is compacted in arrival order and the per-conjunct
+// indexes are rebuilt against the new refs, exactly as the reshape rebuild
+// path re-derives them from scratch.
+func (j *Traditional) maybeCompact(rel int) error {
+	s := j.stores[rel]
+	if s.arena == nil || s.arena.DeadBytes() < compactMinDeadBytes || s.arena.DeadBytes() <= s.arena.LiveBytes() {
+		return nil
+	}
+	remap := s.arena.Compact()
+	for ci := range s.eqRef {
+		s.eqRef[ci] = index.NewRefHash()
+	}
+	for ci := range s.rngIdx {
+		s.rngIdx[ci] = index.NewTree()
+	}
+	var reindexErr error
+	s.arena.Each(func(ref slab.Ref) bool {
+		s.decBuf = s.arena.DecodeInto(s.decBuf, ref)
+		if err := j.indexRef(s, rel, ref, s.decBuf); err != nil {
+			reindexErr = fmt.Errorf("localjoin: compaction reindex: %w", err)
+			return false
+		}
+		return true
+	})
+	if reindexErr != nil {
+		return reindexErr
+	}
+	if int(s.lastRef) < len(remap) && remap[s.lastRef] != slab.NoRef {
+		s.lastRef = remap[s.lastRef]
+	} else {
+		s.lastRef = 0
+	}
+	j.compactions++
+	if j.onCompact != nil {
+		j.onCompact(rel, remap)
+	}
 	return nil
 }
 
-func (j *Traditional) insert(rel int, t types.Tuple) error {
-	s := j.stores[rel]
-	var ref slab.Ref
-	if j.compact {
-		ref = s.arena.Append(t)
-		s.lastRef = ref
-	} else {
-		s.all = append(s.all, t)
-		s.mem += t.MemSize()
-	}
+// indexRef maintains the compact layout's per-conjunct indexes for one
+// stored row — shared by insert and the compaction reindex, so the two can
+// never drift apart on key canonicalization or item weights.
+func (j *Traditional) indexRef(s *store, rel int, ref slab.Ref, t types.Tuple) error {
 	for ci := range j.g.Conjuncts {
 		e := j.sideExpr[ci][rel]
 		if e == nil {
@@ -367,14 +420,33 @@ func (j *Traditional) insert(rel int, t types.Tuple) error {
 		if err != nil {
 			return fmt.Errorf("localjoin: index key %s: %w", e, err)
 		}
-		if j.compact {
-			if h, ok := s.eqRef[ci]; ok {
-				h.Insert(v.Hash(), uint32(ref))
-			}
-			if tr, ok := s.rngIdx[ci]; ok {
-				tr.Insert(v, index.Item{T: refTuple(ref), W: 1})
-			}
+		if h, ok := s.eqRef[ci]; ok {
+			h.Insert(v.Hash(), uint32(ref))
+		}
+		if tr, ok := s.rngIdx[ci]; ok {
+			tr.Insert(v, index.Item{T: refTuple(ref), W: 1})
+		}
+	}
+	return nil
+}
+
+func (j *Traditional) insert(rel int, t types.Tuple) error {
+	s := j.stores[rel]
+	if j.compact {
+		ref := s.arena.Append(t)
+		s.lastRef = ref
+		return j.indexRef(s, rel, ref, t)
+	}
+	s.all = append(s.all, t)
+	s.mem += t.MemSize()
+	for ci := range j.g.Conjuncts {
+		e := j.sideExpr[ci][rel]
+		if e == nil {
 			continue
+		}
+		v, err := e.Eval(t)
+		if err != nil {
+			return fmt.Errorf("localjoin: index key %s: %w", e, err)
 		}
 		if h, ok := s.eqIdx[ci]; ok {
 			h.Insert(v, t)

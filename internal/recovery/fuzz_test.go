@@ -1,0 +1,97 @@
+package recovery
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeManifest: the manifest decoder must never panic, and whatever it
+// accepts must survive a canonical re-encode/re-decode cycle (mirrors the
+// internal/wire fuzzers; varints admit non-canonical encodings, so byte-level
+// comparison against the input is deliberately avoided).
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SQMF"))
+	f.Add([]byte{'S', 'Q', 'M', 'F', 1, 0, 0, 0, 0})
+	f.Add(AppendManifest(nil, &Manifest{Component: "joiner", Task: 2, Rels: 3,
+		Cursors: []Cursor{{Stream: "R", FromTask: 1, Seq: 99}}}))
+	f.Add(AppendManifest(nil, &Manifest{}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("DecodeManifest consumed %d of %d bytes", n, len(data))
+		}
+		re := AppendManifest(nil, m)
+		m2, n2, err := DecodeManifest(re)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if n2 != len(re) || !manifestEq(m, m2) {
+			t.Fatalf("canonical round trip: %+v -> %+v", m, m2)
+		}
+	})
+}
+
+// FuzzDecodeCheckpoint: same contract for the full checkpoint container.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SQCK"))
+	f.Add(AppendCheckpoint(nil, &Checkpoint{}))
+	f.Add(AppendCheckpoint(nil, &Checkpoint{
+		Manifest: Manifest{Component: "j", Task: 1, Rels: 2,
+			Cursors: []Cursor{{Stream: "S", FromTask: 0, Seq: 5}}},
+		Frames: [][][]byte{{{1, 2, 3}}, {}},
+		Tuples: 7,
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, n, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("DecodeCheckpoint consumed %d of %d bytes", n, len(data))
+		}
+		re := AppendCheckpoint(nil, ck)
+		ck2, n2, err := DecodeCheckpoint(re)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if n2 != len(re) || !checkpointEq(ck, ck2) {
+			t.Fatalf("canonical round trip: %+v -> %+v", ck, ck2)
+		}
+	})
+}
+
+// manifestEq treats nil and empty cursor slices as equal (decode of a
+// zero-count manifest yields an empty, non-nil slice).
+func manifestEq(a, b *Manifest) bool {
+	if a.Component != b.Component || a.Task != b.Task || a.Rels != b.Rels || len(a.Cursors) != len(b.Cursors) {
+		return false
+	}
+	for i := range a.Cursors {
+		if a.Cursors[i] != b.Cursors[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkpointEq(a, b *Checkpoint) bool {
+	if !manifestEq(&a.Manifest, &b.Manifest) || a.Tuples != b.Tuples || len(a.Frames) != len(b.Frames) {
+		return false
+	}
+	for r := range a.Frames {
+		if len(a.Frames[r]) != len(b.Frames[r]) {
+			return false
+		}
+		for i := range a.Frames[r] {
+			if !reflect.DeepEqual(a.Frames[r][i], b.Frames[r][i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

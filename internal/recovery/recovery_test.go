@@ -1,0 +1,130 @@
+package recovery
+
+import (
+	"reflect"
+	"testing"
+
+	"squall/internal/types"
+	"squall/internal/wire"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	frameR := wire.EncodeBatch(nil, []types.Tuple{
+		{types.Int(1), types.Str("a")},
+		{types.Int(2), types.Str("b")},
+	})
+	frameS := wire.EncodeBatch(nil, []types.Tuple{
+		{types.Float(2.5), types.Null()},
+	})
+	return &Checkpoint{
+		Manifest: Manifest{
+			Component: "joiner",
+			Task:      3,
+			Rels:      2,
+			Cursors: []Cursor{
+				{Stream: "R", FromTask: 0, Seq: 41},
+				{Stream: "S", FromTask: 1, Seq: 7},
+			},
+		},
+		Frames: [][][]byte{{frameR}, {frameS}},
+		Tuples: 3,
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &sampleCheckpoint().Manifest
+	enc := AppendManifest(nil, m)
+	got, n, err := DecodeManifest(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip: %+v -> %+v", m, got)
+	}
+	if got.CursorFor("R", 0) != 41 || got.CursorFor("S", 1) != 7 {
+		t.Fatalf("cursor lookup broken: %+v", got.Cursors)
+	}
+	if got.CursorFor("R", 9) != 0 || got.CursorFor("T", 0) != 0 {
+		t.Fatal("missing cursor must read as 0")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := sampleCheckpoint()
+	enc := AppendCheckpoint(nil, ck)
+	got, n, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if !reflect.DeepEqual(ck, got) {
+		t.Fatalf("round trip:\n%+v\n->\n%+v", ck, got)
+	}
+	// The stored frames must still decode as wire batches.
+	tuples, _, err := wire.DecodeBatch(got.Frames[0][0])
+	if err != nil || len(tuples) != 2 {
+		t.Fatalf("frame decode: %d tuples, %v", len(tuples), err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := AppendCheckpoint(nil, sampleCheckpoint())
+	if _, _, err := DecodeCheckpoint(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated checkpoint must fail")
+	}
+	if _, _, err := DecodeCheckpoint([]byte("SQMF")); err == nil {
+		t.Error("wrong magic must fail")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[4] = 99 // version byte
+	if _, _, err := DecodeCheckpoint(bad); err == nil {
+		t.Error("unknown version must fail")
+	}
+	if _, _, err := DecodeManifest(nil); err == nil {
+		t.Error("empty manifest must fail")
+	}
+}
+
+func TestStores(t *testing.T) {
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, store := range map[string]CheckpointStore{"mem": NewMemStore(), "disk": disk} {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, err := store.Get("joiner", 3); ok || err != nil {
+				t.Fatalf("empty store Get = %v, %v", ok, err)
+			}
+			ck := sampleCheckpoint()
+			if err := store.Put("joiner", 3, ck); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := store.Get("joiner", 3)
+			if err != nil || !ok {
+				t.Fatalf("Get = %v, %v", ok, err)
+			}
+			if !reflect.DeepEqual(ck, got) {
+				t.Fatalf("store round trip:\n%+v\n->\n%+v", ck, got)
+			}
+			// A newer checkpoint replaces the old one.
+			ck2 := sampleCheckpoint()
+			ck2.Manifest.Cursors[0].Seq = 100
+			if err := store.Put("joiner", 3, ck2); err != nil {
+				t.Fatal(err)
+			}
+			got, _, _ = store.Get("joiner", 3)
+			if got.Manifest.CursorFor("R", 0) != 100 {
+				t.Fatalf("Put did not replace: %+v", got.Manifest)
+			}
+			// Other tasks are independent keys.
+			if _, ok, _ := store.Get("joiner", 0); ok {
+				t.Fatal("task 0 must be absent")
+			}
+		})
+	}
+}

@@ -266,6 +266,34 @@ func (a *Arena) MemSize() int {
 	return cap(a.buf) + 4*cap(a.offs) + 8*cap(a.dead) + 64
 }
 
+// Compact rebuilds the arena with only its live rows, reclaiming tombstoned
+// bytes, and returns the ref remap: remap[old] is the old row's new ref, or
+// NoRef if the row was dead. Refs are renumbered densely in arrival order,
+// so iteration order is preserved. Callers owning external ref tables
+// (indexes, window expiration queues) must rewrite them through the remap —
+// localjoin.Traditional drives this from its DeadBytes > LiveBytes trigger.
+func (a *Arena) Compact() []Ref {
+	remap := make([]Ref, len(a.offs))
+	buf := make([]byte, 0, a.LiveBytes())
+	offs := make([]uint32, 0, a.live)
+	for i := range a.offs {
+		r := Ref(i)
+		if !a.Live(r) {
+			remap[i] = NoRef
+			continue
+		}
+		remap[i] = Ref(len(offs))
+		offs = append(offs, uint32(len(buf)))
+		start, end := a.rowSpan(r)
+		buf = append(buf, a.buf[start:end]...)
+	}
+	a.buf = buf
+	a.offs = offs
+	a.dead = nil
+	a.deadBytes = 0
+	return remap
+}
+
 // EachFrame chunks the live rows into wire batch frames of up to batchSize
 // rows each — varint(count) followed by the rows' stored bytes, blitted
 // without decoding — and passes each frame (and its row count) to visit.

@@ -175,3 +175,67 @@ func TestMemSizeTracksRealBytes(t *testing.T) {
 		t.Errorf("%.1f bytes per stored row; compactness lost", per)
 	}
 }
+
+func TestCompactReclaimsDeadBytes(t *testing.T) {
+	a := New()
+	var refs []Ref
+	for i := 0; i < 200; i++ {
+		refs = append(refs, a.Append(types.Tuple{types.Int(int64(i)), types.Str("payload")}))
+	}
+	// Free every other row.
+	var live []Ref
+	for i, r := range refs {
+		if i%2 == 0 {
+			a.Free(r)
+		} else {
+			live = append(live, r)
+		}
+	}
+	if a.DeadBytes() == 0 {
+		t.Fatal("frees must accumulate dead bytes")
+	}
+	before := make([]types.Tuple, len(live))
+	for i, r := range live {
+		before[i] = a.Decode(r)
+	}
+	remap := a.Compact()
+	if len(remap) != len(refs) {
+		t.Fatalf("remap covers %d rows, want %d", len(remap), len(refs))
+	}
+	if a.DeadBytes() != 0 {
+		t.Fatalf("DeadBytes = %d after compaction", a.DeadBytes())
+	}
+	if a.Len() != len(live) || a.Rows() != len(live) {
+		t.Fatalf("Len/Rows = %d/%d, want %d", a.Len(), a.Rows(), len(live))
+	}
+	for i, r := range refs {
+		if i%2 == 0 {
+			if remap[r] != NoRef {
+				t.Fatalf("dead row %d remapped to %d", r, remap[r])
+			}
+			continue
+		}
+		nr := remap[r]
+		if nr == NoRef || !a.Live(nr) {
+			t.Fatalf("live row %d lost in compaction", r)
+		}
+	}
+	for i, r := range live {
+		got := a.Decode(remap[r])
+		if !got.Equal(before[i]) {
+			t.Fatalf("row %d: %v -> %v", r, before[i], got)
+		}
+	}
+	// Arrival order is preserved: refs renumber densely.
+	for i := 1; i < len(live); i++ {
+		if remap[live[i]] != remap[live[i-1]]+1 {
+			t.Fatalf("compacted refs not dense in arrival order: %v -> %v", live, remap)
+		}
+	}
+	// Freeing and compacting everything leaves an empty arena.
+	a.Each(func(r Ref) bool { a.Free(r); return true })
+	a.Compact()
+	if a.Len() != 0 || a.LiveBytes() != 0 {
+		t.Fatalf("empty compaction: len=%d liveBytes=%d", a.Len(), a.LiveBytes())
+	}
+}

@@ -110,14 +110,37 @@ type expEntry struct {
 }
 
 // NewExpirer wraps a traditional join whose relation r carries its event
-// time in column tsCols[r].
+// time in column tsCols[r]. The expirer registers itself as the join's
+// compaction hook: when window churn drives an arena's DeadBytes past its
+// LiveBytes the join compacts, and the queued row refs are rewritten
+// through the remap (dead rows map to slab.NoRef, whose removal is a no-op).
 func NewExpirer(join *localjoin.Traditional, tsCols []int, horizon int64) *Expirer {
 	granule := horizon / 16
 	if granule < 1 {
 		granule = 1
 	}
-	return &Expirer{join: join, tsCols: tsCols, horizon: horizon, granule: granule,
+	e := &Expirer{join: join, tsCols: tsCols, horizon: horizon, granule: granule,
 		buckets: map[int64]*expBucket{}}
+	join.OnCompact(e.rewriteRefs)
+	return e
+}
+
+// rewriteRefs remaps every queued entry of one relation after the wrapped
+// join compacted that relation's arena. Entries are rewritten in place so
+// an Advance pass that triggered the compaction mid-scan observes the fresh
+// refs on its next read.
+func (e *Expirer) rewriteRefs(rel int, remap []slab.Ref) {
+	for _, b := range e.buckets {
+		for i := range b.entries {
+			en := &b.entries[i]
+			if en.rel != rel || en.t != nil {
+				continue
+			}
+			if int(en.ref) < len(remap) {
+				en.ref = remap[en.ref]
+			}
+		}
+	}
 }
 
 // heapPush adds a bucket id to the min-heap.
@@ -210,10 +233,12 @@ func (e *Expirer) Advance(watermark int64) (int, error) {
 		b := e.buckets[front]
 		if (front+1)*e.granule <= cut {
 			// Every entry of this bucket has ts < (front+1)·granule <= cut:
-			// evict wholesale.
-			for _, en := range b.entries {
+			// evict wholesale. Entries are re-read from the slice each step:
+			// a removal can trigger an arena compaction whose remap rewrites
+			// the queued refs in place (rewriteRefs).
+			for i := 0; i < len(b.entries); i++ {
 				e.scanned++
-				if err := e.remove(en); err != nil {
+				if err := e.remove(b.entries[i]); err != nil {
 					return n, err
 				}
 				n++
@@ -224,11 +249,14 @@ func (e *Expirer) Advance(watermark int64) (int, error) {
 			continue
 		}
 		if front*e.granule < cut {
-			// The bucket straddles the cut: scan and filter it.
+			// The bucket straddles the cut: scan and filter it. Same re-read
+			// discipline as above — `kept` aliases the scanned prefix, which
+			// rewriteRefs also updates in place.
 			kept := b.entries[:0]
 			var minKept int64
-			for _, en := range b.entries {
+			for i := 0; i < len(b.entries); i++ {
 				e.scanned++
+				en := b.entries[i]
 				if en.ts < cut {
 					if err := e.remove(en); err != nil {
 						return n, err

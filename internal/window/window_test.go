@@ -334,3 +334,71 @@ func TestExpirerEarlyOutSkipsWork(t *testing.T) {
 		t.Fatalf("Stored = %d", e.Stored())
 	}
 }
+
+// TestWindowChurnTriggersCompaction (PR 4 satellite): sustained window churn
+// tombstones far more arena bytes than stay live, so the wrapped join's
+// DeadBytes > LiveBytes trigger must compact mid-stream — rewriting the
+// expirer's queued refs through the remap — without changing a single delta
+// or leaving garbage behind.
+func TestWindowChurnTriggersCompaction(t *testing.T) {
+	const (
+		size    = 8
+		stream  = 4000
+		keyCard = 12
+	)
+	g := expr.MustJoinGraph(2,
+		append(SlidingConjuncts(0, 0, 1, 0, size), expr.EquiCol(0, 1, 1, 1))...)
+	rng := rand.New(rand.NewSource(19))
+	type ev struct {
+		rel int
+		t   types.Tuple
+	}
+	evs := make([]ev, stream)
+	for i := range evs {
+		// Padded rows make dead bytes accumulate quickly once expired.
+		evs[i] = ev{rel: rng.Intn(2), t: types.Tuple{
+			types.Int(int64(i)),                 // in-order event time
+			types.Int(int64(rng.Intn(keyCard))), // join key
+			types.Str("windowed-payload-padding-0123456789"),
+		}}
+	}
+
+	run := func(expire bool) (int, *localjoin.Traditional) {
+		j := localjoin.NewTraditional(g)
+		e := NewExpirer(j, []int{0, 0}, size)
+		results := 0
+		for _, v := range evs {
+			d, err := e.OnTuple(v.rel, v.t)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results += len(d)
+			if expire {
+				if _, err := e.Advance(v.t[0].I); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return results, j
+	}
+
+	churned, cj := run(true)
+	full, _ := run(false)
+	if churned != full {
+		t.Fatalf("churn with compaction changed results: %d vs %d", churned, full)
+	}
+	if cj.Compactions() == 0 {
+		t.Fatal("window churn never triggered a compaction")
+	}
+	// Post-run arenas must not be dominated by garbage, and the live state
+	// footprint must be bounded by the window, not the stream.
+	for rel := 0; rel < 2; rel++ {
+		if n := cj.RelCount(rel); n > 4*size*2 {
+			t.Fatalf("rel %d holds %d tuples after churn; window is %d", rel, n, size)
+		}
+	}
+	unbounded := len(evs) * 40 // ~encoded bytes the full-history run retains
+	if cj.MemSize() >= unbounded/4 {
+		t.Fatalf("churned MemSize %d not meaningfully below full-history %d", cj.MemSize(), unbounded)
+	}
+}

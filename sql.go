@@ -24,16 +24,26 @@ type CatalogEntry struct {
 // Catalog maps table names (case-insensitive) to their entries.
 type Catalog map[string]CatalogEntry
 
+// normalized returns a copy of the catalog with lower-cased keys — the
+// single registration point every lookup relies on, so mixed-case
+// registrations cannot shadow each other. Two entries whose names differ
+// only by case would collide nondeterministically; reject them outright.
+func (c Catalog) normalized() (Catalog, error) {
+	out := make(Catalog, len(c))
+	for k, v := range c {
+		lk := strings.ToLower(k)
+		if _, dup := out[lk]; dup {
+			return nil, fmt.Errorf("sql: catalog entries named %q collide case-insensitively", lk)
+		}
+		out[lk] = v
+	}
+	return out, nil
+}
+
+// lookup resolves a (case-insensitive) table name against a normalized
+// catalog: one map probe, no scan.
 func (c Catalog) lookup(name string) (CatalogEntry, bool) {
 	e, ok := c[strings.ToLower(name)]
-	if !ok {
-		// Try exact case as registered.
-		for k, v := range c {
-			if strings.EqualFold(k, name) {
-				return v, true
-			}
-		}
-	}
 	return e, ok
 }
 
@@ -68,7 +78,11 @@ func CompileSQL(sql string, cat Catalog, o SQLOptions) (*JoinQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &sqlCompiler{cat: cat, q: q}
+	norm, err := cat.normalized()
+	if err != nil {
+		return nil, err
+	}
+	c := &sqlCompiler{cat: norm, q: q}
 	return c.compile(o)
 }
 

@@ -195,3 +195,29 @@ func TestRunSQLProjectionOnly(t *testing.T) {
 		t.Errorf("projected arity = %d, want 2", len(res.Rows[0]))
 	}
 }
+
+// TestCatalogMixedCaseRegistration (PR 4 satellite): entries registered with
+// any casing resolve through the normalized lookup — the old probe-then-scan
+// fallback let a lower-cased key shadow a mixed-case one — and two entries
+// colliding case-insensitively are rejected instead of resolving to either.
+func TestCatalogMixedCaseRegistration(t *testing.T) {
+	w := datagen.NewWebGraph(3, 200, 800, 0)
+	cat := squall.Catalog{
+		"WebGraph": {Schema: datagen.WebGraphSchema, Spout: w.Spout(), Size: w.Arcs},
+	}
+	for _, name := range []string{"WebGraph", "webgraph", "WEBGRAPH"} {
+		q := `SELECT W1.FromUrl, COUNT(*) FROM ` + name + ` as W1, ` + name + ` as W2
+			WHERE W1.ToUrl = W2.FromUrl GROUP BY W1.FromUrl`
+		if _, err := squall.CompileSQL(q, cat, squall.SQLOptions{Machines: 4}); err != nil {
+			t.Fatalf("mixed-case lookup %q failed: %v", name, err)
+		}
+	}
+	bad := squall.Catalog{
+		"WebGraph": {Schema: datagen.WebGraphSchema, Spout: w.Spout(), Size: w.Arcs},
+		"webgraph": {Schema: datagen.WebGraphSchema, Spout: w.Spout(), Size: w.Arcs},
+	}
+	if _, err := squall.CompileSQL(`SELECT W1.FromUrl, COUNT(*) FROM WebGraph as W1, WebGraph as W2
+		WHERE W1.ToUrl = W2.FromUrl GROUP BY W1.FromUrl`, bad, squall.SQLOptions{Machines: 4}); err == nil {
+		t.Fatal("case-colliding catalog entries must be rejected")
+	}
+}

@@ -28,7 +28,9 @@ import (
 	"squall/internal/dataflow"
 	"squall/internal/dbtoaster"
 	"squall/internal/expr"
+	"squall/internal/ft"
 	"squall/internal/ops"
+	"squall/internal/recovery"
 	"squall/internal/types"
 )
 
@@ -52,7 +54,23 @@ type (
 	AggKind = ops.AggKind
 	// RunMetrics carries the per-component execution metrics.
 	RunMetrics = dataflow.RunMetrics
+	// FaultPlan injects one deterministic joiner-task kill (live fault
+	// tolerance, §5): the task is killed at a quiesced point once it has
+	// received AfterTuples tuples, then recovered from a peer or checkpoint.
+	FaultPlan = dataflow.FaultPlan
+	// CheckpointStore persists joiner checkpoints for the recovery subsystem.
+	CheckpointStore = recovery.CheckpointStore
 )
+
+// NewMemCheckpointStore returns an in-memory checkpoint store (the default).
+func NewMemCheckpointStore() CheckpointStore { return recovery.NewMemStore() }
+
+// NewDiskCheckpointStore returns a checkpoint store persisting one file per
+// joiner task under dir — the disk-recovery baseline of the paper's §5
+// comparison ("network accesses are several times faster than disk").
+func NewDiskCheckpointStore(dir string) (CheckpointStore, error) {
+	return recovery.NewDiskStore(dir)
+}
 
 // Scheme and local-join constants, re-exported.
 const (
@@ -173,6 +191,31 @@ type Options struct {
 	// comparison baseline squallbench's `state` experiment measures against.
 	// Default off: compact state is the engine default.
 	LegacyState bool
+	// Recovery enables the live fault-tolerance subsystem (PR 4) on the
+	// joiner: periodic state checkpoints, panic capture, and kill recovery
+	// by peer refetch (when the scheme replicates a relation) or checkpoint
+	// + exactly-once replay. The aggregate-view fast path is disabled while
+	// recovery is on (aggregate views cannot be exported per relation).
+	// Panic capture requires a non-adaptive run: a reshape barrier already
+	// in the panicking task's inbox cannot be reconciled with its state
+	// loss, so adaptive runs surface operator panics as run errors (injected
+	// kills recover on adaptive runs too — they serialize with reshapes).
+	Recovery *RecoveryOptions
+	// FaultPlan injects one deterministic joiner-task kill; setting it
+	// enables Recovery with defaults if Recovery is nil.
+	FaultPlan *FaultPlan
+}
+
+// RecoveryOptions tune the fault-tolerance subsystem.
+type RecoveryOptions struct {
+	// CheckpointEvery is the number of applied tuples between a joiner
+	// task's checkpoints (default 512).
+	CheckpointEvery int
+	// Store persists checkpoints; nil means an in-memory store.
+	Store CheckpointStore
+	// DisablePeer forces the checkpoint route even for replicated relations
+	// — the disk-recovery baseline the §5 claim is measured against.
+	DisablePeer bool
 }
 
 // Result of a query execution.
@@ -295,7 +338,11 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 		// full parallelism rather than the static scheme's choice.
 		joinerPar = q.Machines
 	}
-	useAggViews := q.Agg != nil && q.Local == DBToaster && q.Graph.IsEquiOnly() && !q.ForceDeltaJoin && !q.AdaptiveJoin
+	if opt.FaultPlan != nil && opt.Recovery == nil {
+		opt.Recovery = &RecoveryOptions{}
+	}
+	useAggViews := q.Agg != nil && q.Local == DBToaster && q.Graph.IsEquiOnly() &&
+		!q.ForceDeltaJoin && !q.AdaptiveJoin && opt.Recovery == nil
 	switch {
 	case useAggViews:
 		// HyLD with the aggregation inside the joiner (aggregate views).
@@ -354,6 +401,32 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var recPolicy *dataflow.RecoveryPolicy
+	if opt.Recovery != nil {
+		recPolicy = &dataflow.RecoveryPolicy{
+			Component:       joiner,
+			RelOf:           relOf,
+			NumRels:         len(q.Sources),
+			Store:           opt.Recovery.Store,
+			CheckpointEvery: opt.Recovery.CheckpointEvery,
+			DisablePeer:     opt.Recovery.DisablePeer,
+			Fault:           opt.FaultPlan,
+		}
+		if !q.AdaptiveJoin {
+			// The §5 plan made live: a relation is peer-recoverable at a
+			// failed machine iff the scheme replicates it, and the peers are
+			// the machines sharing the failed one's coordinates on the
+			// relation's own dimensions. Adaptive runs leave PeersFor nil:
+			// the engine derives peers from the live matrix instead.
+			recPolicy.PeersFor = func(task, rel int) []int {
+				plans, err := ft.RecoveryPlan(hc, task)
+				if err != nil || plans[rel].Checkpoint {
+					return nil
+				}
+				return plans[rel].Peers
+			}
+		}
+	}
 	metrics, runErr := dataflow.Run(topo, dataflow.Options{
 		Seed:            opt.Seed,
 		ChannelBuf:      opt.ChannelBuf,
@@ -361,6 +434,7 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 		MemLimitPerTask: opt.MemLimitPerTask,
 		NoSerialize:     opt.NoSerialize,
 		Adaptive:        policy,
+		Recovery:        recPolicy,
 	})
 	res := &Result{
 		Rows:            sink.rows,
