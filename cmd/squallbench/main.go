@@ -27,6 +27,13 @@
 // recovery stops beating disk recovery, or when the recovered run's
 // end-to-end overhead reaches 25% (the CI gate).
 //
+// The `exec` experiment (PR 5) compares the packed-row execution path
+// (wire.Cursor views, lowered predicates, frame transport, blitted slab
+// inserts) against the boxed tuple pipeline: per-tuple cost and allocations
+// on the source -> join hot path, plus end-to-end full-join throughput at
+// the 1M-tuple point. With -json it writes BENCH_PR5.json; it exits
+// non-zero when packed execution stops paying for itself (the CI gate).
+//
 // Scales are thousandth-scale stand-ins for the paper's cluster runs; the
 // expected shapes (orderings, rough ratios) are documented per experiment in
 // EXPERIMENTS.md.
@@ -75,6 +82,7 @@ func main() {
 		"adapt":    adaptBench,
 		"state":    stateBench,
 		"recover":  recoverBench,
+		"exec":     execBench,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -84,7 +92,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover all\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec all\n", what)
 		os.Exit(2)
 	}
 	f()

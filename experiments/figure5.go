@@ -94,7 +94,12 @@ func Figure5StagesBatch(gen *datagen.TPCH, machines int, seed int64, batchSize i
 				Kind:    squall.Count,
 			},
 		}
-		res, err := q.Run(squall.Options{Seed: seed, SourcePar: machines, BatchSize: batchSize})
+		// The figure decomposes the boxed pipeline's cost structure, and the
+		// PR 1 batch experiment reuses this stage as its legacy-vs-batched
+		// transport comparison: pin the boxed execution path so batchSize=1
+		// keeps measuring the per-tuple transport it documents (the packed
+		// path has its own experiment, `squallbench exec`).
+		res, err := q.Run(squall.Options{Seed: seed, SourcePar: machines, BatchSize: batchSize, PackedExec: squall.PackedOff})
 		if err != nil {
 			return 0, err
 		}

@@ -8,6 +8,7 @@ import (
 	"squall/internal/dataflow"
 	"squall/internal/expr"
 	"squall/internal/types"
+	"squall/internal/wire"
 )
 
 // PartMode is the partitioning type of one hypercube dimension.
@@ -150,18 +151,103 @@ func (hc *Hypercube) Targets(rel int, t types.Tuple, rng *rand.Rand, buf []int) 
 
 // GroupingFor adapts the scheme to a dataflow stream grouping for relation
 // rel's edge into the joiner component (whose parallelism must be
-// hc.Machines()).
+// hc.Machines()). When every key expression of the relation is a plain
+// column ref — the overwhelmingly common case — the returned grouping also
+// implements dataflow.RowGrouping, so packed rows route off their encoded
+// bytes without materializing a tuple (PR 5).
 func (hc *Hypercube) GroupingFor(rel int) dataflow.Grouping {
-	return dataflow.GroupingFunc(func(t types.Tuple, ntasks int, rng *rand.Rand, buf []int) []int {
-		if ntasks != hc.mach {
-			panic(fmt.Sprintf("core: joiner parallelism %d != hypercube machines %d", ntasks, hc.mach))
+	g := hcGrouping{hc: hc, rel: rel}
+	cols := make([][]int, len(hc.Dims))
+	for d := range hc.Dims {
+		if !hc.owns[rel][d] {
+			continue
 		}
-		out, err := hc.Targets(rel, t, rng, buf)
-		if err != nil {
-			panic(err)
+		for _, e := range hc.exprs[rel][d] {
+			c, ok := e.(expr.Col)
+			if !ok {
+				return g // unlowerable key: boxed routing only
+			}
+			cols[d] = append(cols[d], c.Index)
 		}
-		return out
-	})
+	}
+	return hcRowGrouping{hcGrouping: g, cols: cols}
+}
+
+// hcGrouping is the boxed hypercube grouping.
+type hcGrouping struct {
+	hc  *Hypercube
+	rel int
+}
+
+func (g hcGrouping) Targets(t types.Tuple, ntasks int, rng *rand.Rand, buf []int) []int {
+	if ntasks != g.hc.mach {
+		panic(fmt.Sprintf("core: joiner parallelism %d != hypercube machines %d", ntasks, g.hc.mach))
+	}
+	out, err := g.hc.Targets(g.rel, t, rng, buf)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// hcRowGrouping adds the packed route: per hash dimension, the coordinate
+// comes from wire.Cursor.ValueHash on the key column — the same
+// types.Value.Hash the boxed path computes — so packed and boxed rows of a
+// relation land on identical machines.
+type hcRowGrouping struct {
+	hcGrouping
+	cols [][]int // cols[dim] = key column indexes (hash dims only)
+}
+
+var _ dataflow.RowGrouping = hcRowGrouping{}
+
+func (g hcRowGrouping) RowTargets(cur *wire.Cursor, ntasks int, rng *rand.Rand, buf []int) []int {
+	hc := g.hc
+	if ntasks != hc.mach {
+		panic(fmt.Sprintf("core: joiner parallelism %d != hypercube machines %d", ntasks, hc.mach))
+	}
+	buf = append(buf[:0], 0)
+	for d, dim := range hc.Dims {
+		var coords [4]int
+		cs := coords[:0]
+		switch {
+		case !hc.owns[g.rel][d]:
+			if dim.Size == 1 {
+				cs = append(cs, 0)
+			} else {
+				for c := 0; c < dim.Size; c++ {
+					cs = append(cs, c)
+				}
+			}
+		case len(g.cols[d]) == 0:
+			cs = append(cs, rng.Intn(dim.Size))
+		default:
+			for _, col := range g.cols[d] {
+				c := int(cur.ValueHash(col) % uint64(dim.Size))
+				dup := false
+				for _, prev := range cs {
+					if prev == c {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					cs = append(cs, c)
+				}
+			}
+		}
+		n := len(buf)
+		stride := hc.strides[d]
+		for ci := 1; ci < len(cs); ci++ {
+			for i := 0; i < n; i++ {
+				buf = append(buf, buf[i]+cs[ci]*stride)
+			}
+		}
+		for i := 0; i < n; i++ {
+			buf[i] += cs[0] * stride
+		}
+	}
+	return buf
 }
 
 // NumDims returns the number of (kept) dimensions.

@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -60,12 +61,24 @@ type Options struct {
 
 // envelope is one channel message: a batch of tuples sharing provenance
 // (same producer task, same stream), a single inline tuple (the legacy
-// BatchSize=1 framing, which must not pay a slice allocation per tuple), an
-// EOS marker, or a control message (adaptive barrier / migration traffic, or
-// recovery kill / restore traffic).
+// BatchSize=1 framing, which must not pay a slice allocation per tuple), a
+// packed frame of wire-encoded rows (EmitRow's zero-materialization
+// transport, PR 5), an EOS marker, or a control message (adaptive barrier /
+// migration traffic, or recovery kill / restore traffic).
 type envelope struct {
 	batch  []types.Tuple
 	single types.Tuple
+	// frame is a wire batch frame (varint(count) + encoded rows) shipped
+	// without decoding; count is its row count. RowBolt consumers walk it
+	// with a cursor, everyone else receives it decoded.
+	frame []byte
+	count int
+	// pframe/pbatch, when non-nil, are the pool boxes the consumer refills
+	// with the consumed payload and returns after delivery — the whole
+	// recycle is allocation-free. Never set on recovery-tracked edges,
+	// whose payloads are retained for replay/stash.
+	pframe *[]byte
+	pbatch *[]types.Tuple
 	stream string
 	from   int
 	// seq is the per-(producer task, destination task) sequence number on
@@ -77,6 +90,41 @@ type envelope struct {
 	cmd  *reshapeCmd // ctrlReshape payload
 	mig  *migBatch   // ctrlMigBatch / ctrlMigDone payload
 	rec  *recMsg     // recovery-plane payload
+}
+
+// Transport pools: steady-state runs recycle envelope payloads between
+// consumer and producer instead of churning them through the GC — the
+// NoSerialize batch slices, the decoded-batch tuple headers, and the packed
+// frame buffers. Payloads on recovery-tracked edges are never pooled (the
+// replay buffer or the consumer's stash retains them).
+var (
+	batchPool = sync.Pool{New: func() any { s := []types.Tuple(nil); return &s }}
+	framePool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
+)
+
+// releaseEnv refills a delivered envelope's pool boxes with the consumed
+// payloads and returns them.
+func releaseEnv(env *envelope) {
+	if env.pframe != nil {
+		*env.pframe = env.frame[:0]
+		framePool.Put(env.pframe)
+		env.pframe, env.frame = nil, nil
+	}
+	if env.pbatch != nil {
+		*env.pbatch = env.batch[:0]
+		batchPool.Put(env.pbatch)
+		env.pbatch, env.batch = nil, nil
+	}
+}
+
+// rowBatch is one (edge, target) packed accumulation buffer: encoded rows
+// appended back to back after hdrRoom reserved bytes, where flushRow stamps
+// the frame's count varint. box is the pool box the buffer came from; it
+// travels in the flushed envelope so the consumer's return trip reuses it.
+type rowBatch struct {
+	box   *[]byte
+	buf   []byte
+	count int
 }
 
 // Collector routes a task's emitted tuples to the downstream tasks chosen by
@@ -93,8 +141,25 @@ type Collector struct {
 	scratch   []byte
 	tbuf      []int
 	dec       wire.BatchDecoder
-	// out[edge][target] is the pending batch bound for one downstream inbox.
-	out [][][]types.Tuple
+	// out[edge][target] is the pending batch bound for one downstream inbox;
+	// outBox[edge][target] is the pool box its slice came from (nil until
+	// the slot's first pooled refill).
+	out    [][][]types.Tuple
+	outBox [][]*[]types.Tuple
+	// Packed emission (EmitRow): pout[edge][target] accumulates encoded rows
+	// that flush as ready wire frames — rows cross the edge without ever
+	// being decoded. rowGroup caches each edge's RowGrouping (nil = the
+	// grouping needs a materialized tuple); rowCur/routeT are the per-emit
+	// cursor and the fallback-materialization scratch; hdrRoom is the space
+	// reserved for the frame count varint. A task must not interleave Emit
+	// and EmitRow on the same edge mid-stream — the two buffer families
+	// flush independently, so mixing would break per-target FIFO framing
+	// (bag semantics tolerate it, but nothing in the engine does it).
+	pout     [][]rowBatch
+	rowGroup []RowGrouping
+	rowCur   wire.Cursor
+	routeT   types.Tuple
+	hdrRoom  int
 	// adaptSide[edge] is the adaptive side (0 = R, 1 = S) of each outgoing
 	// edge, -1 for normal edges; nil when this node has no adaptive edges.
 	adaptSide []int
@@ -203,6 +268,139 @@ func (c *Collector) Emit(t types.Tuple) error {
 	return nil
 }
 
+// EmitRow ships one wire-encoded row to all subscribed downstream
+// components without materializing a tuple: routing reads the encoded
+// fields through a cursor (RowGrouping), and the row's bytes are appended
+// straight into per-(edge, target) frame buffers that flush as ready wire
+// frames. This is the packed execution hot path (PR 5): a row crossing N
+// non-adaptive edges costs N memcpys, zero decodes and zero re-encodes.
+// The row is copied immediately, so the caller may reuse its buffer.
+func (c *Collector) EmitRow(row []byte) error {
+	c.metrics.Emitted.Add(1)
+	if err := c.rowCur.Reset(row); err != nil {
+		return fmt.Errorf("dataflow: EmitRow from %s[%d]: %w", c.node.name, c.task, err)
+	}
+	materialized := false
+	for ei, e := range c.node.outputs {
+		if c.adaptSide != nil && c.adaptSide[ei] >= 0 {
+			// Adaptive edges keep tuple semantics: their coordinate buffers
+			// retain tuples across the reshape protocol, so the row is
+			// materialized once (owned — the buffer outlives this call).
+			if err := c.emitAdaptiveGated(ei, c.adaptSide[ei], c.rowCur.Tuple(nil)); err != nil {
+				return err
+			}
+			continue
+		}
+		if rg := c.rowGroup[ei]; rg != nil {
+			c.tbuf = rg.RowTargets(&c.rowCur, e.to.par, c.rng, c.tbuf[:0])
+		} else {
+			// The grouping has no packed path: materialize into reusable
+			// scratch (groupings never retain the tuple).
+			if !materialized {
+				c.routeT = c.rowCur.Tuple(c.routeT)
+				materialized = true
+			}
+			c.tbuf = e.grouping.Targets(c.routeT, e.to.par, c.rng, c.tbuf[:0])
+		}
+		full := false
+		for _, target := range c.tbuf {
+			if target < 0 || target >= e.to.par {
+				return fmt.Errorf("dataflow: grouping on edge %s->%s chose task %d of %d", e.from.name, e.to.name, target, e.to.par)
+			}
+			rb := &c.pout[ei][target]
+			if rb.buf == nil {
+				c.newRowBuf(rb)
+			}
+			rb.buf = append(rb.buf, row...)
+			rb.count++
+			if rb.count >= c.batchSize {
+				full = true
+			}
+		}
+		if c.recTracked != nil && c.recTracked[ei] && len(c.tbuf) > 1 {
+			c.recShared[ei] = true
+		}
+		if !full {
+			continue
+		}
+		if c.recTracked != nil && c.recTracked[ei] && c.recShared[ei] {
+			// Same invariant as Emit: a replicated row pending on a tracked
+			// edge flushes every target inside one gate session.
+			if err := c.flushEdgeTracked(ei); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, target := range c.tbuf {
+			if c.pout[ei][target].count >= c.batchSize {
+				if err := c.flushRow(ei, target); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// newRowBuf takes a frame buffer (and its box) from the pool with hdrRoom
+// bytes reserved for the count varint flushRow stamps.
+func (c *Collector) newRowBuf(rb *rowBatch) {
+	p := framePool.Get().(*[]byte)
+	buf := *p
+	if cap(buf) < c.hdrRoom {
+		buf = make([]byte, c.hdrRoom, c.hdrRoom+512)
+	}
+	rb.box, rb.buf = p, buf[:c.hdrRoom]
+}
+
+// flushRow ships the pending packed frame of one (edge, target) buffer: the
+// count varint is stamped into the reserved header room and the buffer is
+// handed to the consumer as-is — the frame was effectively "encoded" by the
+// row appends themselves. Tracked edges sequence-tag the frame and retain
+// it for replay, exactly like flush.
+func (c *Collector) flushRow(ei, target int) error {
+	rb := &c.pout[ei][target]
+	if rb.count == 0 {
+		return nil
+	}
+	e := c.node.outputs[ei]
+	tracked := c.recTracked != nil && c.recTracked[ei]
+	if tracked {
+		entered, ok := c.recEnter()
+		if !ok {
+			return c.ex.abortErr()
+		}
+		if entered {
+			defer c.recExit()
+		}
+	}
+	var hdr [10]byte
+	hl := binary.PutUvarint(hdr[:], uint64(rb.count))
+	start := c.hdrRoom - hl
+	copy(rb.buf[start:], hdr[:hl])
+	frame := rb.buf[start:]
+	env := envelope{stream: c.node.name, from: c.task, frame: frame, count: rb.count}
+	c.metrics.BytesOut.Add(int64(len(frame)))
+	c.metrics.Sent.Add(int64(rb.count))
+	c.metrics.Batches.Add(1)
+	if tracked {
+		c.recSeq[ei][target]++
+		env.seq = c.recSeq[ei][target]
+		c.ex.rec.record(c.recPid, target, replayEnt{frame: frame, count: rb.count, seq: env.seq})
+		// The replay buffer retains the frame: return only the empty box.
+		*rb.box = nil
+		framePool.Put(rb.box)
+	} else {
+		env.pframe = rb.box
+	}
+	// Ownership of the buffer moves downstream; start fresh.
+	rb.box, rb.buf, rb.count = nil, nil, 0
+	if !c.ex.send(e.to, target, env) {
+		return c.ex.abortErr()
+	}
+	return nil
+}
+
 // flushEdgeTracked drains every pending batch of one recovery-tracked edge
 // inside a single gate session, so the gate never splits a replication group.
 func (c *Collector) flushEdgeTracked(ei int) error {
@@ -215,6 +413,11 @@ func (c *Collector) flushEdgeTracked(ei int) error {
 	}
 	for target := range c.out[ei] {
 		if err := c.flush(ei, target); err != nil {
+			return err
+		}
+	}
+	for target := range c.pout[ei] {
+		if err := c.flushRow(ei, target); err != nil {
 			return err
 		}
 	}
@@ -342,25 +545,57 @@ func (c *Collector) flush(ei, target int) error {
 	var ent replayEnt
 	switch {
 	case c.ex.opts.NoSerialize:
-		// The consumer takes ownership of the slice; start a fresh buffer.
+		// The consumer takes ownership of the slice; start a fresh buffer
+		// from the pool. The outgoing slice's box (outBox) travels in the
+		// envelope so the consumer's return trip recycles both without
+		// allocating — unless the edge retains payloads for replay.
 		env.batch = batch
-		c.out[ei][target] = make([]types.Tuple, 0, c.batchSize)
-		c.metrics.Sent.Add(int64(len(batch)))
+		box := c.outBox[ei][target]
 		if tracked {
-			// Replay re-delivers the same immutable tuples.
+			// Replay re-delivers the same immutable tuples; only the empty
+			// box returns to the pool.
 			ent = replayEnt{tuples: batch, count: len(batch)}
+			if box != nil {
+				*box = nil
+				batchPool.Put(box)
+			}
+		} else {
+			if box == nil {
+				box = new([]types.Tuple) // first flush of this slot
+			}
+			env.pbatch = box
 		}
+		p := batchPool.Get().(*[]types.Tuple)
+		next := *p
+		if cap(next) < c.batchSize {
+			next = make([]types.Tuple, 0, c.batchSize)
+		}
+		c.out[ei][target] = next[:0]
+		c.outBox[ei][target] = p
+		c.metrics.Sent.Add(int64(len(batch)))
 	default:
 		// One wire frame per flush: the destination receives its own
 		// deserialized copies, exactly as on a real network, but the frame
 		// cost is paid once per batch. The accumulation buffer is reusable
-		// because only the decoded copies leave this task.
+		// because only the decoded copies leave this task. The decoded
+		// tuple headers land in a pooled slice (the value arena stays fresh
+		// per frame, so retained tuples are unaffected by recycling) whose
+		// box rides the envelope back to the pool.
 		c.scratch = wire.EncodeBatch(c.scratch[:0], batch)
-		out, _, err := c.dec.Decode(c.scratch)
+		p := batchPool.Get().(*[]types.Tuple)
+		out, _, err := c.dec.DecodeReuse(c.scratch, *p)
 		if err != nil {
 			return fmt.Errorf("dataflow: wire corruption on %s->%s: %w", e.from.name, e.to.name, err)
 		}
 		env.batch = out
+		if tracked {
+			// The consumer may stash the batch during a recovery round;
+			// only the empty box returns.
+			*p = nil
+			batchPool.Put(p)
+		} else {
+			env.pbatch = p
+		}
 		c.metrics.BytesOut.Add(int64(len(c.scratch)))
 		c.out[ei][target] = batch[:0]
 		c.metrics.Sent.Add(int64(len(out)))
@@ -381,9 +616,9 @@ func (c *Collector) flush(ei, target int) error {
 	return nil
 }
 
-// flushAll drains every pending batch, preserving per-target FIFO order.
-// Tracked edges with a replicated tuple pending drain inside one gate
-// session per edge (see Emit).
+// flushAll drains every pending batch — tuple and packed row buffers alike —
+// preserving per-target FIFO order. Tracked edges with a replicated tuple
+// pending drain inside one gate session per edge (see Emit).
 func (c *Collector) flushAll() error {
 	for ei := range c.node.outputs {
 		if c.recTracked != nil && c.recTracked[ei] && c.recShared[ei] {
@@ -394,6 +629,11 @@ func (c *Collector) flushAll() error {
 		}
 		for target := range c.out[ei] {
 			if err := c.flush(ei, target); err != nil {
+				return err
+			}
+		}
+		for target := range c.pout[ei] {
+			if err := c.flushRow(ei, target); err != nil {
 				return err
 			}
 		}
@@ -596,8 +836,18 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 
 func (ex *execution) collector(n *node, task int) *Collector {
 	out := make([][][]types.Tuple, len(n.outputs))
+	outBox := make([][]*[]types.Tuple, len(n.outputs))
+	pout := make([][]rowBatch, len(n.outputs))
+	rowGroup := make([]RowGrouping, len(n.outputs))
 	for i, e := range n.outputs {
 		out[i] = make([][]types.Tuple, e.to.par)
+		outBox[i] = make([]*[]types.Tuple, e.to.par)
+		pout[i] = make([]rowBatch, e.to.par)
+		rowGroup[i], _ = e.grouping.(RowGrouping)
+	}
+	hdrRoom := 1
+	for v := uint64(ex.opts.BatchSize); v >= 0x80; v >>= 7 {
+		hdrRoom++
 	}
 	var adaptSide []int
 	var adaptOut [][][]types.Tuple
@@ -636,6 +886,10 @@ func (ex *execution) collector(n *node, task int) *Collector {
 		metrics:    ex.metrics.Components[n.name].Tasks[task],
 		batchSize:  ex.opts.BatchSize,
 		out:        out,
+		outBox:     outBox,
+		pout:       pout,
+		rowGroup:   rowGroup,
+		hdrRoom:    hdrRoom,
 		adaptSide:  adaptSide,
 		adaptOut:   adaptOut,
 		recTracked: recTracked,
@@ -650,6 +904,29 @@ func (ex *execution) runSpout(wg *sync.WaitGroup, n *node, task int) {
 	col := ex.collector(n, task)
 	defer col.eos()
 	sp := n.spout(task, n.par)
+	// Packed sources (RowSpout) hand the executor wire-encoded rows: one
+	// encode at the source, then routing, transport and state inserts all
+	// work on the bytes. NoSerialize runs skip it — there the tuple path is
+	// the cheap one, frames would reintroduce the cost being excluded.
+	if rsp, ok := sp.(RowSpout); ok && !ex.opts.NoSerialize {
+		for i := 0; ; i++ {
+			if i%col.batchSize == 0 {
+				select {
+				case <-ex.abort:
+					return
+				default:
+				}
+			}
+			row, ok := rsp.NextRow()
+			if !ok {
+				return
+			}
+			if err := col.EmitRow(row); err != nil {
+				ex.fail(fmt.Errorf("dataflow: spout %s[%d]: %w", n.name, task, err))
+				return
+			}
+		}
+	}
 	// The abort poll is amortized to once per batch; flushes inside Emit
 	// observe aborts anyway, so a stuck downstream never wedges the spout.
 	for i := 0; ; i++ {
@@ -694,6 +971,16 @@ func safeExecute(b Bolt, in Input, col *Collector) (err error) {
 	return b.Execute(in, col)
 }
 
+// safeExecuteRow runs RowBolt.ExecuteRow with panic capture.
+func safeExecuteRow(b RowBolt, in RowInput, col *Collector) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicFault{val: r, stack: debug.Stack()}
+		}
+	}()
+	return b.ExecuteRow(in, col)
+}
+
 // safeFinish runs Bolt.Finish with panic capture (never recoverable — the
 // stream is over — but a panic must fail the run, not crash the process).
 func safeFinish(b Bolt, col *Collector) (err error) {
@@ -710,6 +997,7 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	col := ex.collector(n, task)
 	bolt := n.bolt(task, n.par)
 	mem, hasMem := bolt.(MemReporter)
+	rowBolt, _ := bolt.(RowBolt)
 	tm := col.metrics
 
 	// Adaptive joiner tasks repartition state on reshape barriers and feed
@@ -737,6 +1025,7 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	rebirth := func() bool {
 		bolt = n.bolt(task, n.par)
 		mem, hasMem = bolt.(MemReporter)
+		rowBolt, _ = bolt.(RowBolt)
 		if adaptHere {
 			rep, _ = bolt.(Repartitioner)
 		}
@@ -758,11 +1047,78 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	inbox := ex.inboxes[n][task]
 	processed := 0
 	one := make([]types.Tuple, 1) // consumer-owned adapter for single-tuple envelopes
+	var fdec wire.BatchDecoder    // frame decoding for non-RowBolt consumers
+	var rcur wire.Cursor          // frame row cursor
 
-	// deliver applies one data envelope tuple by tuple. A panic with an open
-	// recovery session (and no conflicting round) is captured as the
+	// postTuple is the shared per-tuple/per-row bookkeeping: adaptive load
+	// reports and the amortized memory check + abort poll.
+	postTuple := func() error {
+		processed++
+		if adaptHere && processed%ex.adapt.pol.ReportEvery == 0 {
+			ex.adapt.report(task, taskEpoch, rep)
+		}
+		if hasMem && processed%256 == 0 {
+			ex.checkMem(n, task, tm, mem)
+			select {
+			case <-ex.abort:
+				return ex.abortErr()
+			default:
+			}
+		}
+		return nil
+	}
+
+	// deliver applies one data envelope tuple by tuple (or, for packed
+	// frames into a RowBolt, row by row without decoding). A panic with an
+	// open recovery session (and no conflicting round) is captured as the
 	// poisoned envelope and reported via errPanicCaptured.
-	deliver := func(env envelope, count bool) error {
+	var deliver func(env envelope, count bool) error
+	deliver = func(env envelope, count bool) error {
+		if env.frame != nil {
+			if count {
+				tm.Received.Add(int64(env.count))
+			}
+			if rowBolt == nil {
+				// Not frame-capable: hand the frame over decoded.
+				batch, _, err := fdec.Decode(env.frame)
+				if err != nil {
+					return fmt.Errorf("dataflow: frame corruption into %s[%d]: %w", n.name, task, err)
+				}
+				dec := env
+				dec.frame, dec.count, dec.pframe = nil, 0, nil
+				dec.batch = batch
+				return deliver(dec, false)
+			}
+			in := RowInput{Stream: env.stream, FromTask: env.from, Cur: &rcur}
+			k := 0
+			_, _, err := wire.EachRow(env.frame, &rcur, func(row []byte) error {
+				in.Row = row
+				if err := safeExecuteRow(rowBolt, in, col); err != nil {
+					pf, panicked := err.(*panicFault)
+					if !panicked {
+						return err
+					}
+					if rs != nil && !rs.recovering && ex.adapt == nil && mig == nil {
+						// The poisoned envelope is retained decoded: the
+						// restore path re-imports the applied prefix and
+						// reprocesses the rest through the tuple path.
+						pb, _, derr := wire.DecodeBatch(env.frame)
+						if derr != nil {
+							return fmt.Errorf("dataflow: frame corruption into %s[%d]: %w", n.name, task, derr)
+						}
+						rs.poisoned = &poisonedEnv{env: env, batch: pb, idx: k}
+						return errPanicCaptured
+					}
+					return fmt.Errorf("dataflow: bolt %s[%d] panicked: %v\n%s", n.name, task, pf.val, pf.stack)
+				}
+				k++
+				return postTuple()
+			})
+			if err != nil {
+				return err
+			}
+			return nil
+		}
 		batch := env.batch
 		if batch == nil {
 			one[0] = env.single
@@ -789,17 +1145,8 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 				}
 				return fmt.Errorf("dataflow: bolt %s[%d] panicked: %v\n%s", n.name, task, pf.val, pf.stack)
 			}
-			processed++
-			if adaptHere && processed%ex.adapt.pol.ReportEvery == 0 {
-				ex.adapt.report(task, taskEpoch, rep)
-			}
-			if hasMem && processed%256 == 0 {
-				ex.checkMem(n, task, tm, mem)
-				select {
-				case <-ex.abort:
-					return ex.abortErr()
-				default:
-				}
+			if err := postTuple(); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -820,9 +1167,12 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 			}
 			// The crashing tuple and the rest of the batch never emitted:
 			// reprocess them fully (Received was counted at first delivery).
+			// A poisoned frame was decoded at capture time, so the re-run
+			// always goes through the tuple path.
 			reEnv := p.env
 			reEnv.batch = p.batch[p.idx:]
 			reEnv.single = nil
+			reEnv.frame, reEnv.count = nil, 0
 			if err := deliver(reEnv, false); err != nil {
 				return err
 			}
@@ -1011,7 +1361,14 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 				}
 				if env.seq > ckptCur && env.seq <= rs.cursors[env.stream][env.from] {
 					batch := env.batch
-					if batch == nil {
+					switch {
+					case batch == nil && env.frame != nil:
+						var err error
+						if batch, _, err = fdec.Decode(env.frame); err != nil {
+							ex.fail(fmt.Errorf("dataflow: bolt %s[%d] replay frame corrupt: %w", n.name, task, err))
+							return
+						}
+					case batch == nil:
 						one[0] = env.single
 						batch = one
 					}
@@ -1029,6 +1386,8 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 		nIn := 1
 		if env.batch != nil {
 			nIn = len(env.batch)
+		} else if env.frame != nil {
+			nIn = env.count
 		}
 		if err := deliver(env, true); err != nil {
 			if err == errPanicCaptured {
@@ -1061,6 +1420,9 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 			ex.fail(fmt.Errorf("dataflow: bolt %s[%d]: %w", n.name, task, err))
 			return
 		}
+		// The envelope's payload is consumed (frames were walked in place,
+		// decoded tuples copied their strings): recycle pooled buffers.
+		releaseEnv(&env)
 		if rs != nil {
 			rs.applied(&env)
 			if rs.armed && tm.Received.Load() >= int64(ex.rec.pol.Fault.AfterTuples) {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"squall/internal/types"
+	"squall/internal/wire"
 )
 
 // Spout is a data source; Next returns the next tuple, or false when the
@@ -28,6 +29,15 @@ import (
 // Spout instance from the factory, typically generating a slice of the data.
 type Spout interface {
 	Next() (types.Tuple, bool)
+}
+
+// RowSpout is optionally implemented by spouts that produce wire-encoded
+// rows directly (the packed execution path, PR 5). When serialization is on,
+// the executor drives NextRow instead of Next and routes each row through
+// Collector.EmitRow without materializing a tuple. The returned row is only
+// read until the next NextRow call, so implementations may reuse one buffer.
+type RowSpout interface {
+	NextRow() ([]byte, bool)
 }
 
 // SpoutFactory builds the Spout instance for one task of a spout component.
@@ -38,6 +48,27 @@ type Input struct {
 	Stream   string // name of the upstream component
 	FromTask int    // task index within the upstream component
 	Tuple    types.Tuple
+}
+
+// RowInput identifies the provenance of one wire-encoded row delivered to a
+// RowBolt. Row and Cur alias the transport frame and are valid only for the
+// duration of ExecuteRow: a bolt that keeps the row must copy the bytes
+// (slab arenas blit them) — never retain the slice or the cursor.
+type RowInput struct {
+	Stream   string       // name of the upstream component
+	FromTask int          // task index within the upstream component
+	Row      []byte       // one wire-encoded row
+	Cur      *wire.Cursor // parsed view over Row
+}
+
+// RowBolt is optionally implemented by bolts that consume wire-encoded rows
+// directly (packed execution, PR 5). Frames reaching such a bolt skip
+// DecodeBatch entirely: the executor walks the frame with one cursor and
+// calls ExecuteRow once per row. Bolts not implementing it receive the same
+// frames decoded, through Execute — the two paths must be semantically
+// identical.
+type RowBolt interface {
+	ExecuteRow(in RowInput, out *Collector) error
 }
 
 // Bolt consumes tuples and emits new ones. Execute is called once per

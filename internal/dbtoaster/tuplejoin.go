@@ -84,6 +84,10 @@ type TupleJoin struct {
 	updateOrder [][]uint64
 	full        uint64
 	refScratch  []uint32 // probe scratch
+	// packed-path scratch (packed.go): arrival materialization and delta
+	// emission buffers.
+	decBuf  types.Tuple
+	emitBuf []byte
 }
 
 var (
@@ -233,55 +237,58 @@ func (j *TupleJoin) insertCompact(rel int, t types.Tuple) error {
 			}
 			continue
 		}
-		comps := j.g.Components(mask &^ (uint64(1) << rel))
-		lists := make([][]int, len(comps))
-		empty := false
-		for i, cm := range comps {
-			cv := j.views[cm]
-			if cv == nil {
-				return fmt.Errorf("dbtoaster: missing view for component %b", cm)
-			}
-			idxs, _, err := j.probeView(cv, rel, t, false)
-			if err != nil {
-				return err
-			}
-			if len(idxs) == 0 {
-				empty = true
-				break
-			}
-			lists[i] = idxs
-		}
-		if empty {
-			continue
-		}
-		// Cross product of component combos, merged ref-wise.
-		var rec func(ci int) error
-		rec = func(ci int) error {
-			if ci == len(comps) {
-				refs := make([]slab.Ref, 0, len(v.rels))
-				for _, r := range v.rels {
-					refs = append(refs, merged[r])
-				}
-				return j.appendCombo(v, refs, rel, t)
-			}
-			cv := j.views[comps[ci]]
-			stride := len(cv.rels)
-			for _, idx := range lists[ci] {
-				for k, r := range cv.rels {
-					merged[r] = cv.refCombos[idx*stride+k]
-				}
-				if err := rec(ci + 1); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		merged[rel] = tRef
-		if err := rec(0); err != nil {
+		if err := j.crossInsert(v, mask, rel, t, tRef, merged); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// crossInsert refreshes one non-singleton view for an arrival already stored
+// at tRef: the delta combos are assembled by crossing the passing combos of
+// the complement's component views — pure ref merges. Shared by the boxed
+// and packed insert paths.
+func (j *TupleJoin) crossInsert(v *tview, mask uint64, rel int, t types.Tuple, tRef slab.Ref, merged []slab.Ref) error {
+	comps := j.g.Components(mask &^ (uint64(1) << rel))
+	lists := make([][]int, len(comps))
+	for i, cm := range comps {
+		cv := j.views[cm]
+		if cv == nil {
+			return fmt.Errorf("dbtoaster: missing view for component %b", cm)
+		}
+		idxs, _, err := j.probeView(cv, rel, t, false)
+		if err != nil {
+			return err
+		}
+		if len(idxs) == 0 {
+			return nil
+		}
+		lists[i] = idxs
+	}
+	// Cross product of component combos, merged ref-wise.
+	var rec func(ci int) error
+	rec = func(ci int) error {
+		if ci == len(comps) {
+			refs := make([]slab.Ref, 0, len(v.rels))
+			for _, r := range v.rels {
+				refs = append(refs, merged[r])
+			}
+			return j.appendCombo(v, refs, rel, t)
+		}
+		cv := j.views[comps[ci]]
+		stride := len(cv.rels)
+		for _, idx := range lists[ci] {
+			for k, r := range cv.rels {
+				merged[r] = cv.refCombos[idx*stride+k]
+			}
+			if err := rec(ci + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	merged[rel] = tRef
+	return rec(0)
 }
 
 // appendCombo stores one ref combo in a view (compact layout) and maintains

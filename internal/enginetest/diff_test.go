@@ -49,20 +49,32 @@ func TestDifferentialAllConfigs(t *testing.T) {
 									// cross runs on the slab default.
 									continue
 								}
-								ec := EngineConfig{
-									Scheme: scheme, Local: local, BatchSize: batch,
-									Adaptive: adaptive, LegacyState: legacy,
-									Machines: 6, Seed: c.seed,
+								for _, packedOff := range []bool{false, true} {
+									if packedOff && (legacy || adaptive) && batch != allBatches[0] {
+										// Boxed exec x legacy state is the
+										// pre-PR3 engine and adaptive sources
+										// are boxed either way: one batch
+										// point covers each corner; the full
+										// cross runs packed-vs-boxed on the
+										// slab default.
+										continue
+									}
+									ec := EngineConfig{
+										Scheme: scheme, Local: local, BatchSize: batch,
+										Adaptive: adaptive, LegacyState: legacy,
+										PackedOff: packedOff,
+										Machines:  6, Seed: c.seed,
+									}
+									t.Run(ec.String(), func(t *testing.T) {
+										got, _, err := w.RunEngine(ec)
+										if err != nil {
+											t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
+										}
+										if diff := DiffBags(ref, got); diff != "" {
+											t.Fatalf("seed=%d %v: engine diverges from oracle:\n%s", c.seed, ec, diff)
+										}
+									})
 								}
-								t.Run(ec.String(), func(t *testing.T) {
-									got, _, err := w.RunEngine(ec)
-									if err != nil {
-										t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
-									}
-									if diff := DiffBags(ref, got); diff != "" {
-										t.Fatalf("seed=%d %v: engine diverges from oracle:\n%s", c.seed, ec, diff)
-									}
-								})
 							}
 						}
 					}
@@ -110,23 +122,35 @@ func TestDifferentialChaosKill(t *testing.T) {
 									// fallback path; one batch point covers it.
 									continue
 								}
-								ec := EngineConfig{
-									Scheme: scheme, Local: local, BatchSize: batch,
-									Adaptive: adaptive, LegacyState: legacy,
-									Kill: true, Machines: 6, Seed: c.seed,
+								for _, packedOff := range []bool{false, true} {
+									if packedOff && (legacy || adaptive || batch != allBatches[2]) {
+										// Boxed exec under chaos: the corners
+										// are covered at one batch point each;
+										// the packed default runs the full
+										// kill matrix (packed frames in replay
+										// buffers, packed flushes through the
+										// pause gate).
+										continue
+									}
+									ec := EngineConfig{
+										Scheme: scheme, Local: local, BatchSize: batch,
+										Adaptive: adaptive, LegacyState: legacy,
+										PackedOff: packedOff,
+										Kill:      true, Machines: 6, Seed: c.seed,
+									}
+									t.Run(ec.String(), func(t *testing.T) {
+										got, res, err := w.RunEngine(ec)
+										if err != nil {
+											t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
+										}
+										if f := res.Metrics.Recovery.Faults.Load(); f != 1 {
+											t.Fatalf("seed=%d %v: %d faults recovered, want 1", c.seed, ec, f)
+										}
+										if diff := DiffBags(ref, got); diff != "" {
+											t.Fatalf("seed=%d %v: engine diverges from oracle after kill:\n%s", c.seed, ec, diff)
+										}
+									})
 								}
-								t.Run(ec.String(), func(t *testing.T) {
-									got, res, err := w.RunEngine(ec)
-									if err != nil {
-										t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
-									}
-									if f := res.Metrics.Recovery.Faults.Load(); f != 1 {
-										t.Fatalf("seed=%d %v: %d faults recovered, want 1", c.seed, ec, f)
-									}
-									if diff := DiffBags(ref, got); diff != "" {
-										t.Fatalf("seed=%d %v: engine diverges from oracle after kill:\n%s", c.seed, ec, diff)
-									}
-								})
 							}
 						}
 					}

@@ -102,6 +102,10 @@ type EngineConfig struct {
 	// LegacyState runs the pre-slab map-backed operator state (the PR 3
 	// opt-out) instead of the compact slab default.
 	LegacyState bool
+	// PackedOff runs the boxed tuple pipeline instead of the packed-row
+	// execution default (the PR 5 opt-out), so the differential matrix
+	// covers both paths against the oracle and against each other.
+	PackedOff bool
 	// Kill enables the chaos dimension (PR 4): one joiner task is killed at
 	// a seeded point mid-run and recovered live (peer refetch when the
 	// scheme replicates the relation, checkpoint + replay otherwise); the
@@ -121,11 +125,15 @@ func (c EngineConfig) String() string {
 	if c.LegacyState {
 		state = "map"
 	}
+	exec := "packed"
+	if c.PackedOff {
+		exec = "boxed"
+	}
 	chaos := ""
 	if c.Kill {
 		chaos = "/kill"
 	}
-	return fmt.Sprintf("%v/%v/batch=%d/%s/%s%s", c.Scheme, c.Local, c.BatchSize, mode, state, chaos)
+	return fmt.Sprintf("%v/%v/batch=%d/%s/%s/%s%s", c.Scheme, c.Local, c.BatchSize, mode, state, exec, chaos)
 }
 
 // query assembles the JoinQuery for one configuration.
@@ -162,6 +170,9 @@ func (w *Workload) RunEngine(c EngineConfig) (map[string]int, *squall.Result, er
 		// adaptive runs observe ratios mid-stream (and every run exercises
 		// flow control).
 		ChannelBuf: 8,
+	}
+	if c.PackedOff {
+		opts.PackedExec = squall.PackedOff
 	}
 	if c.Kill {
 		// Task 0 always exists (and is always a matrix cell in adaptive

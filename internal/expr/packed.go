@@ -1,0 +1,188 @@
+package expr
+
+import (
+	"fmt"
+
+	"squall/internal/types"
+	"squall/internal/wire"
+)
+
+// PackedPred is a predicate lowered to run directly over one wire-encoded
+// row: column refs became offset reads on the cursor, so no types.Tuple is
+// materialized and no per-field interface dispatch happens.
+type PackedPred func(cur *wire.Cursor) (bool, error)
+
+// CompilePred lowers p to a PackedPred. ok is false when p contains a shape
+// the compiler cannot lower (arithmetic, DATE(), non-scalar operands): the
+// caller then materializes the tuple and falls back to p.Eval — semantics
+// are identical either way, lowering is purely a fast path.
+//
+// Lowered comparisons reproduce CmpOp.Apply exactly: types.Value.Compare
+// ordering (cross-kind numeric comparison included) with any NULL operand
+// collapsing to false. Constant subtrees fold at compile time.
+func CompilePred(p Pred) (PackedPred, bool) {
+	switch q := p.(type) {
+	case True:
+		return predConst(true), true
+	case Cmp:
+		return compileCmp(q)
+	case Not:
+		inner, ok := CompilePred(q.P)
+		if !ok {
+			return nil, false
+		}
+		return func(cur *wire.Cursor) (bool, error) {
+			v, err := inner(cur)
+			return !v, err
+		}, true
+	case And:
+		return compileJunction(q.Preds, true)
+	case Or:
+		return compileJunction(q.Preds, false)
+	default:
+		return nil, false
+	}
+}
+
+func predConst(v bool) PackedPred {
+	return func(*wire.Cursor) (bool, error) { return v, nil }
+}
+
+// compileJunction lowers a conjunction (every=true) or disjunction
+// (every=false) with short-circuiting, folding constant children.
+func compileJunction(preds []Pred, every bool) (PackedPred, bool) {
+	compiled := make([]PackedPred, 0, len(preds))
+	for _, p := range preds {
+		c, ok := CompilePred(p)
+		if !ok {
+			return nil, false
+		}
+		compiled = append(compiled, c)
+	}
+	return func(cur *wire.Cursor) (bool, error) {
+		for _, c := range compiled {
+			v, err := c(cur)
+			if err != nil {
+				return false, err
+			}
+			if v != every {
+				return !every, nil
+			}
+		}
+		return every, nil
+	}, true
+}
+
+// scalar is one lowered comparison operand: a column offset read or a
+// folded constant.
+type scalar struct {
+	col   Col
+	v     types.Value
+	isCol bool
+}
+
+func scalarOf(e Expr) (scalar, bool) {
+	switch s := e.(type) {
+	case Col:
+		return scalar{col: s, isCol: true}, true
+	case Const:
+		return scalar{v: s.V}, true
+	default:
+		return scalar{}, false
+	}
+}
+
+// checkCol mirrors Col.Eval's range error on the packed path.
+func checkCol(c Col, cur *wire.Cursor) error {
+	if c.Index < 0 || c.Index >= cur.Arity() {
+		return fmt.Errorf("expr: column %d (%s) out of range for arity %d", c.Index, c.Name, cur.Arity())
+	}
+	return nil
+}
+
+func compileCmp(c Cmp) (PackedPred, bool) {
+	l, lok := scalarOf(c.L)
+	r, rok := scalarOf(c.R)
+	if !lok || !rok {
+		return nil, false
+	}
+	op := c.Op
+	switch {
+	case !l.isCol && !r.isCol:
+		// Constant folding: the comparison never depends on the row.
+		return predConst(op.Apply(l.v, r.v)), true
+	case l.isCol && r.isCol:
+		lc, rc := l.col, r.col
+		return func(cur *wire.Cursor) (bool, error) {
+			if err := checkCol(lc, cur); err != nil {
+				return false, err
+			}
+			if err := checkCol(rc, cur); err != nil {
+				return false, err
+			}
+			cmp, anyNull := wire.CompareFields(cur, lc.Index, cur, rc.Index)
+			return !anyNull && CmpHolds(op, cmp), nil
+		}, true
+	case !l.isCol:
+		// const OP col  ==  col OP.Flip() const
+		l, r = r, l
+		op = op.Flip()
+		fallthrough
+	default:
+		lc, rv := l.col, r.v
+		return func(cur *wire.Cursor) (bool, error) {
+			if err := checkCol(lc, cur); err != nil {
+				return false, err
+			}
+			cmp, anyNull := cur.CompareValue(lc.Index, rv)
+			return !anyNull && CmpHolds(op, cmp), nil
+		}, true
+	}
+}
+
+// CmpHolds interprets a three-way comparison result under op, matching
+// CmpOp.Apply once NULLs have been excluded — the shared primitive of every
+// packed comparison (lowered predicates here, join-conjunct filters in
+// localjoin).
+func CmpHolds(op CmpOp, cmp int) bool {
+	switch op {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// ProjectionCols reports the column indexes of a projection whose every
+// expression is a plain column ref — the shape the packed pipeline lowers
+// to byte splicing.
+func ProjectionCols(es []Expr) ([]int, bool) {
+	cols := make([]int, len(es))
+	for i, e := range es {
+		c, ok := e.(Col)
+		if !ok {
+			return nil, false
+		}
+		cols[i] = c.Index
+	}
+	return cols, true
+}
+
+// ColIndex reports e's column index when it is a plain column ref.
+func ColIndex(e Expr) (int, bool) {
+	c, ok := e.(Col)
+	if !ok {
+		return 0, false
+	}
+	return c.Index, true
+}

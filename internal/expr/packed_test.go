@@ -1,0 +1,111 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"squall/internal/types"
+	"squall/internal/wire"
+)
+
+// randValue draws from a pool dense enough to make every comparison branch
+// (equal, ordered, cross-kind, null) reachable.
+func randValue(rng *rand.Rand) types.Value {
+	switch rng.Intn(7) {
+	case 0:
+		return types.Null()
+	case 1, 2:
+		return types.Int(int64(rng.Intn(5) - 2))
+	case 3:
+		return types.Float(float64(rng.Intn(5)-2) / 2)
+	case 4:
+		return types.Float(float64(rng.Intn(3))) // integral float
+	default:
+		return types.Str(string(rune('a' + rng.Intn(3))))
+	}
+}
+
+// TestCompilePredAgreesWithEval is the packed-lowering differential: every
+// lowerable predicate shape must agree with the boxed Eval on rows covering
+// all kind combinations, including NULLs.
+func TestCompilePredAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := []CmpOp{Eq, Ne, Lt, Le, Gt, Ge}
+	var cur wire.Cursor
+	for trial := 0; trial < 2000; trial++ {
+		tu := types.Tuple{randValue(rng), randValue(rng), randValue(rng)}
+		row := wire.Encode(nil, tu)
+		if err := cur.Reset(row); err != nil {
+			t.Fatal(err)
+		}
+		op := ops[rng.Intn(len(ops))]
+		var preds []Pred
+		preds = append(preds,
+			Cmp{Op: op, L: C(rng.Intn(3)), R: C(rng.Intn(3))},
+			Cmp{Op: op, L: C(rng.Intn(3)), R: Const{V: randValue(rng)}},
+			Cmp{Op: op, L: Const{V: randValue(rng)}, R: C(rng.Intn(3))},
+			Cmp{Op: op, L: Const{V: randValue(rng)}, R: Const{V: randValue(rng)}},
+		)
+		preds = append(preds,
+			And{Preds: []Pred{preds[0], preds[1]}},
+			Or{Preds: []Pred{preds[1], preds[2]}},
+			Not{P: preds[0]},
+			And{},
+			Or{},
+			True{},
+		)
+		for _, p := range preds {
+			pp, ok := CompilePred(p)
+			if !ok {
+				t.Fatalf("predicate %s did not lower", p)
+			}
+			want, werr := p.Eval(tu)
+			got, gerr := pp(&cur)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s on %v: err %v vs %v", p, tu, werr, gerr)
+			}
+			if werr == nil && got != want {
+				t.Fatalf("%s on %v: packed %v, boxed %v", p, tu, got, want)
+			}
+		}
+	}
+}
+
+func TestCompilePredColOutOfRange(t *testing.T) {
+	tu := types.Tuple{types.Int(1)}
+	var cur wire.Cursor
+	if err := cur.Reset(wire.Encode(nil, tu)); err != nil {
+		t.Fatal(err)
+	}
+	p := Cmp{Op: Eq, L: C(5), R: I(1)}
+	pp, ok := CompilePred(p)
+	if !ok {
+		t.Fatal("did not lower")
+	}
+	if _, err := pp(&cur); err == nil {
+		t.Fatal("want out-of-range error, got nil")
+	}
+}
+
+func TestCompilePredNotLowerable(t *testing.T) {
+	cases := []Pred{
+		Cmp{Op: Eq, L: Arith{Op: Add, L: C(0), R: I(1)}, R: I(2)},
+		Cmp{Op: Lt, L: Date{Inner: C(0)}, R: I(9000)},
+		And{Preds: []Pred{True{}, Cmp{Op: Eq, L: Arith{Op: Mul, L: C(0), R: I(2)}, R: C(1)}}},
+	}
+	for _, p := range cases {
+		if _, ok := CompilePred(p); ok {
+			t.Fatalf("%s lowered; want fallback", p)
+		}
+	}
+}
+
+func TestProjectionCols(t *testing.T) {
+	cols, ok := ProjectionCols([]Expr{C(2), CN(0, "k"), C(1)})
+	if !ok || len(cols) != 3 || cols[0] != 2 || cols[1] != 0 || cols[2] != 1 {
+		t.Fatalf("ProjectionCols = %v, %v", cols, ok)
+	}
+	if _, ok := ProjectionCols([]Expr{C(0), I(1)}); ok {
+		t.Fatal("constant projection lowered to columns")
+	}
+}

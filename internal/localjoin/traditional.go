@@ -117,6 +117,12 @@ type Traditional struct {
 	// sideExpr[c][rel] is the rel-side expression of conjunct c (nil if rel
 	// is not a side of c).
 	sideExpr [][]expr.Expr
+	// sideCol[c][rel] is sideExpr[c][rel]'s column index when it is a plain
+	// column ref (-1 otherwise); packedOK reports every side expression
+	// lowered, enabling the packed OnRow path (packed.go).
+	sideCol  [][]int
+	packedOK bool
+	packed   packedState
 	// onCompact, when set, is invoked after a relation's arena is compacted
 	// with the ref remap, so external ref holders (window expiration queues)
 	// can rewrite their refs.
@@ -140,12 +146,24 @@ func NewTraditional(g *expr.JoinGraph) *Traditional { return newTraditional(g, t
 func NewTraditionalMap(g *expr.JoinGraph) *Traditional { return newTraditional(g, false) }
 
 func newTraditional(g *expr.JoinGraph, compact bool) *Traditional {
-	j := &Traditional{g: g, compact: compact}
+	j := &Traditional{g: g, compact: compact, packedOK: true}
 	j.sideExpr = make([][]expr.Expr, len(g.Conjuncts))
+	j.sideCol = make([][]int, len(g.Conjuncts))
 	for ci, c := range g.Conjuncts {
 		j.sideExpr[ci] = make([]expr.Expr, g.NumRels)
 		j.sideExpr[ci][c.LRel] = c.Left
 		j.sideExpr[ci][c.RRel] = c.Right
+		j.sideCol[ci] = make([]int, g.NumRels)
+		for rel := range j.sideCol[ci] {
+			j.sideCol[ci][rel] = -1
+		}
+		for _, rel := range [2]int{c.LRel, c.RRel} {
+			if col, ok := expr.ColIndex(j.sideExpr[ci][rel]); ok {
+				j.sideCol[ci][rel] = col
+			} else {
+				j.packedOK = false
+			}
+		}
 	}
 	j.stores = make([]*store, g.NumRels)
 	for rel := range j.stores {

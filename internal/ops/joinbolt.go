@@ -8,6 +8,7 @@ import (
 	"squall/internal/expr"
 	"squall/internal/localjoin"
 	"squall/internal/types"
+	"squall/internal/wire"
 )
 
 // LocalJoinKind selects the local algorithm run inside each joiner task
@@ -35,7 +36,11 @@ func (k LocalJoinKind) String() string {
 // tuples (concatenated relation order), optionally post-processed by a
 // pipeline. relOf maps upstream component names to relation indexes; legacy
 // selects the pre-slab map state layout (squall.Options.LegacyState).
-func JoinBolt(g *expr.JoinGraph, kind LocalJoinKind, relOf map[string]int, post Pipeline, legacy bool) dataflow.BoltFactory {
+// packed, when the local algorithm is packed-capable for this graph, makes
+// the bolt frame-capable (dataflow.RowBolt): arrivals blit into the slab
+// without a decode/re-encode round trip and delta rows leave as spliced
+// encoded bytes (squall.Options.PackedExec).
+func JoinBolt(g *expr.JoinGraph, kind LocalJoinKind, relOf map[string]int, post Pipeline, legacy, packed bool) dataflow.BoltFactory {
 	return func(task, ntasks int) dataflow.Bolt {
 		mk := func() localjoin.MultiJoin {
 			switch {
@@ -49,8 +54,68 @@ func JoinBolt(g *expr.JoinGraph, kind LocalJoinKind, relOf map[string]int, post 
 				return localjoin.NewTraditional(g)
 			}
 		}
-		return &joinBolt{mk: mk, mj: mk(), relOf: relOf, post: post}
+		jb := &joinBolt{mk: mk, mj: mk(), relOf: relOf, post: post}
+		if packed {
+			if pj, ok := jb.mj.(localjoin.PackedJoin); ok && pj.PackedCapable() {
+				return &packedJoinBolt{joinBolt: jb, pp: CompilePipeline(post)}
+			}
+		}
+		return jb
 	}
+}
+
+// packedJoinBolt is joinBolt's frame-capable wrapper. Both entry points emit
+// packed rows — ExecuteRow natively, Execute by encoding the incoming tuple
+// first — so one task never interleaves tuple and row batches on an edge.
+type packedJoinBolt struct {
+	*joinBolt
+	pp     *PackedPipeline // compiled post pipeline (empty = pass-through)
+	out    *dataflow.Collector
+	emitFn func(row []byte) error
+	enc    []byte
+	encCur wire.Cursor
+}
+
+var _ dataflow.RowBolt = (*packedJoinBolt)(nil)
+var _ dataflow.Repartitioner = (*packedJoinBolt)(nil)
+
+// ExecuteRow feeds one encoded arrival through the packed local join.
+func (b *packedJoinBolt) ExecuteRow(in dataflow.RowInput, out *dataflow.Collector) error {
+	rel, ok := b.relOf[in.Stream]
+	if !ok {
+		return fmt.Errorf("ops: join bolt has no relation for stream %q", in.Stream)
+	}
+	if b.emitFn == nil {
+		// One collector serves the task for its whole life; bind the emit
+		// closure once so the hot path allocates nothing.
+		b.out = out
+		var postCur wire.Cursor
+		b.emitFn = func(row []byte) error {
+			if b.pp.Empty() {
+				return b.out.EmitRow(row)
+			}
+			if err := postCur.Reset(row); err != nil {
+				return err
+			}
+			return b.pp.EachRow(row, &postCur, func(r []byte, _ *wire.Cursor) error {
+				return b.out.EmitRow(r)
+			})
+		}
+	}
+	// mk() preserves the concrete type, so reshape/recovery rebuilds stay
+	// packed-capable; assert per call rather than caching across rebirths.
+	return b.mj.(localjoin.PackedJoin).OnRow(rel, in.Row, in.Cur, b.emitFn)
+}
+
+// Execute handles tuple-path deliveries (adaptive edges, recovery replays)
+// by encoding once and reusing the packed path, keeping the output family
+// uniform.
+func (b *packedJoinBolt) Execute(in dataflow.Input, out *dataflow.Collector) error {
+	b.enc = wire.Encode(b.enc[:0], in.Tuple)
+	if err := b.encCur.Reset(b.enc); err != nil {
+		return err
+	}
+	return b.ExecuteRow(dataflow.RowInput{Stream: in.Stream, FromTask: in.FromTask, Row: b.enc, Cur: &b.encCur}, out)
 }
 
 type joinBolt struct {

@@ -261,6 +261,11 @@ type Agg struct {
 	sKey types.Tuple
 	sBuf []byte
 	sRow types.Tuple
+
+	// packed lowering (PR 5): group-by column indexes and the SUM column
+	// when every expression is a plain column ref; see PackedCapable.
+	groupCols []int
+	sumCol    int
 }
 
 // NewAgg copies the configuration into a fresh accumulator with the compact
@@ -311,6 +316,21 @@ func (a *Agg) Update(t types.Tuple, cnt int64, sum float64) (types.Tuple, error)
 		return a.rowOf(st.group, st.cnt, st.sum), nil
 	}
 	a.sBuf = wire.Encode(a.sBuf[:0], g)
+	st := a.bumpEncoded(cnt, sum)
+	if !a.Incremental {
+		return nil, nil
+	}
+	a.sRow = a.arena.DecodeInto(a.sRow, st.ref)
+	return a.rowOf(a.sRow, st.cnt, st.sum), nil
+}
+
+// bumpEncoded folds (cnt, sum) into the group whose wire-encoded key sits
+// in a.sBuf: hash the encoded bytes, probe the open-addressing index with
+// byte-equality verification, blit a new group row on first appearance.
+// Shared by the boxed path (which encodes the evaluated key) and the packed
+// path (which splices the key fields straight off the incoming row — the
+// encodings are byte-identical, so the two paths share one table).
+func (a *Agg) bumpEncoded(cnt int64, sum float64) *groupAcc {
 	h := index.BytesHash(a.sBuf)
 	slot := -1
 	a.idx.Each(h, func(ref uint32) bool {
@@ -328,11 +348,76 @@ func (a *Agg) Update(t types.Tuple, cnt int64, sum float64) (types.Tuple, error)
 	st := &a.states[slot]
 	st.cnt += cnt
 	st.sum += sum
-	if !a.Incremental {
-		return nil, nil
+	return st
+}
+
+// PackedCapable reports whether the row-based folds (FoldRow / UpdateRow)
+// apply: the compact group table, non-incremental accumulation (packed
+// callers emit nothing per update) and column-ref group-by / SUM
+// expressions, so the group key splices straight off the encoded row.
+func (a *Agg) PackedCapable() bool {
+	if a.groups != nil || a.Incremental {
+		return false
 	}
-	a.sRow = a.arena.DecodeInto(a.sRow, st.ref)
-	return a.rowOf(a.sRow, st.cnt, st.sum), nil
+	cols, ok := expr.ProjectionCols(a.GroupBy)
+	if !ok {
+		return false
+	}
+	a.sumCol = -1
+	if a.SumE != nil {
+		sc, ok := expr.ColIndex(a.SumE)
+		if !ok {
+			return false
+		}
+		a.sumCol = sc
+	}
+	a.groupCols = cols
+	return true
+}
+
+// checkRowCols bound-checks the lowered columns against one row's arity,
+// mirroring expr.Col.Eval's range errors on the boxed path.
+func (a *Agg) checkRowCols(cur *wire.Cursor) error {
+	for _, c := range a.groupCols {
+		if c < 0 || c >= cur.Arity() {
+			return fmt.Errorf("expr: column %d out of range for arity %d", c, cur.Arity())
+		}
+	}
+	if a.sumCol >= cur.Arity() {
+		return fmt.Errorf("expr: column %d out of range for arity %d", a.sumCol, cur.Arity())
+	}
+	return nil
+}
+
+// UpdateRow is the packed Update: the group key is spliced from the
+// encoded row's fields (no Eval, no re-encode) and the accumulator is
+// bumped in place. Callers must have checked PackedCapable.
+func (a *Agg) UpdateRow(cur *wire.Cursor, cnt int64, sum float64) error {
+	if err := a.checkRowCols(cur); err != nil {
+		return err
+	}
+	a.sBuf = wire.SpliceRow(a.sBuf[:0], cur, a.groupCols)
+	a.bumpEncoded(cnt, sum)
+	return nil
+}
+
+// FoldRow is the packed Fold: cnt 1, sum read off the SUM column under
+// AsFloat coercion (matching the boxed error on non-numeric non-null).
+func (a *Agg) FoldRow(cur *wire.Cursor) error {
+	sum := 0.0
+	if a.sumCol >= 0 {
+		if err := a.checkRowCols(cur); err != nil {
+			return err
+		}
+		f, ok := cur.FieldFloat(a.sumCol)
+		if !ok && cur.Kind(a.sumCol) != types.KindNull {
+			return fmt.Errorf("ops: SUM argument %v is not numeric", cur.Value(a.sumCol))
+		}
+		sum = f
+	} else if a.Kind != Count {
+		return fmt.Errorf("ops: %s needs a sum expression", a.Kind)
+	}
+	return a.UpdateRow(cur, 1, sum)
 }
 
 // Fold feeds one raw tuple (cnt 1, sum = SumE(t) when configured).
@@ -446,25 +531,60 @@ func newAgg(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental, lega
 
 // AggBolt builds a per-task aggregation component. Upstream edges must group
 // by the group-by columns (Fields or KeyMapped) so each group lands on one
-// task. legacy selects the pre-slab map group table.
-func AggBolt(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental, legacy bool) dataflow.BoltFactory {
+// task. legacy selects the pre-slab map group table; packed additionally
+// makes the bolt frame-capable (dataflow.RowBolt) when the accumulator's
+// expressions lower, so incoming packed frames fold without decoding.
+func AggBolt(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental, legacy, packed bool) dataflow.BoltFactory {
 	return func(task, ntasks int) dataflow.Bolt {
-		return aggBolt{newAgg(groupBy, kind, sumE, incremental, legacy)}
+		a := newAgg(groupBy, kind, sumE, incremental, legacy)
+		if packed && a.PackedCapable() {
+			return packedAggBolt{aggBolt{a}}
+		}
+		return aggBolt{a}
 	}
+}
+
+// packedAggBolt adds the frame path to aggBolt: one cursor read per row,
+// group keys spliced from the encoded fields, zero materialization.
+type packedAggBolt struct{ aggBolt }
+
+func (b packedAggBolt) ExecuteRow(in dataflow.RowInput, _ *dataflow.Collector) error {
+	return b.a.FoldRow(in.Cur)
 }
 
 // MergeBolt merges pre-aggregated partial rows of shape (group..., cnt, sum)
 // emitted by AggJoinBolt tasks into final aggregate rows. ngroup is the
 // number of leading group columns; legacy selects the pre-slab map group
-// table.
-func MergeBolt(ngroup int, kind AggKind, incremental, legacy bool) dataflow.BoltFactory {
+// table; packed makes the bolt frame-capable.
+func MergeBolt(ngroup int, kind AggKind, incremental, legacy, packed bool) dataflow.BoltFactory {
 	return func(task, ntasks int) dataflow.Bolt {
 		groupBy := make([]expr.Expr, ngroup)
 		for i := range groupBy {
 			groupBy[i] = expr.C(i)
 		}
-		return &mergeBolt{a: newAgg(groupBy, kind, nil, incremental, legacy), ngroup: ngroup}
+		mb := &mergeBolt{a: newAgg(groupBy, kind, nil, incremental, legacy), ngroup: ngroup}
+		if packed && mb.a.PackedCapable() {
+			return packedMergeBolt{mb}
+		}
+		return mb
 	}
+}
+
+// packedMergeBolt adds the frame path to mergeBolt: cnt and sum are read
+// off the encoded row under the same coercions the boxed path applies.
+type packedMergeBolt struct{ *mergeBolt }
+
+func (b packedMergeBolt) ExecuteRow(in dataflow.RowInput, _ *dataflow.Collector) error {
+	cur := in.Cur
+	if cur.Arity() != b.ngroup+2 {
+		return fmt.Errorf("ops: merge row arity %d, want %d group cols + cnt + sum", cur.Arity(), b.ngroup)
+	}
+	cnt, ok := cur.FieldInt(b.ngroup)
+	if !ok {
+		return fmt.Errorf("ops: merge row cnt %v not integer", cur.Value(b.ngroup))
+	}
+	sum, _ := cur.FieldFloat(b.ngroup + 1)
+	return b.a.UpdateRow(cur, cnt, sum)
 }
 
 type mergeBolt struct {

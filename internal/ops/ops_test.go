@@ -122,7 +122,7 @@ func runJoinTopology(t *testing.T, kind LocalJoinKind) []types.Tuple {
 		Spout("R", 1, dataflow.SliceSpout(r)).
 		Spout("S", 1, dataflow.SliceSpout(s)).
 		Spout("T", 1, dataflow.SliceSpout(u)).
-		Bolt("join", 1, JoinBolt(g, kind, map[string]int{"R": 0, "S": 1, "T": 2}, nil, false)).
+		Bolt("join", 1, JoinBolt(g, kind, map[string]int{"R": 0, "S": 1, "T": 2}, nil, false, false)).
 		Bolt("sink", 1, sink.Factory()).
 		Input("join", "R", dataflow.Global()).
 		Input("join", "S", dataflow.Global()).
@@ -171,7 +171,7 @@ func TestAggJoinBoltWithMerge(t *testing.T) {
 		Spout("R", 2, dataflow.SliceSpout(r)).
 		Spout("S", 2, dataflow.SliceSpout(s)).
 		Bolt("join", 4, AggJoinBolt(g, spec, map[string]int{"R": 0, "S": 1}, false)).
-		Bolt("merge", 1, MergeBolt(1, Count, false, false)).
+		Bolt("merge", 1, MergeBolt(1, Count, false, false, false)).
 		Bolt("sink", 1, sink.Factory()).
 		Input("join", "R", dataflow.Fields(0)).
 		Input("join", "S", dataflow.Fields(0)).
@@ -197,7 +197,7 @@ func TestAggJoinBoltWithMerge(t *testing.T) {
 }
 
 func TestMergeBoltRejectsBadArity(t *testing.T) {
-	b := MergeBolt(1, Count, false, false)(0, 1)
+	b := MergeBolt(1, Count, false, false, false)(0, 1)
 	err := b.Execute(dataflow.Input{Tuple: types.Tuple{types.Int(1)}}, nil)
 	if err == nil {
 		t.Error("short merge row must error")
@@ -206,7 +206,7 @@ func TestMergeBoltRejectsBadArity(t *testing.T) {
 
 func TestJoinBoltUnknownStream(t *testing.T) {
 	g := expr.MustJoinGraph(2, expr.EquiCol(0, 0, 1, 0))
-	b := JoinBolt(g, Traditional, map[string]int{"R": 0}, nil, false)(0, 1)
+	b := JoinBolt(g, Traditional, map[string]int{"R": 0}, nil, false, false)(0, 1)
 	err := b.Execute(dataflow.Input{Stream: "???", Tuple: types.Tuple{types.Int(1)}}, nil)
 	if err == nil {
 		t.Error("unknown stream must error")

@@ -1,0 +1,234 @@
+// Packed execution (PR 5): the frame-at-a-time lowering of the operator
+// pipeline. A Pipeline compiles into a PackedPipeline whose stages work
+// directly on wire-encoded rows through a Cursor — Select filters without
+// decoding (expr.CompilePred), Project re-emits by splicing encoded field
+// bytes when every projection is a column ref — and stages that cannot
+// lower fall back to materialize-then-Apply per row, preserving semantics
+// exactly.
+package ops
+
+import (
+	"fmt"
+
+	"squall/internal/dataflow"
+	"squall/internal/expr"
+	"squall/internal/types"
+	"squall/internal/wire"
+)
+
+// packedStage is one lowered pipeline stage: exactly one of pred (packed
+// filter), cols (packed projection splice) or op (materializing fallback)
+// drives it.
+type packedStage struct {
+	pred expr.PackedPred
+	cols []int
+	op   Op
+	one  OneOp // fallback fast shape (single-output)
+
+	buf []byte      // output row buffer (splice / fallback re-encode)
+	cur wire.Cursor // cursor over buf
+	dec types.Tuple // fallback materialization scratch
+}
+
+// PackedPipeline is a Pipeline lowered to run over encoded rows. One
+// instance belongs to one task (stage buffers are reused per row).
+type PackedPipeline struct {
+	stages []packedStage
+	simple bool // every stage emits at most one row per input
+}
+
+// CompilePipeline lowers p. Compilation always succeeds — unlowerable
+// stages run through the materializing fallback — so callers can route
+// every source pipeline through the packed path unconditionally.
+func CompilePipeline(p Pipeline) *PackedPipeline {
+	pp := &PackedPipeline{simple: true}
+	for _, op := range p {
+		st := packedStage{}
+		switch o := op.(type) {
+		case Select:
+			if pred, ok := expr.CompilePred(o.P); ok {
+				st.pred = pred
+			}
+		case Project:
+			if cols, ok := expr.ProjectionCols(o.Es); ok {
+				st.cols = cols
+			}
+		}
+		if st.pred == nil && st.cols == nil {
+			st.op = op
+			st.one, _ = op.(OneOp)
+			if st.one == nil {
+				pp.simple = false
+			}
+		}
+		pp.stages = append(pp.stages, st)
+	}
+	return pp
+}
+
+// Simple reports whether every stage emits at most one row per input, so
+// RunOne applies.
+func (pp *PackedPipeline) Simple() bool { return pp.simple }
+
+// Empty reports a stageless pipeline (rows pass through untouched).
+func (pp *PackedPipeline) Empty() bool { return len(pp.stages) == 0 }
+
+// RunOne pushes one row through a Simple pipeline: the result row (which
+// may alias the input or an internal stage buffer, valid until the next
+// call), its cursor, and whether the row survived filtering.
+func (pp *PackedPipeline) RunOne(row []byte, cur *wire.Cursor) ([]byte, *wire.Cursor, bool, error) {
+	for i := range pp.stages {
+		st := &pp.stages[i]
+		switch {
+		case st.pred != nil:
+			ok, err := st.pred(cur)
+			if err != nil || !ok {
+				return nil, nil, false, err
+			}
+		case st.cols != nil:
+			st.buf = wire.SpliceRow(st.buf[:0], cur, st.cols)
+			if err := st.cur.Reset(st.buf); err != nil {
+				return nil, nil, false, err
+			}
+			row, cur = st.buf, &st.cur
+		default:
+			st.dec = cur.Tuple(st.dec)
+			out, keep, err := st.one.ApplyOne(st.dec)
+			if err != nil || !keep {
+				return nil, nil, false, err
+			}
+			st.buf = wire.Encode(st.buf[:0], out)
+			if err := st.cur.Reset(st.buf); err != nil {
+				return nil, nil, false, err
+			}
+			row, cur = st.buf, &st.cur
+		}
+	}
+	return row, cur, true, nil
+}
+
+// EachRow pushes one row through the pipeline, streaming every output row
+// to emit (rows are valid only during the callback). Multi-output fallback
+// stages fan out depth-first, like Pipeline.Each.
+func (pp *PackedPipeline) EachRow(row []byte, cur *wire.Cursor, emit func(row []byte, cur *wire.Cursor) error) error {
+	return pp.run(0, row, cur, emit)
+}
+
+func (pp *PackedPipeline) run(from int, row []byte, cur *wire.Cursor, emit func(row []byte, cur *wire.Cursor) error) error {
+	for i := from; i < len(pp.stages); i++ {
+		st := &pp.stages[i]
+		switch {
+		case st.pred != nil:
+			ok, err := st.pred(cur)
+			if err != nil || !ok {
+				return err
+			}
+		case st.cols != nil:
+			st.buf = wire.SpliceRow(st.buf[:0], cur, st.cols)
+			if err := st.cur.Reset(st.buf); err != nil {
+				return err
+			}
+			row, cur = st.buf, &st.cur
+		case st.one != nil:
+			st.dec = cur.Tuple(st.dec)
+			out, keep, err := st.one.ApplyOne(st.dec)
+			if err != nil || !keep {
+				return err
+			}
+			st.buf = wire.Encode(st.buf[:0], out)
+			if err := st.cur.Reset(st.buf); err != nil {
+				return err
+			}
+			row, cur = st.buf, &st.cur
+		default:
+			st.dec = cur.Tuple(st.dec)
+			outs, err := st.op.Apply(st.dec)
+			if err != nil {
+				return err
+			}
+			for _, o := range outs {
+				// Sequential reuse of the stage buffer is safe: deeper
+				// stages copy what they keep before the next output lands.
+				st.buf = wire.Encode(st.buf[:0], o)
+				if err := st.cur.Reset(st.buf); err != nil {
+					return err
+				}
+				if err := pp.run(i+1, st.buf, &st.cur, emit); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return emit(row, cur)
+}
+
+// PackedSpout co-locates a pipeline with a data source like PipedSpout, but
+// the returned spouts also implement dataflow.RowSpout: tuples are encoded
+// once at the source and the pipeline runs packed over the encoded row, so
+// the executor can route and transport the bytes without ever materializing
+// a tuple again. The tuple path (Next) stays available for NoSerialize runs.
+func PackedSpout(f dataflow.SpoutFactory, p Pipeline) dataflow.SpoutFactory {
+	return func(task, ntasks int) dataflow.Spout {
+		s := &packedSpout{pp: CompilePipeline(p)}
+		s.inner = f(task, ntasks)
+		s.p = p
+		s.emit = func(t types.Tuple) error { s.queue = append(s.queue, t); return nil }
+		s.emitRow = func(row []byte, _ *wire.Cursor) error {
+			s.qoffs = append(s.qoffs, len(s.qbuf))
+			s.qbuf = append(s.qbuf, row...)
+			return nil
+		}
+		return s
+	}
+}
+
+type packedSpout struct {
+	pipedSpout
+	pp  *PackedPipeline
+	enc []byte
+	cur wire.Cursor
+	// multi-output queue: encoded rows packed back to back.
+	qbuf    []byte
+	qoffs   []int
+	qhead   int
+	emitRow func(row []byte, cur *wire.Cursor) error
+}
+
+// NextRow produces the next encoded post-pipeline row (dataflow.RowSpout).
+// The row aliases internal buffers, valid until the next call.
+func (s *packedSpout) NextRow() ([]byte, bool) {
+	for {
+		if s.qhead < len(s.qoffs) {
+			start := s.qoffs[s.qhead]
+			end := len(s.qbuf)
+			if s.qhead+1 < len(s.qoffs) {
+				end = s.qoffs[s.qhead+1]
+			}
+			s.qhead++
+			return s.qbuf[start:end], true
+		}
+		s.qbuf, s.qoffs, s.qhead = s.qbuf[:0], s.qoffs[:0], 0
+		t, ok := s.inner.Next()
+		if !ok {
+			return nil, false
+		}
+		s.enc = wire.Encode(s.enc[:0], t)
+		if err := s.cur.Reset(s.enc); err != nil {
+			panic(fmt.Sprintf("ops: source row encoding: %v", err))
+		}
+		if s.pp.Simple() {
+			row, _, keep, err := s.pp.RunOne(s.enc, &s.cur)
+			if err != nil {
+				panic(fmt.Sprintf("ops: source pipeline: %v", err))
+			}
+			if keep {
+				return row, true
+			}
+			continue
+		}
+		if err := s.pp.EachRow(s.enc, &s.cur, s.emitRow); err != nil {
+			panic(fmt.Sprintf("ops: source pipeline: %v", err))
+		}
+	}
+}

@@ -191,6 +191,17 @@ type Options struct {
 	// comparison baseline squallbench's `state` experiment measures against.
 	// Default off: compact state is the engine default.
 	LegacyState bool
+	// PackedExec controls the packed-row execution path (PR 5): sources
+	// encode each tuple once and selections, projections, routing, transport
+	// and slab inserts all run on the encoded bytes — a tuple crossing
+	// source -> select/project -> hash-route -> join/agg insert is decoded
+	// zero times unless an operator needs a typed value. Default on
+	// (PackedDefault == PackedOn); set PackedOff to run the legacy boxed
+	// tuple pipeline, the differential/benchmark baseline. NoSerialize runs
+	// and adaptive source edges always use the boxed path (there the
+	// encoding either must not exist or must stay tuple-shaped for the
+	// migration protocol).
+	PackedExec PackedMode
 	// Recovery enables the live fault-tolerance subsystem (PR 4) on the
 	// joiner: periodic state checkpoints, panic capture, and kill recovery
 	// by peer refetch (when the scheme replicates a relation) or checkpoint
@@ -205,6 +216,18 @@ type Options struct {
 	// enables Recovery with defaults if Recovery is nil.
 	FaultPlan *FaultPlan
 }
+
+// PackedMode selects the execution path (Options.PackedExec).
+type PackedMode uint8
+
+const (
+	// PackedDefault is the zero value: packed execution on.
+	PackedDefault PackedMode = iota
+	// PackedOn forces the packed-row path explicitly.
+	PackedOn
+	// PackedOff opts out: the boxed tuple pipeline end to end.
+	PackedOff
+)
 
 // RecoveryOptions tune the fault-tolerance subsystem.
 type RecoveryOptions struct {
@@ -249,18 +272,38 @@ type limitSink struct {
 }
 
 func (s *limitSink) factory() dataflow.BoltFactory {
-	return func(task, ntasks int) dataflow.Bolt {
-		return dataflow.FuncBolt{OnTuple: func(in dataflow.Input, _ *dataflow.Collector) error {
-			s.mu.Lock()
-			s.count++
-			if s.limit <= 0 || len(s.rows) < s.limit {
-				s.rows = append(s.rows, in.Tuple)
-			}
-			s.mu.Unlock()
-			return nil
-		}}
-	}
+	return func(task, ntasks int) dataflow.Bolt { return sinkBolt{s} }
 }
+
+// sinkBolt collects rows on both execution paths. The packed path
+// (ExecuteRow) counts encoded rows without decoding and only materializes
+// the ones actually kept — with a CollectLimit, the terminal decode cost of
+// a run drops to O(limit).
+type sinkBolt struct{ s *limitSink }
+
+func (b sinkBolt) Execute(in dataflow.Input, _ *dataflow.Collector) error {
+	s := b.s
+	s.mu.Lock()
+	s.count++
+	if s.limit <= 0 || len(s.rows) < s.limit {
+		s.rows = append(s.rows, in.Tuple)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (b sinkBolt) ExecuteRow(in dataflow.RowInput, _ *dataflow.Collector) error {
+	s := b.s
+	s.mu.Lock()
+	s.count++
+	if s.limit <= 0 || len(s.rows) < s.limit {
+		s.rows = append(s.rows, in.Cur.Tuple(nil))
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (b sinkBolt) Finish(*dataflow.Collector) error { return nil }
 
 // BuildScheme constructs the query's hypercube without running it (the
 // paper's "hypercube properties" analyses).
@@ -319,10 +362,20 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 		opt.FinalPar = 1
 	}
 
+	// Packed execution (PR 5): on by default, off for NoSerialize runs (the
+	// encoding must not exist there). Sources stay boxed on adaptive runs —
+	// the adaptive edges' coordinate buffers and migration protocol are
+	// tuple-shaped, so a packed source would pay encode+decode per tuple
+	// for nothing — but the joiner itself stays frame-capable.
+	packed := opt.PackedExec != PackedOff && !opt.NoSerialize
 	b := dataflow.NewBuilder()
 	relOf := map[string]int{}
 	for i, s := range q.Sources {
-		b.Spout(s.Name, opt.SourcePar, ops.PipedSpout(s.Spout, s.Pre))
+		spout := ops.PipedSpout(s.Spout, s.Pre)
+		if packed && !q.AdaptiveJoin {
+			spout = ops.PackedSpout(s.Spout, s.Pre)
+		}
+		b.Spout(s.Name, opt.SourcePar, spout)
 		relOf[s.Name] = i
 	}
 
@@ -352,7 +405,7 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 			spec.Sum = q.Agg.Sum
 		}
 		b.Bolt(joiner, joinerPar, ops.AggJoinBolt(q.Graph, spec, relOf, false))
-		b.Bolt("merge", opt.FinalPar, ops.MergeBolt(len(q.Agg.GroupBy), q.Agg.Kind, false, opt.LegacyState))
+		b.Bolt("merge", opt.FinalPar, ops.MergeBolt(len(q.Agg.GroupBy), q.Agg.Kind, false, opt.LegacyState, packed))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("merge", joiner, mergeGrouping(len(q.Agg.GroupBy)))
 		b.Input("sink", "merge", dataflow.Global())
@@ -377,13 +430,13 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 			}
 			sumE = expr.C(offsets[q.Agg.Sum.Rel] + col)
 		}
-		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, nil, opt.LegacyState))
-		b.Bolt("agg", opt.FinalPar, ops.AggBolt(groupEs, q.Agg.Kind, sumE, false, opt.LegacyState))
+		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, nil, opt.LegacyState, packed))
+		b.Bolt("agg", opt.FinalPar, ops.AggBolt(groupEs, q.Agg.Kind, sumE, false, opt.LegacyState, packed))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("agg", joiner, dataflow.Fields(groupCols...))
 		b.Input("sink", "agg", dataflow.Global())
 	default:
-		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, q.Post, opt.LegacyState))
+		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, q.Post, opt.LegacyState, packed))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("sink", joiner, dataflow.Global())
 	}
