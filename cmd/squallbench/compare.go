@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// compareTolerance is how much a gated metric may regress between two
+// bench JSON files before the compare fails: 15%.
+const compareTolerance = 0.15
+
+// compareMain implements `squallbench compare old.json new.json` — the
+// first slice of the ROADMAP bench-suite item. It walks both files'
+// nested metrics and fails (exit 1) when any gated metric regresses by
+// more than compareTolerance against the checked-in baseline.
+//
+// Gated metrics are the machine-portable ones: dimensionless ratios
+// (keys ending in `_x` — speedups and reduction factors, higher is
+// better) and allocation counts (`allocs_per_*`, deterministic for a
+// given binary, lower is better). Absolute times (`*_ms`, `ns_per_*`,
+// `*_ns`) vary with the host, so they are printed for context but never
+// gate — the `_x` ratios already encode the same comparisons
+// host-relatively.
+func compareMain(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: squallbench compare old.json new.json")
+		os.Exit(2)
+	}
+	oldV := loadBenchJSON(args[0])
+	newV := loadBenchJSON(args[1])
+	var rows []compareRow
+	collectCompare("", oldV, newV, &rows)
+	if len(rows) == 0 {
+		fmt.Fprintf(os.Stderr, "compare: no shared numeric metrics between %s and %s\n", args[0], args[1])
+		os.Exit(2)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
+
+	header(fmt.Sprintf("Bench compare: %s -> %s (%.0f%% tolerance on gated metrics)", args[0], args[1], 100*compareTolerance))
+	fmt.Printf("  %-52s %14s %14s %9s  %s\n", "metric", "old", "new", "delta", "verdict")
+	failed := 0
+	for _, r := range rows {
+		verdict := ""
+		switch {
+		case !r.gated:
+			verdict = "info"
+		case r.regressed:
+			verdict = "FAIL"
+			failed++
+		default:
+			verdict = "ok"
+		}
+		fmt.Printf("  %-52s %14.3f %14.3f %8.1f%%  %s\n", r.path, r.old, r.new, 100*r.delta, verdict)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "compare: FAIL: %d metric(s) regressed more than %.0f%% vs %s\n", failed, 100*compareTolerance, args[0])
+		os.Exit(1)
+	}
+	fmt.Printf("  all %d gated metrics within %.0f%% of baseline\n", countGated(rows), 100*compareTolerance)
+}
+
+type compareRow struct {
+	path      string
+	old, new  float64
+	delta     float64 // signed relative change, positive = metric went up
+	gated     bool
+	regressed bool
+}
+
+func countGated(rows []compareRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.gated {
+			n++
+		}
+	}
+	return n
+}
+
+func loadBenchJSON(path string) any {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		os.Exit(2)
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return v
+}
+
+// collectCompare walks old and new in lockstep, recording every numeric
+// leaf present in both. Keys only one side has are skipped: bench schemas
+// grow across PRs and a compare must work against older baselines.
+func collectCompare(path string, oldV, newV any, rows *[]compareRow) {
+	switch o := oldV.(type) {
+	case map[string]any:
+		n, ok := newV.(map[string]any)
+		if !ok {
+			return
+		}
+		for k, ov := range o {
+			if nv, ok := n[k]; ok {
+				collectCompare(joinPath(path, k), ov, nv, rows)
+			}
+		}
+	case []any:
+		n, ok := newV.([]any)
+		if !ok {
+			return
+		}
+		for i := range o {
+			if i < len(n) {
+				collectCompare(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], rows)
+			}
+		}
+	case float64:
+		n, ok := newV.(float64)
+		if !ok {
+			return
+		}
+		r := compareRow{path: path, old: o, new: n}
+		if o != 0 {
+			r.delta = (n - o) / math.Abs(o)
+		}
+		switch classifyMetric(path) {
+		case metricHigherBetter:
+			r.gated = true
+			r.regressed = o != 0 && r.delta < -compareTolerance
+		case metricLowerBetter:
+			r.gated = true
+			// Alloc counts are integers per op: below 1 on both sides the
+			// relative delta is rounding noise, not a regression.
+			r.regressed = o != 0 && r.delta > compareTolerance && !(o < 1 && n < 1)
+		case metricInfo:
+			// shown, never gates
+		default:
+			return // counts, scales, identifiers: not a metric
+		}
+		*rows = append(*rows, r)
+	}
+}
+
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+type metricClass int
+
+const (
+	metricSkip metricClass = iota
+	metricInfo
+	metricLowerBetter
+	metricHigherBetter
+)
+
+// classifyMetric decides how the leaf at path participates by its final
+// key segment, matching the naming convention every BENCH_PR*.json uses.
+func classifyMetric(path string) metricClass {
+	key := path
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		key = key[i+1:]
+	}
+	switch {
+	case strings.HasSuffix(key, "_x"):
+		return metricHigherBetter
+	case strings.HasPrefix(key, "allocs_per_"):
+		return metricLowerBetter
+	case strings.HasSuffix(key, "_ms"), strings.HasSuffix(key, "_ns"),
+		strings.HasPrefix(key, "ns_per_"), strings.HasPrefix(key, "bytes_per_"):
+		return metricInfo
+	default:
+		return metricSkip
+	}
+}

@@ -1,6 +1,7 @@
 // squallbench regenerates the paper's tables and figures as text tables.
 //
-//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|state|all]
+//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|state|recover|exec|vec|all]
+//	go run ./cmd/squallbench compare old.json new.json
 //
 // The extra `batch` experiment measures the PR 1 batched-transport speedup
 // (network-hop and full-join stages at batch=1 vs the default batch size,
@@ -34,6 +35,19 @@
 // the 1M-tuple point. With -json it writes BENCH_PR5.json; it exits
 // non-zero when packed execution stops paying for itself (the CI gate).
 //
+// The `vec` experiment (PR 6) compares vectorized frame execution (column
+// footers, selection-vector kernels, group-wise frame folds) against the
+// PR 5 packed-row baseline and the boxed tuple pipeline: per-tuple cost on
+// the select/agg hot path plus the end-to-end aggregated full join in all
+// three modes. With -json it writes BENCH_PR6.json; it exits non-zero when
+// the vectorized path misses its speedup gate or any mode's results
+// diverge (the CI gate).
+//
+// `squallbench compare old.json new.json` diffs two bench JSON files and
+// exits non-zero when a gated metric (speedup/reduction ratios, alloc
+// counts) regresses more than 15% — CI runs it against the checked-in
+// smoke baseline.
+//
 // Scales are thousandth-scale stand-ins for the paper's cluster runs; the
 // expected shapes (orderings, rough ratios) are documented per experiment in
 // EXPERIMENTS.md.
@@ -60,6 +74,10 @@ var (
 
 func main() {
 	flag.Parse()
+	if flag.NArg() > 0 && flag.Arg(0) == "compare" {
+		compareMain(flag.Args()[1:])
+		return
+	}
 	if flag.NArg() > 1 {
 		// A flag after the experiment name (e.g. `batch -json`) would be
 		// silently dropped by flag.Parse; reject it instead.
@@ -83,6 +101,7 @@ func main() {
 		"state":    stateBench,
 		"recover":  recoverBench,
 		"exec":     execBench,
+		"vec":      vecBench,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -92,7 +111,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec all\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec vec all (or: compare old.json new.json)\n", what)
 		os.Exit(2)
 	}
 	f()

@@ -66,9 +66,11 @@ type Repartitioner interface {
 // tuples. The frame buffer is only valid during the visit callback; visit
 // returning false stops the stream. It reports false when the state is not
 // frame-exportable (map layout), in which case the migration path falls
-// back to ExportState.
+// back to ExportState. With footer set, uniform-arity frames carry a
+// column-offset footer (PR 6); footers are advisory, so every frame
+// consumer decodes footered exports identically.
 type FrameExporter interface {
-	ExportStateFrames(side, batchSize int, visit func(frame []byte, count int) bool) bool
+	ExportStateFrames(side, batchSize int, footer bool, visit func(frame []byte, count int) bool) bool
 }
 
 // AdaptivePolicy configures live 1-Bucket adaptation of one 2-way join
@@ -514,7 +516,7 @@ func (a *adaptState) snapshotExport(rep Repartitioner, side int, dests []int) si
 	exp := sideExport{dests: dests}
 	if !a.ex.opts.NoSerialize {
 		if fe, ok := rep.(FrameExporter); ok {
-			done := fe.ExportStateFrames(side, a.ex.opts.BatchSize, func(frame []byte, _ int) bool {
+			done := fe.ExportStateFrames(side, a.ex.opts.BatchSize, a.ex.opts.VecExec, func(frame []byte, _ int) bool {
 				exp.frames = append(exp.frames, append([]byte(nil), frame...))
 				return true
 			})

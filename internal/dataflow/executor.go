@@ -47,6 +47,13 @@ type Options struct {
 	// and by analytical benches where network cost must be excluded
 	// (Figure 5 isolates it explicitly instead).
 	NoSerialize bool
+	// VecExec enables vectorized frame execution (PR 6): producers append a
+	// column-offset footer to every packed frame they flush, and consumers
+	// implementing FrameBolt receive whole frames instead of a per-row walk.
+	// Off reproduces the PR 5 packed transport bit for bit. Frame delivery is
+	// disabled per task on recovery-protected and adaptive bolts, whose
+	// control planes need per-row delivery bookkeeping.
+	VecExec bool
 	// Adaptive, when set, runs one 2-way join component as a live adaptive
 	// 1-Bucket operator: its input edges route by the policy's matrix, a
 	// controller reshapes the matrix as the observed size ratio drifts, and
@@ -121,10 +128,13 @@ func releaseEnv(env *envelope) {
 // appended back to back after hdrRoom reserved bytes, where flushRow stamps
 // the frame's count varint. box is the pool box the buffer came from; it
 // travels in the flushed envelope so the consumer's return trip reuses it.
+// Under VecExec, foot accumulates the column-offset footer as rows land, so
+// the flush appends it without re-scanning the frame.
 type rowBatch struct {
 	box   *[]byte
 	buf   []byte
 	count int
+	foot  wire.FooterBuilder
 }
 
 // Collector routes a task's emitted tuples to the downstream tasks chosen by
@@ -160,6 +170,9 @@ type Collector struct {
 	rowCur   wire.Cursor
 	routeT   types.Tuple
 	hdrRoom  int
+	// vec mirrors Options.VecExec: EmitRow feeds each pending frame's footer
+	// builder and flushRow appends the footer before shipping.
+	vec bool
 	// adaptSide[edge] is the adaptive side (0 = R, 1 = S) of each outgoing
 	// edge, -1 for normal edges; nil when this node has no adaptive edges.
 	adaptSide []int
@@ -311,6 +324,9 @@ func (c *Collector) EmitRow(row []byte) error {
 			if rb.buf == nil {
 				c.newRowBuf(rb)
 			}
+			if c.vec {
+				rb.foot.AddRow(len(rb.buf)-c.hdrRoom, &c.rowCur)
+			}
 			rb.buf = append(rb.buf, row...)
 			rb.count++
 			if rb.count >= c.batchSize {
@@ -351,6 +367,9 @@ func (c *Collector) newRowBuf(rb *rowBatch) {
 		buf = make([]byte, c.hdrRoom, c.hdrRoom+512)
 	}
 	rb.box, rb.buf = p, buf[:c.hdrRoom]
+	if c.vec {
+		rb.foot.Reset()
+	}
 }
 
 // flushRow ships the pending packed frame of one (edge, target) buffer: the
@@ -373,6 +392,12 @@ func (c *Collector) flushRow(ei, target int) error {
 		if entered {
 			defer c.recExit()
 		}
+	}
+	if c.vec {
+		// The footer's offsets are relative to the rows region, so appending
+		// it before the count varint is stamped is safe regardless of the
+		// varint's width.
+		rb.buf = rb.foot.Append(rb.buf)
 	}
 	var hdr [10]byte
 	hl := binary.PutUvarint(hdr[:], uint64(rb.count))
@@ -890,6 +915,7 @@ func (ex *execution) collector(n *node, task int) *Collector {
 		pout:       pout,
 		rowGroup:   rowGroup,
 		hdrRoom:    hdrRoom,
+		vec:        ex.opts.VecExec,
 		adaptSide:  adaptSide,
 		adaptOut:   adaptOut,
 		recTracked: recTracked,
@@ -981,6 +1007,16 @@ func safeExecuteRow(b RowBolt, in RowInput, col *Collector) (err error) {
 	return b.ExecuteRow(in, col)
 }
 
+// safeExecuteFrame runs FrameBolt.ExecuteFrame with panic capture.
+func safeExecuteFrame(b FrameBolt, in FrameInput, col *Collector) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicFault{val: r, stack: debug.Stack()}
+		}
+	}()
+	return b.ExecuteFrame(in, col)
+}
+
 // safeFinish runs Bolt.Finish with panic capture (never recoverable — the
 // stream is over — but a panic must fail the run, not crash the process).
 func safeFinish(b Bolt, col *Collector) (err error) {
@@ -998,6 +1034,7 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	bolt := n.bolt(task, n.par)
 	mem, hasMem := bolt.(MemReporter)
 	rowBolt, _ := bolt.(RowBolt)
+	frameBolt, _ := bolt.(FrameBolt)
 	tm := col.metrics
 
 	// Adaptive joiner tasks repartition state on reshape barriers and feed
@@ -1026,6 +1063,7 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 		bolt = n.bolt(task, n.par)
 		mem, hasMem = bolt.(MemReporter)
 		rowBolt, _ = bolt.(RowBolt)
+		frameBolt, _ = bolt.(FrameBolt)
 		if adaptHere {
 			rep, _ = bolt.(Repartitioner)
 		}
@@ -1072,15 +1110,43 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	// frames into a RowBolt, row by row without decoding). A panic with an
 	// open recovery session (and no conflicting round) is captured as the
 	// poisoned envelope and reported via errPanicCaptured.
+	// vecHere gates whole-frame delivery: vectorized execution stays off on
+	// recovery-protected tasks (their replay bookkeeping is per row) and on
+	// adaptive joiners (per-row load reports drive the controller).
+	vecHere := ex.opts.VecExec && rs == nil && !adaptHere
 	var deliver func(env envelope, count bool) error
 	deliver = func(env envelope, count bool) error {
 		if env.frame != nil {
 			if count {
 				tm.Received.Add(int64(env.count))
 			}
+			if frameBolt != nil && vecHere && mig == nil {
+				// Vectorized path: the bolt takes the frame whole, footer and
+				// all. ExecuteFrame owns the per-row fallback, so delivery is
+				// unconditional once the bolt is frame-capable.
+				in := FrameInput{Stream: env.stream, FromTask: env.from, Frame: env.frame, Count: env.count}
+				if err := safeExecuteFrame(frameBolt, in, col); err != nil {
+					if pf, ok := err.(*panicFault); ok {
+						return fmt.Errorf("dataflow: bolt %s[%d] panicked: %v\n%s", n.name, task, pf.val, pf.stack)
+					}
+					return err
+				}
+				tm.VecRows.Add(int64(env.count))
+				processed += env.count
+				if hasMem {
+					ex.checkMem(n, task, tm, mem)
+					select {
+					case <-ex.abort:
+						return ex.abortErr()
+					default:
+					}
+				}
+				return nil
+			}
 			if rowBolt == nil {
-				// Not frame-capable: hand the frame over decoded.
-				batch, _, err := fdec.Decode(env.frame)
+				// Not frame-capable: strip any footer and hand the frame over
+				// decoded (boxed edges never see footers).
+				batch, _, err := fdec.Decode(wire.StripFooter(env.frame))
 				if err != nil {
 					return fmt.Errorf("dataflow: frame corruption into %s[%d]: %w", n.name, task, err)
 				}
@@ -1102,7 +1168,7 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 						// The poisoned envelope is retained decoded: the
 						// restore path re-imports the applied prefix and
 						// reprocesses the rest through the tuple path.
-						pb, _, derr := wire.DecodeBatch(env.frame)
+						pb, _, derr := wire.DecodeBatch(wire.StripFooter(env.frame))
 						if derr != nil {
 							return fmt.Errorf("dataflow: frame corruption into %s[%d]: %w", n.name, task, derr)
 						}
@@ -1364,7 +1430,7 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 					switch {
 					case batch == nil && env.frame != nil:
 						var err error
-						if batch, _, err = fdec.Decode(env.frame); err != nil {
+						if batch, _, err = fdec.Decode(wire.StripFooter(env.frame)); err != nil {
 							ex.fail(fmt.Errorf("dataflow: bolt %s[%d] replay frame corrupt: %w", n.name, task, err))
 							return
 						}

@@ -757,7 +757,7 @@ func (s *recSession) checkpoint(bolt Bolt) error {
 		var frames [][]byte
 		blitted := false
 		if fe, ok := bolt.(FrameExporter); ok {
-			blitted = fe.ExportStateFrames(rel, batch, func(frame []byte, count int) bool {
+			blitted = fe.ExportStateFrames(rel, batch, a.ex.opts.VecExec, func(frame []byte, count int) bool {
 				frames = append(frames, append([]byte(nil), frame...))
 				ck.Tuples += int64(count)
 				return true
@@ -813,7 +813,9 @@ func (s *recSession) serveStateReq(bolt Bolt, tm *TaskMetrics, msg *recMsg) bool
 	}
 	served := false
 	if fe, ok := bolt.(FrameExporter); ok && !a.ex.opts.NoSerialize {
-		served = fe.ExportStateFrames(msg.rel, batch, ship)
+		// Peer serving decodes each frame right here before shipping tuples,
+		// so a footer would only inflate the charged bytes: always bare.
+		served = fe.ExportStateFrames(msg.rel, batch, false, ship)
 	}
 	if !served {
 		rep, ok := bolt.(Repartitioner)

@@ -424,7 +424,7 @@ func TestTupleJoinExportParityAndFrames(t *testing.T) {
 			t.Fatalf("rel %d: RelCount diverges", rel)
 		}
 		var fromFrames []types.Tuple
-		if !slabJ.ExportRelFrames(rel, 8, func(frame []byte, count int) bool {
+		if !slabJ.ExportRelFrames(rel, 8, false, func(frame []byte, count int) bool {
 			tuples, _, err := wire.DecodeBatch(frame)
 			if err != nil || len(tuples) != count {
 				t.Fatalf("rel %d frame: %v", rel, err)
@@ -435,7 +435,23 @@ func TestTupleJoinExportParityAndFrames(t *testing.T) {
 			t.Fatal("slab layout must support frame export")
 		}
 		sameTuples(t, "frames", fromFrames, b)
-		if mapJ.ExportRelFrames(rel, 8, func([]byte, int) bool { return true }) {
+		var footered []types.Tuple
+		if !slabJ.ExportRelFrames(rel, 8, true, func(frame []byte, count int) bool {
+			var foot wire.Footer
+			if count > 0 && !wire.ParseFooter(frame, &foot) {
+				t.Fatalf("rel %d: footered export carries no valid footer", rel)
+			}
+			tuples, _, err := wire.DecodeBatch(frame)
+			if err != nil || len(tuples) != count {
+				t.Fatalf("rel %d footered frame: %v", rel, err)
+			}
+			footered = append(footered, tuples...)
+			return true
+		}) {
+			t.Fatal("slab layout must support footered frame export")
+		}
+		sameTuples(t, "footered frames", footered, b)
+		if mapJ.ExportRelFrames(rel, 8, false, func([]byte, int) bool { return true }) {
 			t.Error("map layout must report frames unsupported")
 		}
 	}

@@ -368,7 +368,7 @@ func (j *TupleJoin) ExportRel(rel int) []types.Tuple {
 // ExportRelFrames streams one relation's base rows as wire batch frames by
 // blitting the packed rows (localjoin.FrameExporter). Reports false in the
 // map layout or when the relation has no singleton view.
-func (j *TupleJoin) ExportRelFrames(rel, batchSize int, visit func(frame []byte, count int) bool) bool {
+func (j *TupleJoin) ExportRelFrames(rel, batchSize int, footer bool, visit func(frame []byte, count int) bool) bool {
 	if !j.compact {
 		return false
 	}
@@ -376,7 +376,11 @@ func (j *TupleJoin) ExportRelFrames(rel, batchSize int, visit func(frame []byte,
 	if v == nil {
 		return false
 	}
-	v.arena.EachFrame(batchSize, nil, visit)
+	if footer {
+		v.arena.EachFooterFrame(batchSize, nil, visit)
+	} else {
+		v.arena.EachFrame(batchSize, nil, visit)
+	}
 	return true
 }
 

@@ -59,21 +59,48 @@ func TestDifferentialAllConfigs(t *testing.T) {
 										// slab default.
 										continue
 									}
-									ec := EngineConfig{
-										Scheme: scheme, Local: local, BatchSize: batch,
-										Adaptive: adaptive, LegacyState: legacy,
-										PackedOff: packedOff,
-										Machines:  6, Seed: c.seed,
+									for _, vecOff := range []bool{false, true} {
+										if vecOff && packedOff {
+											// The boxed pipeline carries no
+											// frames: vec on/off is the same
+											// engine there.
+											continue
+										}
+										if vecOff && (legacy || adaptive) && batch != allBatches[0] {
+											// Same corner pruning as boxed: the
+											// full vec-vs-packed cross runs on
+											// the slab default.
+											continue
+										}
+										ec := EngineConfig{
+											Scheme: scheme, Local: local, BatchSize: batch,
+											Adaptive: adaptive, LegacyState: legacy,
+											PackedOff: packedOff, VecOff: vecOff,
+											Machines: 6, Seed: c.seed,
+										}
+										t.Run(ec.String(), func(t *testing.T) {
+											got, res, err := w.RunEngine(ec)
+											if err != nil {
+												t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
+											}
+											if diff := DiffBags(ref, got); diff != "" {
+												t.Fatalf("seed=%d %v: engine diverges from oracle:\n%s", c.seed, ec, diff)
+											}
+											vecRows := res.Metrics.TotalVecRows()
+											if vecOff || packedOff {
+												if vecRows != 0 {
+													t.Fatalf("seed=%d %v: %d rows through frame execution on a vec-off run", c.seed, ec, vecRows)
+												}
+											} else if batch > 1 && !adaptive && !legacy && vecRows == 0 {
+												// Frames only exist on batched
+												// transport; adaptive edges stay
+												// per-row for the reshape
+												// protocol's bookkeeping, and
+												// map-layout operators emit boxed.
+												t.Fatalf("seed=%d %v: vec run carried no rows through frame execution", c.seed, ec)
+											}
+										})
 									}
-									t.Run(ec.String(), func(t *testing.T) {
-										got, _, err := w.RunEngine(ec)
-										if err != nil {
-											t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
-										}
-										if diff := DiffBags(ref, got); diff != "" {
-											t.Fatalf("seed=%d %v: engine diverges from oracle:\n%s", c.seed, ec, diff)
-										}
-									})
 								}
 							}
 						}
@@ -132,24 +159,36 @@ func TestDifferentialChaosKill(t *testing.T) {
 										// pause gate).
 										continue
 									}
-									ec := EngineConfig{
-										Scheme: scheme, Local: local, BatchSize: batch,
-										Adaptive: adaptive, LegacyState: legacy,
-										PackedOff: packedOff,
-										Kill:      true, Machines: 6, Seed: c.seed,
+									for _, vecOff := range []bool{false, true} {
+										if vecOff && (packedOff || legacy || adaptive || batch != allBatches[2]) {
+											// Boxed runs carry no frames, and the
+											// corners are covered at one batch
+											// point; the vec default runs the
+											// full kill matrix (footered frames
+											// in replay buffers, frame delivery
+											// suppressed on the protected
+											// joiner).
+											continue
+										}
+										ec := EngineConfig{
+											Scheme: scheme, Local: local, BatchSize: batch,
+											Adaptive: adaptive, LegacyState: legacy,
+											PackedOff: packedOff, VecOff: vecOff,
+											Kill: true, Machines: 6, Seed: c.seed,
+										}
+										t.Run(ec.String(), func(t *testing.T) {
+											got, res, err := w.RunEngine(ec)
+											if err != nil {
+												t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
+											}
+											if f := res.Metrics.Recovery.Faults.Load(); f != 1 {
+												t.Fatalf("seed=%d %v: %d faults recovered, want 1", c.seed, ec, f)
+											}
+											if diff := DiffBags(ref, got); diff != "" {
+												t.Fatalf("seed=%d %v: engine diverges from oracle after kill:\n%s", c.seed, ec, diff)
+											}
+										})
 									}
-									t.Run(ec.String(), func(t *testing.T) {
-										got, res, err := w.RunEngine(ec)
-										if err != nil {
-											t.Fatalf("seed=%d %v: %v", c.seed, ec, err)
-										}
-										if f := res.Metrics.Recovery.Faults.Load(); f != 1 {
-											t.Fatalf("seed=%d %v: %d faults recovered, want 1", c.seed, ec, f)
-										}
-										if diff := DiffBags(ref, got); diff != "" {
-											t.Fatalf("seed=%d %v: engine diverges from oracle after kill:\n%s", c.seed, ec, diff)
-										}
-									})
 								}
 							}
 						}

@@ -106,6 +106,11 @@ type EngineConfig struct {
 	// execution default (the PR 5 opt-out), so the differential matrix
 	// covers both paths against the oracle and against each other.
 	PackedOff bool
+	// VecOff runs the packed transport without frame footers or whole-frame
+	// delivery (the PR 6 opt-out): packed rows are delivered one at a time,
+	// reproducing the PR 5 engine bit for bit. Meaningless with PackedOff —
+	// the boxed pipeline never carries frames.
+	VecOff bool
 	// Kill enables the chaos dimension (PR 4): one joiner task is killed at
 	// a seeded point mid-run and recovered live (peer refetch when the
 	// scheme replicates the relation, checkpoint + replay otherwise); the
@@ -125,7 +130,10 @@ func (c EngineConfig) String() string {
 	if c.LegacyState {
 		state = "map"
 	}
-	exec := "packed"
+	exec := "vec"
+	if c.VecOff {
+		exec = "packed"
+	}
 	if c.PackedOff {
 		exec = "boxed"
 	}
@@ -173,6 +181,9 @@ func (w *Workload) RunEngine(c EngineConfig) (map[string]int, *squall.Result, er
 	}
 	if c.PackedOff {
 		opts.PackedExec = squall.PackedOff
+	}
+	if c.VecOff {
+		opts.VecExec = squall.VecOff
 	}
 	if c.Kill {
 		// Task 0 always exists (and is always a matrix cell in adaptive

@@ -1,0 +1,224 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"squall/internal/types"
+	"squall/internal/vec"
+	"squall/internal/wire"
+)
+
+// randColValue draws a value of a fixed kind so frames can be built with
+// uniform (vectorizable) columns; NaN and integral floats keep the float
+// comparison edge cases reachable.
+func randColValue(rng *rand.Rand, kind types.Kind) types.Value {
+	switch kind {
+	case types.KindInt:
+		return types.Int(int64(rng.Intn(5) - 2))
+	case types.KindFloat:
+		switch rng.Intn(6) {
+		case 0:
+			return types.Float(math.NaN())
+		case 1:
+			return types.Float(float64(rng.Intn(3))) // integral float
+		default:
+			return types.Float(float64(rng.Intn(5)-2) / 2)
+		}
+	case types.KindString:
+		return types.Str(string(rune('a' + rng.Intn(3))))
+	default:
+		return types.Null()
+	}
+}
+
+var frameKinds = []types.Kind{types.KindNull, types.KindInt, types.KindFloat, types.KindString}
+
+// randFrame builds a uniform-arity frame whose columns each hold one kind
+// (mixed=false) or a per-row mix (mixed=true), returning the footered frame
+// and its decoded tuples.
+func randFrame(rng *rand.Rand, ncols int, mixed bool) ([]byte, []types.Tuple) {
+	n := 1 + rng.Intn(12)
+	kinds := make([]types.Kind, ncols)
+	for c := range kinds {
+		kinds[c] = frameKinds[rng.Intn(len(frameKinds))]
+	}
+	batch := make([]types.Tuple, n)
+	for r := range batch {
+		tu := make(types.Tuple, ncols)
+		for c := range tu {
+			k := kinds[c]
+			if mixed && rng.Intn(3) == 0 {
+				k = frameKinds[rng.Intn(len(frameKinds))]
+			}
+			tu[c] = randColValue(rng, k)
+		}
+		batch[r] = tu
+	}
+	return wire.AppendFooter(wire.EncodeBatch(nil, batch)), batch
+}
+
+// TestCompileVecPredAgreesWithEval is the vectorized differential: on every
+// frame, a lowered VecPred must select exactly the rows the boxed Eval
+// accepts — or fall back (ok=false), never disagree.
+func TestCompileVecPredAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ops := []CmpOp{Eq, Ne, Lt, Le, Gt, Ge}
+	view := &vec.FrameView{}
+	for trial := 0; trial < 4000; trial++ {
+		frame, batch := randFrame(rng, 3, trial%4 == 3)
+		if !view.Reset(frame) {
+			t.Fatalf("trial %d: view rejected frame", trial)
+		}
+		op := ops[rng.Intn(len(ops))]
+		rv := randColValue(rng, frameKinds[rng.Intn(len(frameKinds))])
+		var preds []Pred
+		preds = append(preds,
+			Cmp{Op: op, L: C(rng.Intn(3)), R: C(rng.Intn(3))},
+			Cmp{Op: op, L: C(rng.Intn(3)), R: Const{V: rv}},
+			Cmp{Op: op, L: Const{V: rv}, R: C(rng.Intn(3))},
+			Cmp{Op: op, L: Const{V: rv}, R: Const{V: rv}},
+		)
+		preds = append(preds,
+			And{Preds: []Pred{preds[0], preds[1]}},
+			Or{Preds: []Pred{preds[1], preds[2]}},
+			Not{P: preds[1]},
+			Not{P: Or{Preds: []Pred{preds[0], preds[2]}}},
+			And{},
+			Or{},
+			True{},
+		)
+		for _, p := range preds {
+			vp, ok := CompileVecPred(p)
+			if !ok {
+				t.Fatalf("trial %d: %s did not lower", trial, p)
+			}
+			var want []int32
+			wantErr := false
+			for r, tu := range batch {
+				keep, err := p.Eval(tu)
+				if err != nil {
+					wantErr = true
+					break
+				}
+				if keep {
+					want = append(want, int32(r))
+				}
+			}
+			out, vok, verr := vp(view, nil, view.All())
+			if verr != nil {
+				if !wantErr {
+					t.Fatalf("trial %d: %s errored on the frame path only: %v", trial, p, verr)
+				}
+				continue
+			}
+			if wantErr {
+				t.Fatalf("trial %d: %s should have errored (boxed did)", trial, p)
+			}
+			if !vok {
+				continue // per-frame fallback: allowed, row path takes over
+			}
+			if len(out) != len(want) {
+				t.Fatalf("trial %d: %s selected %v, boxed %v", trial, p, out, want)
+			}
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("trial %d: %s selected %v, boxed %v", trial, p, out, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileVecPredUniformColumnsLower asserts the kernels actually engage
+// (no silent always-fallback) on fully uniform frames.
+func TestCompileVecPredUniformColumnsLower(t *testing.T) {
+	batch := []types.Tuple{
+		{types.Int(1), types.Float(0.5), types.Str("x")},
+		{types.Int(-2), types.Float(1.5), types.Str("y")},
+		{types.Int(3), types.Float(2.5), types.Str("x")},
+	}
+	frame := wire.AppendFooter(wire.EncodeBatch(nil, batch))
+	view := &vec.FrameView{}
+	if !view.Reset(frame) {
+		t.Fatal("view rejected frame")
+	}
+	cases := []struct {
+		p    Pred
+		want []int32
+	}{
+		{Cmp{Op: Gt, L: C(0), R: I(0)}, []int32{0, 2}},
+		{Cmp{Op: Le, L: C(1), R: F(1.5)}, []int32{0, 1}},
+		{Cmp{Op: Eq, L: C(2), R: S("x")}, []int32{0, 2}},
+		{Cmp{Op: Lt, L: C(0), R: C(1)}, []int32{1}},
+		{Cmp{Op: Gt, L: C(0), R: F(0.75)}, []int32{0, 2}}, // int col vs float const
+		{And{Preds: []Pred{Cmp{Op: Gt, L: C(0), R: I(0)}, Cmp{Op: Eq, L: C(2), R: S("x")}}}, []int32{0, 2}},
+		{Or{Preds: []Pred{Cmp{Op: Eq, L: C(0), R: I(-2)}, Cmp{Op: Eq, L: C(2), R: S("x")}}}, []int32{0, 1, 2}},
+		{Not{P: Cmp{Op: Eq, L: C(2), R: S("x")}}, []int32{1}},
+	}
+	for _, tc := range cases {
+		vp, ok := CompileVecPred(tc.p)
+		if !ok {
+			t.Fatalf("%s did not lower", tc.p)
+		}
+		out, vok, err := vp(view, nil, view.All())
+		if err != nil || !vok {
+			t.Fatalf("%s fell back (ok=%v err=%v) on a uniform frame", tc.p, vok, err)
+		}
+		if len(out) != len(tc.want) {
+			t.Fatalf("%s: %v want %v", tc.p, out, tc.want)
+		}
+		for i := range out {
+			if out[i] != tc.want[i] {
+				t.Fatalf("%s: %v want %v", tc.p, out, tc.want)
+			}
+		}
+	}
+}
+
+// TestCompileVecPredColMap checks projection remapping: predicate columns
+// resolve through m into frame columns, and range errors use the projected
+// arity exactly like the boxed path on spliced rows.
+func TestCompileVecPredColMap(t *testing.T) {
+	batch := []types.Tuple{
+		{types.Str("a"), types.Int(10), types.Float(0.5)},
+		{types.Str("b"), types.Int(20), types.Float(1.5)},
+	}
+	frame := wire.AppendFooter(wire.EncodeBatch(nil, batch))
+	view := &vec.FrameView{}
+	if !view.Reset(frame) {
+		t.Fatal("view rejected frame")
+	}
+	// Projected schema: (col2, col1) — predicate col 1 is frame col 1.
+	m := []int{2, 1}
+	vp, ok := CompileVecPred(Cmp{Op: Ge, L: C(1), R: I(20)})
+	if !ok {
+		t.Fatal("did not lower")
+	}
+	out, vok, err := vp(view, m, view.All())
+	if err != nil || !vok {
+		t.Fatalf("fallback: ok=%v err=%v", vok, err)
+	}
+	if len(out) != 1 || out[0] != 1 {
+		t.Fatalf("remapped selection: %v", out)
+	}
+	// Out of projected range: arity is len(m), not the frame arity.
+	vp, _ = CompileVecPred(Cmp{Op: Eq, L: C(2), R: I(1)})
+	if _, _, err := vp(view, m, view.All()); err == nil {
+		t.Fatal("want out-of-range error against projected arity")
+	}
+}
+
+func TestCompileVecPredNotLowerable(t *testing.T) {
+	cases := []Pred{
+		Cmp{Op: Eq, L: Arith{Op: Add, L: C(0), R: I(1)}, R: I(2)},
+		Cmp{Op: Lt, L: Date{Inner: C(0)}, R: I(9000)},
+		Or{Preds: []Pred{True{}, Cmp{Op: Eq, L: Arith{Op: Mul, L: C(0), R: I(2)}, R: C(1)}}},
+	}
+	for _, p := range cases {
+		if _, ok := CompileVecPred(p); ok {
+			t.Fatalf("%s lowered; want fallback", p)
+		}
+	}
+}

@@ -73,8 +73,11 @@ type Migrator interface {
 type FrameExporter interface {
 	// ExportRelFrames passes one relation's stored tuples as wire batch
 	// frames of up to batchSize tuples to visit (frame buffer valid only
-	// during the callback; visit returning false stops the stream).
-	ExportRelFrames(rel, batchSize int, visit func(frame []byte, count int) bool) bool
+	// during the callback; visit returning false stops the stream). With
+	// footer set, uniform-arity frames carry a column-offset footer (PR 6)
+	// so vectorized importers can view them column-wise; footers are
+	// advisory, so every consumer decodes footered frames identically.
+	ExportRelFrames(rel, batchSize int, footer bool, visit func(frame []byte, count int) bool) bool
 }
 
 // store holds one relation's tuples plus its per-conjunct indexes, in one of
@@ -251,11 +254,15 @@ func (j *Traditional) ExportRel(rel int) []types.Tuple {
 // ExportRelFrames streams one relation's stored rows as wire batch frames by
 // blitting the packed rows — no tuple materialization. Reports false in the
 // map layout.
-func (j *Traditional) ExportRelFrames(rel, batchSize int, visit func(frame []byte, count int) bool) bool {
+func (j *Traditional) ExportRelFrames(rel, batchSize int, footer bool, visit func(frame []byte, count int) bool) bool {
 	if !j.compact {
 		return false
 	}
-	j.stores[rel].arena.EachFrame(batchSize, nil, visit)
+	if footer {
+		j.stores[rel].arena.EachFooterFrame(batchSize, nil, visit)
+	} else {
+		j.stores[rel].arena.EachFrame(batchSize, nil, visit)
+	}
 	return true
 }
 

@@ -349,7 +349,7 @@ func TestTraditionalExportParityAndFrames(t *testing.T) {
 			t.Fatalf("rel %d: export parity broken (%d vs %d rows)", rel, len(a), len(b))
 		}
 		var fromFrames []types.Tuple
-		ok := slabJ.ExportRelFrames(rel, 7, func(frame []byte, count int) bool {
+		ok := slabJ.ExportRelFrames(rel, 7, false, func(frame []byte, count int) bool {
 			tuples, _, err := wire.DecodeBatch(frame)
 			if err != nil || len(tuples) != count {
 				t.Fatalf("rel %d frame: %v (%d tuples, count %d)", rel, err, len(tuples), count)
@@ -363,7 +363,26 @@ func TestTraditionalExportParityAndFrames(t *testing.T) {
 		if !equalTupleSets(fromFrames, b) {
 			t.Fatalf("rel %d: frame export diverges from snapshot", rel)
 		}
-		if mapJ.ExportRelFrames(rel, 7, func([]byte, int) bool { return true }) {
+		var footered []types.Tuple
+		ok = slabJ.ExportRelFrames(rel, 7, true, func(frame []byte, count int) bool {
+			var foot wire.Footer
+			if count > 0 && !wire.ParseFooter(frame, &foot) {
+				t.Fatalf("rel %d: footered export carries no valid footer", rel)
+			}
+			tuples, _, err := wire.DecodeBatch(frame)
+			if err != nil || len(tuples) != count {
+				t.Fatalf("rel %d footered frame: %v (%d tuples, count %d)", rel, err, len(tuples), count)
+			}
+			footered = append(footered, tuples...)
+			return true
+		})
+		if !ok {
+			t.Fatalf("compact join must support footered frame export")
+		}
+		if !equalTupleSets(footered, b) {
+			t.Fatalf("rel %d: footered frame export diverges from snapshot", rel)
+		}
+		if mapJ.ExportRelFrames(rel, 7, false, func([]byte, int) bool { return true }) {
 			t.Error("map layout must report frames unsupported")
 		}
 	}

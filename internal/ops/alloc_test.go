@@ -1,0 +1,93 @@
+package ops
+
+import (
+	"testing"
+
+	"squall/internal/expr"
+	"squall/internal/types"
+	"squall/internal/vec"
+	"squall/internal/wire"
+)
+
+// TestRunFrameNoAllocSteadyState pins the vectorized select/project frame
+// loop at zero heap objects per frame once the pipeline's scratch buffers
+// have warmed: frames whose survivors are emitted verbatim and frames whose
+// survivors are projected both stay alloc-free.
+func TestRunFrameNoAllocSteadyState(t *testing.T) {
+	rows := make([]types.Tuple, 128)
+	for i := range rows {
+		rows[i] = types.Tuple{
+			types.Int(int64(i % 50)),
+			types.Str("1996-01-02"),
+			types.Float(float64(i) + 0.5),
+			types.Str([]string{"BUILDING", "MACHINERY"}[i%2]),
+		}
+	}
+	frame := frameOf(rows)
+	for _, tc := range []struct {
+		name string
+		p    Pipeline
+	}{
+		{"select-only", Pipeline{
+			Select{P: expr.Cmp{Op: expr.Lt, L: expr.C(0), R: expr.I(25)}},
+		}},
+		{"select-project", Pipeline{
+			Select{P: expr.Cmp{Op: expr.Ge, L: expr.C(2), R: expr.F(10)}},
+			Project{Es: []expr.Expr{expr.C(0), expr.C(3)}},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pp := CompilePipeline(tc.p)
+			view := &vec.FrameView{}
+			emit := func(row []byte, cur *wire.Cursor) error { return nil }
+			run := func() {
+				if !view.Reset(frame) {
+					t.Fatal("footered frame rejected")
+				}
+				handled, err := pp.RunFrame(view, emit)
+				if err != nil || !handled {
+					t.Fatalf("RunFrame handled=%v err=%v", handled, err)
+				}
+			}
+			run() // warm scratch: selection vectors, column gathers, row buffer
+			allocs := testing.AllocsPerRun(200, run)
+			if allocs != 0 {
+				t.Errorf("RunFrame allocates %.1f objects per frame, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestFoldFrameNoAllocSteadyState pins the group-wise aggregation fold at
+// zero heap objects per frame once every group exists: key splicing, slot
+// probing and accumulator bumps all run on reused scratch.
+func TestFoldFrameNoAllocSteadyState(t *testing.T) {
+	rows := make([]types.Tuple, 128)
+	for i := range rows {
+		rows[i] = types.Tuple{
+			types.Int(int64(i % 8)), // 8 groups
+			types.Str("pad"),
+			types.Float(float64(i)),
+		}
+	}
+	frame := frameOf(rows)
+	a := NewAgg([]expr.Expr{expr.C(0)}, Sum, expr.C(2), false)
+	if !a.PackedCapable() {
+		t.Fatal("col-ref agg must be packed-capable")
+	}
+	view := &vec.FrameView{}
+	fold := func() {
+		if !view.Reset(frame) {
+			t.Fatal("footered frame rejected")
+		}
+		handled, err := a.FoldFrame(view, view.All())
+		if err != nil || !handled {
+			t.Fatalf("FoldFrame handled=%v err=%v", handled, err)
+		}
+	}
+	fold() // materialize all groups and warm the scratch
+	allocs := testing.AllocsPerRun(200, fold)
+	if allocs != 0 {
+		t.Errorf("FoldFrame allocates %.1f objects per frame, want 0", allocs)
+	}
+}

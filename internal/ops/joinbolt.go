@@ -194,12 +194,12 @@ func (b *joinBolt) ExportState(side int) []types.Tuple {
 // the slab layouts blit packed rows without materializing tuples. Reports
 // false when the local algorithm cannot (map layout), sending the caller to
 // ExportState.
-func (b *joinBolt) ExportStateFrames(side, batchSize int, visit func(frame []byte, count int) bool) bool {
+func (b *joinBolt) ExportStateFrames(side, batchSize int, footer bool, visit func(frame []byte, count int) bool) bool {
 	fe, ok := b.mj.(localjoin.FrameExporter)
 	if !ok {
 		return false
 	}
-	return fe.ExportRelFrames(side, batchSize, visit)
+	return fe.ExportRelFrames(side, batchSize, footer, visit)
 }
 
 // ResetForReshape rebuilds the local join from scratch, re-inserting only

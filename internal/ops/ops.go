@@ -15,6 +15,7 @@ import (
 	"squall/internal/index"
 	"squall/internal/slab"
 	"squall/internal/types"
+	"squall/internal/vec"
 	"squall/internal/wire"
 )
 
@@ -266,6 +267,12 @@ type Agg struct {
 	// when every expression is a plain column ref; see PackedCapable.
 	groupCols []int
 	sumCol    int
+
+	// frame-fold scratch (PR 6): spliced group keys packed back to back,
+	// their end offsets, and the resolved accumulator slot per selected row.
+	keyBuf  []byte
+	keyEnds []int32
+	slots   []int32
 }
 
 // NewAgg copies the configuration into a fresh accumulator with the compact
@@ -331,10 +338,21 @@ func (a *Agg) Update(t types.Tuple, cnt int64, sum float64) (types.Tuple, error)
 // path (which splices the key fields straight off the incoming row — the
 // encodings are byte-identical, so the two paths share one table).
 func (a *Agg) bumpEncoded(cnt int64, sum float64) *groupAcc {
-	h := index.BytesHash(a.sBuf)
+	st := &a.states[a.slotFor(a.sBuf)]
+	st.cnt += cnt
+	st.sum += sum
+	return st
+}
+
+// slotFor returns the accumulator slot of the group whose wire-encoded key
+// is key, inserting a zeroed accumulator on first appearance. The frame fold
+// (FoldFrame) uses it directly to resolve all of a frame's keys in one pass
+// before bumping accumulators in a second.
+func (a *Agg) slotFor(key []byte) int {
+	h := index.BytesHash(key)
 	slot := -1
 	a.idx.Each(h, func(ref uint32) bool {
-		if bytes.Equal(a.arena.RowBytes(a.states[ref].ref), a.sBuf) {
+		if bytes.Equal(a.arena.RowBytes(a.states[ref].ref), key) {
 			slot = int(ref)
 			return false
 		}
@@ -342,13 +360,10 @@ func (a *Agg) bumpEncoded(cnt int64, sum float64) *groupAcc {
 	})
 	if slot < 0 {
 		slot = len(a.states)
-		a.states = append(a.states, groupAcc{ref: a.arena.AppendEncoded(a.sBuf)})
+		a.states = append(a.states, groupAcc{ref: a.arena.AppendEncoded(key)})
 		a.idx.Insert(h, uint32(slot))
 	}
-	st := &a.states[slot]
-	st.cnt += cnt
-	st.sum += sum
-	return st
+	return slot
 }
 
 // PackedCapable reports whether the row-based folds (FoldRow / UpdateRow)
@@ -538,15 +553,21 @@ func AggBolt(groupBy []expr.Expr, kind AggKind, sumE expr.Expr, incremental, leg
 	return func(task, ntasks int) dataflow.Bolt {
 		a := newAgg(groupBy, kind, sumE, incremental, legacy)
 		if packed && a.PackedCapable() {
-			return packedAggBolt{aggBolt{a}}
+			return packedAggBolt{aggBolt{a}, &vec.FrameView{}, &wire.Cursor{}}
 		}
 		return aggBolt{a}
 	}
 }
 
 // packedAggBolt adds the frame path to aggBolt: one cursor read per row,
-// group keys spliced from the encoded fields, zero materialization.
-type packedAggBolt struct{ aggBolt }
+// group keys spliced from the encoded fields, zero materialization. It is
+// also a dataflow.FrameBolt: footered frames fold group-wise through
+// Agg.FoldFrame (see vec.go), bare ones through the per-row walk.
+type packedAggBolt struct {
+	aggBolt
+	view *vec.FrameView
+	fcur *wire.Cursor
+}
 
 func (b packedAggBolt) ExecuteRow(in dataflow.RowInput, _ *dataflow.Collector) error {
 	return b.a.FoldRow(in.Cur)
@@ -564,18 +585,27 @@ func MergeBolt(ngroup int, kind AggKind, incremental, legacy, packed bool) dataf
 		}
 		mb := &mergeBolt{a: newAgg(groupBy, kind, nil, incremental, legacy), ngroup: ngroup}
 		if packed && mb.a.PackedCapable() {
-			return packedMergeBolt{mb}
+			return packedMergeBolt{mb, &vec.FrameView{}, &wire.Cursor{}}
 		}
 		return mb
 	}
 }
 
 // packedMergeBolt adds the frame path to mergeBolt: cnt and sum are read
-// off the encoded row under the same coercions the boxed path applies.
-type packedMergeBolt struct{ *mergeBolt }
+// off the encoded row under the same coercions the boxed path applies. Like
+// packedAggBolt it is frame-capable: uniform (cnt, sum) columns gather into
+// slices and fold group-wise (see vec.go).
+type packedMergeBolt struct {
+	*mergeBolt
+	view *vec.FrameView
+	fcur *wire.Cursor
+}
 
 func (b packedMergeBolt) ExecuteRow(in dataflow.RowInput, _ *dataflow.Collector) error {
-	cur := in.Cur
+	return b.mergeRow(in.Cur)
+}
+
+func (b packedMergeBolt) mergeRow(cur *wire.Cursor) error {
 	if cur.Arity() != b.ngroup+2 {
 		return fmt.Errorf("ops: merge row arity %d, want %d group cols + cnt + sum", cur.Arity(), b.ngroup)
 	}

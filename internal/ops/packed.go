@@ -13,6 +13,7 @@ import (
 	"squall/internal/dataflow"
 	"squall/internal/expr"
 	"squall/internal/types"
+	"squall/internal/vec"
 	"squall/internal/wire"
 )
 
@@ -25,6 +26,13 @@ type packedStage struct {
 	op   Op
 	one  OneOp // fallback fast shape (single-output)
 
+	// frame path (PR 6): the predicate lowered to selection-vector kernels,
+	// and the column map in effect when this stage runs — the composition of
+	// every projection upstream of it (nil = frame identity). Projections
+	// themselves do no frame-level work: they only extend the map.
+	vpred expr.VecPred
+	inMap []int
+
 	buf []byte      // output row buffer (splice / fallback re-encode)
 	cur wire.Cursor // cursor over buf
 	dec types.Tuple // fallback materialization scratch
@@ -35,23 +43,46 @@ type packedStage struct {
 type PackedPipeline struct {
 	stages []packedStage
 	simple bool // every stage emits at most one row per input
+
+	// frame path (PR 6)
+	vecStop int   // first stage the frame path cannot cross (len(stages) if none)
+	outMap  []int // column map after the last stage (nil = identity)
+	fbuf    []byte
+	fcur    wire.Cursor
 }
 
 // CompilePipeline lowers p. Compilation always succeeds — unlowerable
 // stages run through the materializing fallback — so callers can route
 // every source pipeline through the packed path unconditionally.
+//
+// For the frame path the compiler additionally lowers each Select to a
+// VecPred and folds chains of packed projections into static column maps:
+// stage i records the map in effect when it runs, so RunFrame never
+// materializes intermediate projected rows. vecStop marks the first stage
+// frames cannot cross vectorized (an unlowerable stage, or a projection
+// whose columns cannot compose statically).
 func CompilePipeline(p Pipeline) *PackedPipeline {
-	pp := &PackedPipeline{simple: true}
-	for _, op := range p {
-		st := packedStage{}
+	pp := &PackedPipeline{simple: true, vecStop: -1}
+	var cur []int // running projection composition; nil = identity
+	for i, op := range p {
+		st := packedStage{inMap: cur}
+		vecOK := false
 		switch o := op.(type) {
 		case Select:
 			if pred, ok := expr.CompilePred(o.P); ok {
 				st.pred = pred
+				if vp, ok := expr.CompileVecPred(o.P); ok {
+					st.vpred = vp
+					vecOK = true
+				}
 			}
 		case Project:
 			if cols, ok := expr.ProjectionCols(o.Es); ok {
 				st.cols = cols
+				if next, ok := composeColMap(cur, cols); ok {
+					cur = next
+					vecOK = true
+				}
 			}
 		}
 		if st.pred == nil && st.cols == nil {
@@ -61,9 +92,38 @@ func CompilePipeline(p Pipeline) *PackedPipeline {
 				pp.simple = false
 			}
 		}
+		if !vecOK && pp.vecStop < 0 {
+			pp.vecStop = i
+		}
 		pp.stages = append(pp.stages, st)
 	}
+	if pp.vecStop < 0 {
+		pp.vecStop = len(pp.stages)
+		pp.outMap = cur
+	}
 	return pp
+}
+
+// composeColMap resolves a projection's columns through the map already in
+// effect: next[j] is the frame column feeding output column j. ok=false when
+// a column falls outside the projected arity (the row path's splice decides
+// what that means).
+func composeColMap(cur, cols []int) ([]int, bool) {
+	next := make([]int, len(cols))
+	for j, c := range cols {
+		if c < 0 {
+			return nil, false
+		}
+		if cur == nil {
+			next[j] = c
+		} else {
+			if c >= len(cur) {
+				return nil, false
+			}
+			next[j] = cur[c]
+		}
+	}
+	return next, true
 }
 
 // Simple reports whether every stage emits at most one row per input, so
@@ -161,6 +221,78 @@ func (pp *PackedPipeline) run(from int, row []byte, cur *wire.Cursor, emit func(
 		}
 	}
 	return emit(row, cur)
+}
+
+// RunFrame pushes a whole footered frame through the pipeline at once
+// (vectorized execution, PR 6): lowered predicates narrow a selection
+// vector over the frame's columns, projections ride along as column maps,
+// and only the surviving rows are materialized — spliced through the
+// composed map and handed to emit (or, past vecStop, pushed through the
+// row path's remaining stages). view must hold the frame (FrameView.Reset
+// returned true).
+//
+// handled=false means this frame could not be vectorized at all (a kernel
+// hit a column the footer summarized as mixed, or the footer lied about an
+// offset) and no row was emitted: the caller re-walks the frame row by row,
+// with identical semantics. Once any row has been emitted RunFrame never
+// reports false — a malformed footer discovered mid-emit surfaces as an
+// error instead, so callers never double-process rows.
+func (pp *PackedPipeline) RunFrame(view *vec.FrameView, emit func(row []byte, cur *wire.Cursor) error) (handled bool, err error) {
+	sel := view.All()
+	stop := pp.vecStop
+	for i := 0; i < stop; i++ {
+		st := &pp.stages[i]
+		if st.vpred == nil {
+			continue // projection: absorbed into the column maps
+		}
+		out, ok, err := st.vpred(view, st.inMap, sel)
+		if err != nil {
+			return true, err
+		}
+		if !ok {
+			// Per-frame fallback: this frame's columns defeated the kernels
+			// (mixed kinds). Spill the survivors so far through the row path
+			// from this stage on.
+			stop = i
+			break
+		}
+		sel = out
+		if len(sel) == 0 {
+			return true, nil
+		}
+	}
+	m := pp.outMap
+	if stop < len(pp.stages) {
+		m = pp.stages[stop].inMap
+	}
+	emitted := false
+	for _, r := range sel {
+		row := pp.fbuf
+		var ok bool
+		if m == nil {
+			row, ok = view.RowBytes(r)
+		} else {
+			row, ok = view.AppendRow(pp.fbuf[:0], m, r)
+			pp.fbuf = row
+		}
+		if !ok {
+			if emitted {
+				return true, fmt.Errorf("ops: frame footer inconsistent at row %d", r)
+			}
+			return false, nil
+		}
+		if err := pp.fcur.Reset(row); err != nil {
+			if emitted {
+				return true, fmt.Errorf("ops: frame footer inconsistent at row %d: %v", r, err)
+			}
+			return false, nil
+		}
+		emitted = true
+		if err := pp.run(stop, row, &pp.fcur, emit); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
 }
 
 // PackedSpout co-locates a pipeline with a data source like PipedSpout, but

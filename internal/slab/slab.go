@@ -329,3 +329,13 @@ func (a *Arena) EachFrame(batchSize int, scratch []byte, visit func(frame []byte
 		}
 	}
 }
+
+// EachFooterFrame is EachFrame with a column-offset footer appended to every
+// uniform-arity frame (wire.AppendFooter), so vectorized consumers can view
+// exported state column-wise without re-scanning row headers. Frames whose
+// rows mix arity stay bare — the footer is advisory either way.
+func (a *Arena) EachFooterFrame(batchSize int, scratch []byte, visit func(frame []byte, count int) bool) {
+	a.EachFrame(batchSize, scratch, func(frame []byte, count int) bool {
+		return visit(wire.AppendFooter(frame), count)
+	})
+}

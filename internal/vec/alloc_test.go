@@ -1,0 +1,54 @@
+package vec
+
+import (
+	"testing"
+
+	"squall/internal/wire"
+)
+
+// TestVectorizedSelectLoopNoAlloc pins the per-frame alloc budget of the
+// vectorized select hot loop at zero in steady state: once a FrameView's
+// caches and the selection scratch have grown to frame size, re-viewing a
+// frame, gathering its columns and narrowing selections must not touch the
+// heap.
+func TestVectorizedSelectLoopNoAlloc(t *testing.T) {
+	batch := testBatch(256)
+	frame := wire.AppendFooter(wire.EncodeBatch(nil, batch))
+	var v FrameView
+	sel := make(Sel, 0, len(batch))
+	// Warm every cache the loop uses: column offsets, gathered values and
+	// the view's identity-selection scratch.
+	if !v.Reset(frame) {
+		t.Fatal("footered frame rejected")
+	}
+	if _, ok := v.Int64s(0); !ok {
+		t.Fatal("int gather failed")
+	}
+	if _, ok := v.Float64s(2); !ok {
+		t.Fatal("float gather failed")
+	}
+	needle := []byte("BUILDING")
+	allocs := testing.AllocsPerRun(200, func() {
+		if !v.Reset(frame) {
+			t.Fatal("footered frame rejected")
+		}
+		ints, ok := v.Int64s(0)
+		if !ok {
+			t.Fatal("int gather failed")
+		}
+		floats, ok := v.Float64s(2)
+		if !ok {
+			t.Fatal("float gather failed")
+		}
+		sel = SelInt64(ints, Gt, 10, v.All(), Grow(sel, v.Count()))
+		sel = SelFloat64(floats, Le, 100, sel, sel)
+		var bok bool
+		sel, bok = v.SelBytesEq(3, needle, true, sel, sel)
+		if !bok {
+			t.Fatal("bytes kernel failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("vectorized select loop allocates %.1f objects per frame, want 0", allocs)
+	}
+}

@@ -1,0 +1,442 @@
+package vec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+
+	"squall/internal/types"
+	"squall/internal/wire"
+)
+
+// FrameView is a columnar view of one footered wire frame: per-column field
+// offsets and gathered value slices, decoded lazily and cached per column so
+// a predicate touching 2 of 8 columns never pays for the other 6. The view
+// aliases the frame; it stays valid only as long as those bytes do, and is
+// not safe for concurrent use. The zero value is ready for Reset, which
+// recycles every cache slice across frames.
+//
+// Every gather validates as it goes — kind byte at each footer offset,
+// payload bounds against the rows region — so a structurally valid but
+// lying footer degrades into a per-column !ok (the caller falls back to the
+// row path) rather than a wrong answer or an out-of-bounds read.
+type FrameView struct {
+	frame   []byte
+	foot    wire.Footer
+	ok      bool
+	headLen int // bytes of each row's arity varint (uniform arity)
+	cols    []colCache
+	rowOffs []int32 // row start offsets; rowOffs[count] = RowsEnd
+	rowsOK  uint8   // 0 unknown, 1 ok, 2 bad
+	selAll  Sel     // scratch for All
+}
+
+// colCache holds one column's lazily decoded state.
+type colCache struct {
+	offs    []int32
+	i64     []int64
+	f64     []float64
+	offsSt  uint8 // 0 unknown, 1 ok, 2 bad
+	i64St   uint8
+	f64St   uint8
+	f64From uint8 // 1 when f64 was gathered via int conversion
+}
+
+// Reset points the view at a frame, reporting whether it carries a valid
+// column-offset footer. On false the view is unusable (but reusable).
+func (v *FrameView) Reset(frame []byte) bool {
+	v.frame = frame
+	v.ok = wire.ParseFooter(frame, &v.foot)
+	v.rowsOK = 0
+	if !v.ok {
+		return false
+	}
+	v.headLen = uvarintLen(uint64(v.foot.NCols))
+	if cap(v.cols) < v.foot.NCols {
+		v.cols = make([]colCache, v.foot.NCols)
+	}
+	v.cols = v.cols[:v.foot.NCols]
+	for i := range v.cols {
+		c := &v.cols[i]
+		c.offsSt, c.i64St, c.f64St, c.f64From = 0, 0, 0, 0
+	}
+	return true
+}
+
+// Count returns the number of rows in the frame.
+func (v *FrameView) Count() int { return v.foot.Count }
+
+// NCols returns the frame's uniform arity.
+func (v *FrameView) NCols() int { return v.foot.NCols }
+
+// KindByte returns column c's kind summary (a types.Kind byte, or
+// wire.KindMixed).
+func (v *FrameView) KindByte(c int) byte { return v.foot.KindByte(c) }
+
+// All returns the identity selection over the frame's rows, backed by the
+// view's scratch.
+func (v *FrameView) All() Sel {
+	v.selAll = All(v.foot.Count, v.selAll)
+	return v.selAll
+}
+
+// Offsets returns column c's field offsets into the frame (one per row),
+// decoding and caching them on first use.
+func (v *FrameView) Offsets(c int) ([]int32, bool) {
+	if !v.ok || c < 0 || c >= len(v.cols) {
+		return nil, false
+	}
+	cc := &v.cols[c]
+	if cc.offsSt == 0 {
+		var ok bool
+		cc.offs, ok = v.foot.ColOffsets(c, cc.offs)
+		if ok {
+			cc.offsSt = 1
+		} else {
+			cc.offsSt = 2
+		}
+	}
+	return cc.offs, cc.offsSt == 1
+}
+
+// Int64s gathers column c as int64s — only when the kind summary says every
+// row holds an INT. Each field's kind byte is re-verified during the
+// gather, so a lying footer reports !ok instead of garbage values.
+func (v *FrameView) Int64s(c int) ([]int64, bool) {
+	if !v.ok || c < 0 || c >= len(v.cols) || v.KindByte(c) != byte(types.KindInt) {
+		return nil, false
+	}
+	cc := &v.cols[c]
+	if cc.i64St != 0 {
+		return cc.i64, cc.i64St == 1
+	}
+	offs, ok := v.Offsets(c)
+	if !ok {
+		cc.i64St = 2
+		return nil, false
+	}
+	if cap(cc.i64) < len(offs) {
+		cc.i64 = make([]int64, len(offs))
+	}
+	cc.i64 = cc.i64[:len(offs)]
+	end := v.foot.RowsEnd
+	for r, off := range offs {
+		pos := int(off)
+		if pos+1 >= end || v.frame[pos] != byte(types.KindInt) {
+			cc.i64St = 2
+			return nil, false
+		}
+		// Inlined 1–2 byte zigzag fast path, as everywhere else on the hot
+		// path (wire.BatchDecoder, slab.DecodeInto).
+		var x int64
+		if b := v.frame[pos+1]; b < 0x80 {
+			x = int64(b >> 1)
+			if b&1 != 0 {
+				x = ^x
+			}
+		} else if pos+2 < end && v.frame[pos+2] < 0x80 {
+			u := uint64(b&0x7f) | uint64(v.frame[pos+2])<<7
+			x = int64(u >> 1)
+			if u&1 != 0 {
+				x = ^x
+			}
+		} else {
+			var n int
+			x, n = binary.Varint(v.frame[pos+1 : end])
+			if n <= 0 {
+				cc.i64St = 2
+				return nil, false
+			}
+		}
+		cc.i64[r] = x
+	}
+	cc.i64St = 1
+	return cc.i64, true
+}
+
+// Float64s gathers column c as float64s — only when the kind summary says
+// every row holds a FLOAT.
+func (v *FrameView) Float64s(c int) ([]float64, bool) {
+	if !v.ok || c < 0 || c >= len(v.cols) || v.KindByte(c) != byte(types.KindFloat) {
+		return nil, false
+	}
+	cc := &v.cols[c]
+	if cc.f64St != 0 && cc.f64From == 0 {
+		return cc.f64, cc.f64St == 1
+	}
+	offs, ok := v.Offsets(c)
+	if !ok {
+		cc.f64St = 2
+		return nil, false
+	}
+	if cap(cc.f64) < len(offs) {
+		cc.f64 = make([]float64, len(offs))
+	}
+	cc.f64 = cc.f64[:len(offs)]
+	end := v.foot.RowsEnd
+	for r, off := range offs {
+		pos := int(off)
+		if pos+9 > end || v.frame[pos] != byte(types.KindFloat) {
+			cc.f64St = 2
+			return nil, false
+		}
+		cc.f64[r] = math.Float64frombits(binary.LittleEndian.Uint64(v.frame[pos+1:]))
+	}
+	cc.f64St = 1
+	cc.f64From = 0
+	return cc.f64, true
+}
+
+// NumsAsFloat64 gathers column c as float64s under types.Value.AsFloat
+// coercion: FLOAT columns directly, INT columns via int64→float64 conversion
+// — exactly the coercion the boxed cross-kind numeric comparison applies.
+func (v *FrameView) NumsAsFloat64(c int) ([]float64, bool) {
+	if !v.ok || c < 0 || c >= len(v.cols) {
+		return nil, false
+	}
+	switch v.KindByte(c) {
+	case byte(types.KindFloat):
+		return v.Float64s(c)
+	case byte(types.KindInt):
+		cc := &v.cols[c]
+		if cc.f64St != 0 && cc.f64From == 1 {
+			return cc.f64, cc.f64St == 1
+		}
+		ints, ok := v.Int64s(c)
+		if !ok {
+			cc.f64St = 2
+			cc.f64From = 1
+			return nil, false
+		}
+		if cap(cc.f64) < len(ints) {
+			cc.f64 = make([]float64, len(ints))
+		}
+		cc.f64 = cc.f64[:len(ints)]
+		for r, x := range ints {
+			cc.f64[r] = float64(x)
+		}
+		cc.f64St = 1
+		cc.f64From = 1
+		return cc.f64, true
+	default:
+		return nil, false
+	}
+}
+
+// fieldEnd returns the end offset of the field starting at off, by decoding
+// its kind byte and payload length; false on any malformation.
+func (v *FrameView) fieldEnd(off int) (int, bool) {
+	end := v.foot.RowsEnd
+	if off >= end {
+		return 0, false
+	}
+	switch types.Kind(v.frame[off]) {
+	case types.KindNull:
+		return off + 1, true
+	case types.KindInt:
+		_, n := binary.Varint(v.frame[off+1 : end])
+		if n <= 0 {
+			return 0, false
+		}
+		return off + 1 + n, true
+	case types.KindFloat:
+		if off+9 > end {
+			return 0, false
+		}
+		return off + 9, true
+	case types.KindString:
+		l, n := binary.Uvarint(v.frame[off+1 : end])
+		if n <= 0 || uint64(end-off-1-n) < l {
+			return 0, false
+		}
+		return off + 1 + n + int(l), true
+	default:
+		return 0, false
+	}
+}
+
+// FieldBytes returns the raw encoding (kind byte + payload) of row r's
+// field c — the splicing unit, same contract as Cursor.FieldBytes.
+func (v *FrameView) FieldBytes(c int, r int32) ([]byte, bool) {
+	offs, ok := v.Offsets(c)
+	if !ok || int(r) >= len(offs) {
+		return nil, false
+	}
+	off := int(offs[r])
+	end, ok := v.fieldEnd(off)
+	if !ok {
+		return nil, false
+	}
+	return v.frame[off:end], true
+}
+
+// StrBytes returns row r's field c string payload without copying; false
+// when the field is not a STRING.
+func (v *FrameView) StrBytes(c int, r int32) ([]byte, bool) {
+	fb, ok := v.FieldBytes(c, r)
+	if !ok || len(fb) == 0 || types.Kind(fb[0]) != types.KindString {
+		return nil, false
+	}
+	l, n := binary.Uvarint(fb[1:])
+	if n <= 0 {
+		return nil, false
+	}
+	return fb[1+n : 1+n+int(l)], true
+}
+
+// rowBounds decodes (and caches) the row start-offset table from column 0's
+// offsets: a row starts headLen bytes before its first field.
+func (v *FrameView) rowBounds() ([]int32, bool) {
+	if v.rowsOK == 0 {
+		v.rowsOK = 2
+		offs, ok := v.Offsets(0)
+		if ok {
+			if cap(v.rowOffs) < len(offs)+1 {
+				v.rowOffs = make([]int32, len(offs)+1)
+			}
+			v.rowOffs = v.rowOffs[:len(offs)+1]
+			good := true
+			for r, off := range offs {
+				start := off - int32(v.headLen)
+				if int(start) < v.foot.RowsOff {
+					good = false
+					break
+				}
+				v.rowOffs[r] = start
+			}
+			v.rowOffs[len(offs)] = int32(v.foot.RowsEnd)
+			if good {
+				v.rowsOK = 1
+			}
+		}
+	}
+	return v.rowOffs, v.rowsOK == 1
+}
+
+// RowBytes returns the complete encoding of row r, sliced out of the frame
+// by the footer's offsets — no cursor scan.
+func (v *FrameView) RowBytes(r int32) ([]byte, bool) {
+	rows, ok := v.rowBounds()
+	if !ok || r < 0 || int(r)+1 >= len(rows) {
+		return nil, false
+	}
+	return v.frame[rows[r]:rows[r+1]], true
+}
+
+// AppendRow splices row r's fields at cols (in order) as a new encoded row
+// appended to dst — the packed projection, byte-identical to
+// wire.SpliceRow over a cursor on the same row.
+func (v *FrameView) AppendRow(dst []byte, cols []int, r int32) ([]byte, bool) {
+	dst = binary.AppendUvarint(dst, uint64(len(cols)))
+	for _, c := range cols {
+		fb, ok := v.FieldBytes(c, r)
+		if !ok {
+			return dst, false
+		}
+		dst = append(dst, fb...)
+	}
+	return dst, true
+}
+
+// SelBytesEq narrows in to the rows whose field-c string payload is
+// (eq=true) or is not (eq=false) equal to needle. Column c must summarize
+// as STRING; false when it does not or a field fails to parse.
+func (v *FrameView) SelBytesEq(c int, needle []byte, eq bool, in, dst Sel) (Sel, bool) {
+	if v.KindByte(c) != byte(types.KindString) {
+		return nil, false
+	}
+	offs, ok := v.Offsets(c)
+	if !ok {
+		return nil, false
+	}
+	end := v.foot.RowsEnd
+	dst = dst[:len(in)]
+	k := 0
+	for _, r := range in {
+		pos := int(offs[r])
+		if pos+1 >= end || v.frame[pos] != byte(types.KindString) {
+			return nil, false
+		}
+		var l uint64
+		var n int
+		if b := v.frame[pos+1]; b < 0x80 {
+			l, n = uint64(b), 1
+		} else {
+			l, n = binary.Uvarint(v.frame[pos+1 : end])
+			if n <= 0 {
+				return nil, false
+			}
+		}
+		start := pos + 1 + n
+		if uint64(end-start) < l {
+			return nil, false
+		}
+		dst[k] = r
+		k += b2i(bytes.Equal(v.frame[start:start+int(l)], needle) == eq)
+	}
+	return dst[:k], true
+}
+
+// SelBytesCmp narrows in to the rows whose field-c string payload satisfies
+// OP needle under bytewise ordering — the ordered-string comparison form.
+func (v *FrameView) SelBytesCmp(c int, op Op, needle []byte, in, dst Sel) (Sel, bool) {
+	if v.KindByte(c) != byte(types.KindString) {
+		return nil, false
+	}
+	offs, ok := v.Offsets(c)
+	if !ok {
+		return nil, false
+	}
+	end := v.foot.RowsEnd
+	dst = dst[:len(in)]
+	k := 0
+	for _, r := range in {
+		pos := int(offs[r])
+		if pos+1 >= end || v.frame[pos] != byte(types.KindString) {
+			return nil, false
+		}
+		l, n := binary.Uvarint(v.frame[pos+1 : end])
+		if n <= 0 {
+			return nil, false
+		}
+		start := pos + 1 + n
+		if uint64(end-start) < l {
+			return nil, false
+		}
+		cmp := bytes.Compare(v.frame[start:start+int(l)], needle)
+		dst[k] = r
+		k += b2i(cmpHolds(op, cmp))
+	}
+	return dst[:k], true
+}
+
+// cmpHolds mirrors expr.CmpHolds for the kernels that produce a three-way
+// result.
+func cmpHolds(op Op, cmp int) bool {
+	switch op {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// uvarintLen returns the encoded size of x as a uvarint.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

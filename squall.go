@@ -19,6 +19,7 @@
 package squall
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"squall/internal/ops"
 	"squall/internal/recovery"
 	"squall/internal/types"
+	"squall/internal/wire"
 )
 
 // Re-exported aliases so applications only import this package.
@@ -202,6 +204,15 @@ type Options struct {
 	// encoding either must not exist or must stay tuple-shaped for the
 	// migration protocol).
 	PackedExec PackedMode
+	// VecExec controls the vectorized frame execution path (PR 6): producers
+	// append a column-offset footer to every packed frame and frame-capable
+	// operators (select/project pipelines, aggregations, merges, the sink)
+	// consume whole frames with selection-vector kernels instead of row-at-a-
+	// time calls. Default on whenever packed execution runs (VecDefault ==
+	// VecOn); set VecOff to reproduce the PR 5 packed-row transport bit for
+	// bit — the differential/benchmark baseline. Meaningless without packed
+	// execution: boxed runs never carry frames.
+	VecExec VecMode
 	// Recovery enables the live fault-tolerance subsystem (PR 4) on the
 	// joiner: periodic state checkpoints, panic capture, and kill recovery
 	// by peer refetch (when the scheme replicates a relation) or checkpoint
@@ -227,6 +238,18 @@ const (
 	PackedOn
 	// PackedOff opts out: the boxed tuple pipeline end to end.
 	PackedOff
+)
+
+// VecMode selects the vectorized frame path (Options.VecExec).
+type VecMode uint8
+
+const (
+	// VecDefault is the zero value: vectorized execution on (with packed).
+	VecDefault VecMode = iota
+	// VecOn forces the vectorized frame path explicitly.
+	VecOn
+	// VecOff opts out: packed rows delivered one at a time, no footers.
+	VecOff
 )
 
 // RecoveryOptions tune the fault-tolerance subsystem.
@@ -302,6 +325,34 @@ func (b sinkBolt) ExecuteRow(in dataflow.RowInput, _ *dataflow.Collector) error 
 	s.mu.Unlock()
 	return nil
 }
+
+// ExecuteFrame bulk-counts a whole frame under one lock and stops decoding
+// the moment the collect limit is reached — a full run with a small
+// CollectLimit touches O(limit) rows, not O(output).
+func (b sinkBolt) ExecuteFrame(in dataflow.FrameInput, _ *dataflow.Collector) error {
+	s := b.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count += int64(in.Count)
+	if s.limit > 0 && len(s.rows) >= s.limit {
+		return nil
+	}
+	var cur wire.Cursor
+	_, _, err := wire.EachRow(in.Frame, &cur, func(_ []byte) error {
+		s.rows = append(s.rows, cur.Tuple(nil))
+		if s.limit > 0 && len(s.rows) >= s.limit {
+			return errSinkFull
+		}
+		return nil
+	})
+	if err == errSinkFull {
+		return nil
+	}
+	return err
+}
+
+// errSinkFull stops the frame walk early once the collect limit is hit.
+var errSinkFull = errors.New("squall: sink collect limit reached")
 
 func (b sinkBolt) Finish(*dataflow.Collector) error { return nil }
 
@@ -486,6 +537,7 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 		BatchSize:       opt.BatchSize,
 		MemLimitPerTask: opt.MemLimitPerTask,
 		NoSerialize:     opt.NoSerialize,
+		VecExec:         packed && opt.VecExec != VecOff,
 		Adaptive:        policy,
 		Recovery:        recPolicy,
 	})
