@@ -1,0 +1,308 @@
+// Multi-process execution (PR 7). A cluster run spreads one query's topology
+// over squalld worker processes connected by TCP:
+//
+//   - The process calling JoinQuery.Run with Options.Cluster set is the
+//     coordinator, worker 0. It owns the session: it dials every worker,
+//     ships the job spec, runs its own share of the tasks, merges the
+//     workers' metrics and tears the session down.
+//   - Each squalld process (cmd/squalld, ServeWorker) hosts the components
+//     placed on it. Workers do not receive the topology over the wire —
+//     they rebuild it from a registered cluster job (name + opaque params),
+//     which must deterministically reproduce the coordinator's exact query
+//     and options. Shipping a name instead of a plan keeps the wire format
+//     trivial and guarantees both sides run the same code.
+//   - Placement is per component (never per task): all tasks of a component
+//     live on one worker, so every control envelope — adaptive barriers,
+//     migrations, recovery markers, peer state fetches — stays process-local
+//     and only data envelopes cross sockets (see internal/dataflow/net.go).
+//
+// Session wire protocol, all kinds at or above transport.KindUser (the
+// dataflow plane owns everything below):
+//
+//	coordinator -> worker: job spec JSON, then (after the run) bye
+//	worker -> coordinator: ready once its plane is wired, then done with a
+//	    metrics snapshot JSON, or failed with an error string
+//
+// The job connection doubles as the coordinator<->worker dataflow link, and
+// workers dial each other directly (lower index listens, higher dials) for
+// the remaining links. The ready exchange happens before the coordinator
+// builds its NetPlane — the plane owns reading from construction on, so the
+// session layer reads directly off the connection only until then.
+package squall
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"squall/internal/dataflow"
+	"squall/internal/transport"
+)
+
+// Session message kinds (>= transport.KindUser).
+const (
+	kindJob    = transport.KindUser + iota // coordinator -> worker: jobSpec JSON
+	kindReady                              // worker -> coordinator: plane wired, run starting
+	kindDone                               // worker -> coordinator: run finished, MetricsSnapshot JSON
+	kindFailed                             // worker -> coordinator: error string
+	kindBye                                // coordinator -> worker: session over, tear down
+)
+
+// ClusterSpec configures a multi-process run.
+type ClusterSpec struct {
+	// Workers are the listen addresses of the squalld processes; Workers[i]
+	// becomes worker index i+1 (the coordinator is worker 0).
+	Workers []string
+	// Job names a builder registered with RegisterClusterJob in every
+	// participating binary; Params is passed to it verbatim. Together they
+	// must rebuild this exact query and options on each worker.
+	Job    string
+	Params []byte
+	// Place pins components to workers (component name -> worker index).
+	// Nil picks the default: sources round-robin over all workers, the
+	// joiner on worker 1, everything downstream (including the sink) on the
+	// coordinator. The sink must stay on worker 0 — its rows are the
+	// Result.
+	Place map[string]int
+	// DialTimeout bounds each connection attempt (default 10s).
+	DialTimeout time.Duration
+}
+
+// ClusterJob rebuilds a query from its wire parameters. The build must be
+// deterministic: every worker and the coordinator must produce identical
+// topologies and options, or the run is undefined.
+type ClusterJob func(params []byte) (*JoinQuery, Options, error)
+
+var clusterJobs sync.Map // name -> ClusterJob
+
+// RegisterClusterJob makes a query constructor available to cluster
+// sessions under name. Both the coordinator and every squalld binary must
+// register the job (typically from the same shared package).
+func RegisterClusterJob(name string, job ClusterJob) {
+	if name == "" || job == nil {
+		panic("squall: RegisterClusterJob needs a name and a builder")
+	}
+	if _, dup := clusterJobs.LoadOrStore(name, job); dup {
+		panic(fmt.Sprintf("squall: cluster job %q registered twice", name))
+	}
+}
+
+func lookupClusterJob(name string) (ClusterJob, bool) {
+	v, ok := clusterJobs.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(ClusterJob), true
+}
+
+// jobSpec is the coordinator's instruction to one worker.
+type jobSpec struct {
+	RunID   string         `json:"run_id"`
+	Worker  int            `json:"worker"`  // the recipient's index
+	Workers int            `json:"workers"` // total processes, coordinator included
+	Addrs   []string       `json:"addrs"`   // listen addresses of workers 1..N
+	Job     string         `json:"job"`
+	Params  []byte         `json:"params,omitempty"`
+	Place   map[string]int `json:"place"`
+}
+
+// sessionTimeout bounds every session-layer wait (ready, done, bye, peer
+// rendezvous). A var so tests can shrink it.
+var sessionTimeout = 60 * time.Second
+
+func newRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("squall: run id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// defaultPlacement spreads sources round-robin over all workers, puts the
+// joiner on worker 1 and everything downstream on the coordinator.
+func defaultPlacement(p *queryPlan, nSources, workers int) map[string]int {
+	place := make(map[string]int, len(p.components))
+	for i, c := range p.components {
+		switch {
+		case i < nSources:
+			place[c] = i % workers
+		case c == p.joiner:
+			place[c] = 1 % workers
+		default:
+			place[c] = 0
+		}
+	}
+	return place
+}
+
+// runCluster drives a cluster session as its coordinator.
+func (q *JoinQuery) runCluster(opt Options) (*Result, error) {
+	spec := opt.Cluster
+	if len(spec.Workers) == 0 {
+		return nil, fmt.Errorf("squall: cluster run needs at least one worker address")
+	}
+	if opt.NoSerialize {
+		return nil, fmt.Errorf("squall: NoSerialize cannot cross process boundaries — cluster runs serialize every edge")
+	}
+	if spec.Job == "" {
+		return nil, fmt.Errorf("squall: cluster run needs a registered job name")
+	}
+	p, err := q.plan(opt)
+	if err != nil {
+		return nil, err
+	}
+	workers := len(spec.Workers) + 1
+	place := spec.Place
+	if place == nil {
+		place = defaultPlacement(p, len(q.Sources), workers)
+	}
+	for _, c := range p.components {
+		w, ok := place[c]
+		if !ok {
+			return nil, fmt.Errorf("squall: cluster placement misses component %q", c)
+		}
+		if w < 0 || w >= workers {
+			return nil, fmt.Errorf("squall: component %q placed on worker %d, have %d workers", c, w, workers)
+		}
+	}
+	if place["sink"] != 0 {
+		return nil, fmt.Errorf("squall: the sink must stay on the coordinator (worker 0) — its rows are the Result")
+	}
+
+	dialTO := spec.DialTimeout
+	if dialTO <= 0 {
+		dialTO = 10 * time.Second
+	}
+	runID := newRunID()
+
+	links := make([]*transport.Conn, workers)
+	closeLinks := func() {
+		for _, c := range links {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+
+	// Dial every worker and ship its job spec.
+	for w := 1; w < workers; w++ {
+		conn, err := transport.Dial(spec.Workers[w-1], dialTO,
+			transport.Hello{RunID: runID, From: 0, Purpose: transport.PurposeJob})
+		if err != nil {
+			closeLinks()
+			return nil, fmt.Errorf("squall: dialing worker %d (%s): %w", w, spec.Workers[w-1], err)
+		}
+		links[w] = conn
+		body, err := json.Marshal(jobSpec{
+			RunID: runID, Worker: w, Workers: workers,
+			Addrs: spec.Workers, Job: spec.Job, Params: spec.Params, Place: place,
+		})
+		if err != nil {
+			closeLinks()
+			return nil, fmt.Errorf("squall: encoding job spec: %w", err)
+		}
+		if err := conn.WriteMsg(&transport.Msg{Kind: kindJob, Payload: body}); err != nil {
+			closeLinks()
+			return nil, fmt.Errorf("squall: sending job to worker %d: %w", w, err)
+		}
+	}
+
+	// Collect the ready messages before constructing the plane: until then
+	// this goroutine is each connection's only reader.
+	for w := 1; w < workers; w++ {
+		m, err := readSessionMsg(links[w], sessionTimeout)
+		if err != nil {
+			closeLinks()
+			return nil, fmt.Errorf("squall: waiting for worker %d: %w", w, err)
+		}
+		switch m.Kind {
+		case kindReady:
+		case kindFailed:
+			closeLinks()
+			return nil, fmt.Errorf("squall: worker %d rejected the job: %s", w, m.Payload)
+		default:
+			closeLinks()
+			return nil, fmt.Errorf("squall: worker %d sent kind %d before ready", w, m.Kind)
+		}
+	}
+
+	type workerNote struct {
+		from int
+		kind byte
+		body []byte
+	}
+	notes := make(chan workerNote, workers*2)
+	plane := dataflow.NewNetPlane(dataflow.NetConfig{
+		Self: 0, Workers: workers, Place: place, Links: links,
+		OnPeerMsg: func(from int, m transport.Msg) {
+			select {
+			case notes <- workerNote{from, m.Kind, append([]byte(nil), m.Payload...)}:
+			default: // a stuck session reader must never block the plane
+			}
+		},
+	})
+	dopts := p.dopts
+	dopts.Net = plane
+
+	metrics, runErr := dataflow.Run(p.topo, dopts)
+
+	// Merge every worker's metrics so the Result reads like a single-process
+	// run. On a failed run the workers aborted with us — don't wait on them.
+	if runErr == nil {
+		deadline := time.After(sessionTimeout)
+		pending := workers - 1
+		for pending > 0 && runErr == nil {
+			select {
+			case n := <-notes:
+				switch n.kind {
+				case kindDone:
+					var snap dataflow.MetricsSnapshot
+					if err := json.Unmarshal(n.body, &snap); err != nil {
+						runErr = fmt.Errorf("squall: worker %d metrics: %w", n.from, err)
+						break
+					}
+					plane.ApplySnapshot(metrics, &snap)
+					pending--
+				case kindFailed:
+					runErr = fmt.Errorf("squall: worker %d failed: %s", n.from, n.body)
+				}
+			case <-deadline:
+				runErr = fmt.Errorf("squall: timed out waiting for %d worker completion(s)", pending)
+			}
+		}
+	}
+
+	for w := 1; w < workers; w++ {
+		links[w].WriteMsg(&transport.Msg{Kind: kindBye}) // best-effort
+	}
+	plane.Shutdown()
+	closeLinks()
+	return p.result(metrics), runErr
+}
+
+// readSessionMsg reads one message with a deadline, from a connection this
+// goroutine exclusively reads.
+func readSessionMsg(c *transport.Conn, timeout time.Duration) (*transport.Msg, error) {
+	type res struct {
+		m   *transport.Msg
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		var m transport.Msg
+		err := c.ReadMsg(&m)
+		if err == nil {
+			m.Payload = append([]byte(nil), m.Payload...)
+		}
+		ch <- res{&m, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.m, r.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("timed out after %v", timeout)
+	}
+}

@@ -1,0 +1,150 @@
+package squall_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"squall"
+	"squall/internal/clusterjobs"
+	"squall/internal/enginetest"
+)
+
+// startWorkers brings up n in-process WorkerServers on loopback listeners and
+// returns their addresses. In-process keeps these tests fast and debuggable;
+// the true multi-process dimension lives in internal/enginetest.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go squall.ServeWorker(ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// clusterParams is a representative workload: 3 relations, productive keys,
+// batched packed transport.
+func clusterParams(cfg enginetest.EngineConfig) clusterjobs.WorkloadParams {
+	return clusterjobs.WorkloadParams{
+		Seed: 42, NumRels: 3, RowsPerRel: 90, KeyDomain: 12, Config: cfg,
+	}
+}
+
+func runClusterCase(t *testing.T, workers int, cfg enginetest.EngineConfig, place map[string]int) *squall.Result {
+	t.Helper()
+	params := clusterParams(cfg)
+	q, opts, err := params.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	opts.Cluster = &squall.ClusterSpec{
+		Workers: startWorkers(t, workers),
+		Job:     clusterjobs.WorkloadJob,
+		Params:  params.Marshal(),
+		Place:   place,
+	}
+	res, err := q.Run(opts)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+
+	w := enginetest.RandomWorkload(params.Seed, params.NumRels, params.RowsPerRel, params.KeyDomain, params.WithTheta)
+	got := make(map[string]int, len(res.Rows))
+	for _, r := range res.Rows {
+		got[r.Key()]++
+	}
+	if diff := enginetest.DiffBags(w.ReferenceBag(), got); diff != "" {
+		t.Fatalf("cluster run diverges from oracle:\n%s", diff)
+	}
+	return res
+}
+
+func TestClusterTwoWorkers(t *testing.T) {
+	cfg := enginetest.EngineConfig{
+		Scheme: squall.HashHypercube, Local: squall.Traditional,
+		BatchSize: 16, Machines: 6, Seed: 42,
+	}
+	res := runClusterCase(t, 2, cfg, nil)
+	// Merged metrics must read like a single-process run: the joiner lives on
+	// worker 1, so its counters only exist if the snapshot merge worked.
+	joiner := res.Metrics.Components[res.JoinerComponent]
+	if joiner == nil || joiner.ReceivedTotal() == 0 {
+		t.Fatalf("merged metrics missing the remote joiner's counters: %+v", res.Metrics.Components)
+	}
+}
+
+func TestClusterExplicitPlacement(t *testing.T) {
+	cfg := enginetest.EngineConfig{
+		Scheme: squall.HashHypercube, Local: squall.Traditional,
+		BatchSize: 8, Machines: 4, Seed: 42,
+	}
+	// Everything remote except the sink: sources split across both workers,
+	// joiner on worker 2.
+	runClusterCase(t, 2, cfg, map[string]int{
+		"rel0": 1, "rel1": 2, "rel2": 1, "joiner": 2, "sink": 0,
+	})
+}
+
+func TestClusterRemoteKillRecovery(t *testing.T) {
+	cfg := enginetest.EngineConfig{
+		Scheme: squall.HashHypercube, Local: squall.Traditional,
+		BatchSize: 4, Machines: 6, Seed: 42, Kill: true,
+	}
+	// Default placement puts the joiner on worker 1, so the injected kill
+	// lands in a remote process and recovery runs over TCP.
+	res := runClusterCase(t, 2, cfg, nil)
+	if res.Metrics.Recovery.Kills.Load() != 1 {
+		t.Fatalf("expected 1 recovered kill in merged metrics, got %d", res.Metrics.Recovery.Kills.Load())
+	}
+}
+
+func TestClusterRejectsBadSpecs(t *testing.T) {
+	cfg := enginetest.EngineConfig{
+		Scheme: squall.HashHypercube, Local: squall.Traditional,
+		BatchSize: 16, Machines: 4, Seed: 42,
+	}
+	params := clusterParams(cfg)
+	addrs := startWorkers(t, 1)
+
+	cases := []struct {
+		name    string
+		mutate  func(o *squall.Options)
+		wantErr string
+	}{
+		{"no workers", func(o *squall.Options) { o.Cluster.Workers = nil }, "at least one worker"},
+		{"no job", func(o *squall.Options) { o.Cluster.Job = "" }, "job name"},
+		{"noserialize", func(o *squall.Options) { o.NoSerialize = true }, "NoSerialize"},
+		{"unregistered job", func(o *squall.Options) { o.Cluster.Job = "no-such-job" }, "not registered"},
+		{"sink off coordinator", func(o *squall.Options) {
+			o.Cluster.Place = map[string]int{"rel0": 0, "rel1": 1, "rel2": 0, "joiner": 1, "sink": 1}
+		}, "sink"},
+		{"missing component", func(o *squall.Options) {
+			o.Cluster.Place = map[string]int{"rel0": 0, "sink": 0}
+		}, "placement misses"},
+		{"out of range worker", func(o *squall.Options) {
+			o.Cluster.Place = map[string]int{"rel0": 0, "rel1": 5, "rel2": 0, "joiner": 1, "sink": 0}
+		}, "have 2 workers"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q, opts, err := params.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			opts.Cluster = &squall.ClusterSpec{
+				Workers: addrs, Job: clusterjobs.WorkloadJob, Params: params.Marshal(),
+			}
+			c.mutate(&opts)
+			_, err = q.Run(opts)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("want error containing %q, got %v", c.wantErr, err)
+			}
+		})
+	}
+}

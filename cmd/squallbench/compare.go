@@ -16,7 +16,9 @@ const compareTolerance = 0.15
 // compareMain implements `squallbench compare old.json new.json` — the
 // first slice of the ROADMAP bench-suite item. It walks both files'
 // nested metrics and fails (exit 1) when any gated metric regresses by
-// more than compareTolerance against the checked-in baseline.
+// more than compareTolerance against the checked-in baseline, or when a
+// gated metric from the baseline is missing from the new file (a dropped
+// gate is a silent regression, not schema evolution).
 //
 // Gated metrics are the machine-portable ones: dimensionless ratios
 // (keys ending in `_x` — speedups and reduction factors, higher is
@@ -24,28 +26,48 @@ const compareTolerance = 0.15
 // given binary, lower is better). Absolute times (`*_ms`, `ns_per_*`,
 // `*_ns`) vary with the host, so they are printed for context but never
 // gate — the `_x` ratios already encode the same comparisons
-// host-relatively.
+// host-relatively. Metrics present only in the new file are listed as
+// `new` for context: bench schemas grow across PRs.
 func compareMain(args []string) {
 	if len(args) != 2 {
 		fmt.Fprintln(os.Stderr, "usage: squallbench compare old.json new.json")
 		os.Exit(2)
 	}
-	oldV := loadBenchJSON(args[0])
-	newV := loadBenchJSON(args[1])
+	os.Exit(compareFiles(args[0], args[1]))
+}
+
+// compareFiles runs the comparison and returns the process exit code:
+// 0 clean, 1 gated regression, 2 unusable input.
+func compareFiles(oldPath, newPath string) int {
+	oldV, err := loadBenchJSON(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
+	newV, err := loadBenchJSON(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
 	var rows []compareRow
 	collectCompare("", oldV, newV, &rows)
 	if len(rows) == 0 {
-		fmt.Fprintf(os.Stderr, "compare: no shared numeric metrics between %s and %s\n", args[0], args[1])
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "compare: no numeric metrics between %s and %s\n", oldPath, newPath)
+		return 2
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
 
-	header(fmt.Sprintf("Bench compare: %s -> %s (%.0f%% tolerance on gated metrics)", args[0], args[1], 100*compareTolerance))
+	header(fmt.Sprintf("Bench compare: %s -> %s (%.0f%% tolerance on gated metrics)", oldPath, newPath, 100*compareTolerance))
 	fmt.Printf("  %-52s %14s %14s %9s  %s\n", "metric", "old", "new", "delta", "verdict")
 	failed := 0
 	for _, r := range rows {
 		verdict := ""
 		switch {
+		case r.missingNew:
+			verdict = "FAIL (missing)"
+			failed++
+		case r.missingOld:
+			verdict = "new"
 		case !r.gated:
 			verdict = "info"
 		case r.regressed:
@@ -54,13 +76,35 @@ func compareMain(args []string) {
 		default:
 			verdict = "ok"
 		}
-		fmt.Printf("  %-52s %14.3f %14.3f %8.1f%%  %s\n", r.path, r.old, r.new, 100*r.delta, verdict)
+		fmt.Printf("  %-52s %14s %14s %9s  %s\n",
+			r.path, fmtMetric(r.old, r.missingOld), fmtMetric(r.new, r.missingNew), fmtDelta(r), verdict)
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "compare: FAIL: %d metric(s) regressed more than %.0f%% vs %s\n", failed, 100*compareTolerance, args[0])
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "compare: FAIL: %d metric(s) regressed more than %.0f%% or went missing vs %s\n", failed, 100*compareTolerance, oldPath)
+		return 1
 	}
 	fmt.Printf("  all %d gated metrics within %.0f%% of baseline\n", countGated(rows), 100*compareTolerance)
+	return 0
+}
+
+func fmtMetric(v float64, missing bool) string {
+	if missing {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func fmtDelta(r compareRow) string {
+	switch {
+	case r.missingOld || r.missingNew:
+		return "-"
+	case math.IsInf(r.delta, 1):
+		return "+Inf%"
+	case math.IsInf(r.delta, -1):
+		return "-Inf%"
+	default:
+		return fmt.Sprintf("%.1f%%", 100*r.delta)
+	}
 }
 
 type compareRow struct {
@@ -69,65 +113,92 @@ type compareRow struct {
 	delta     float64 // signed relative change, positive = metric went up
 	gated     bool
 	regressed bool
+	// missingNew marks a gated baseline metric absent from the new file (a
+	// FAIL); missingOld marks a metric only the new file has (info).
+	missingNew bool
+	missingOld bool
 }
 
 func countGated(rows []compareRow) int {
 	n := 0
 	for _, r := range rows {
-		if r.gated {
+		if r.gated && !r.missingNew {
 			n++
 		}
 	}
 	return n
 }
 
-func loadBenchJSON(path string) any {
+func loadBenchJSON(path string) (any, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
-		os.Exit(2)
+		return nil, err
 	}
 	var v any
 	if err := json.Unmarshal(data, &v); err != nil {
-		fmt.Fprintf(os.Stderr, "compare: %s: %v\n", path, err)
-		os.Exit(2)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return v
+	return v, nil
 }
 
 // collectCompare walks old and new in lockstep, recording every numeric
-// leaf present in both. Keys only one side has are skipped: bench schemas
-// grow across PRs and a compare must work against older baselines.
+// leaf present in both. A gated metric the baseline has but the new file
+// lost is recorded as a failing row; non-gated one-sided keys become info
+// rows (schemas grow across PRs, and a compare must still work against
+// older baselines).
 func collectCompare(path string, oldV, newV any, rows *[]compareRow) {
 	switch o := oldV.(type) {
 	case map[string]any:
 		n, ok := newV.(map[string]any)
 		if !ok {
+			collectOneSided(path, oldV, rows, false)
+			collectOneSided(path, newV, rows, true)
 			return
 		}
 		for k, ov := range o {
 			if nv, ok := n[k]; ok {
 				collectCompare(joinPath(path, k), ov, nv, rows)
+			} else {
+				collectOneSided(joinPath(path, k), ov, rows, false)
+			}
+		}
+		for k, nv := range n {
+			if _, ok := o[k]; !ok {
+				collectOneSided(joinPath(path, k), nv, rows, true)
 			}
 		}
 	case []any:
 		n, ok := newV.([]any)
 		if !ok {
+			collectOneSided(path, oldV, rows, false)
+			collectOneSided(path, newV, rows, true)
 			return
 		}
 		for i := range o {
 			if i < len(n) {
 				collectCompare(fmt.Sprintf("%s[%d]", path, i), o[i], n[i], rows)
+			} else {
+				collectOneSided(fmt.Sprintf("%s[%d]", path, i), o[i], rows, false)
 			}
+		}
+		for i := len(o); i < len(n); i++ {
+			collectOneSided(fmt.Sprintf("%s[%d]", path, i), n[i], rows, true)
 		}
 	case float64:
 		n, ok := newV.(float64)
 		if !ok {
+			collectOneSided(path, oldV, rows, false)
+			collectOneSided(path, newV, rows, true)
 			return
 		}
 		r := compareRow{path: path, old: o, new: n}
-		if o != 0 {
+		switch {
+		case o != 0:
 			r.delta = (n - o) / math.Abs(o)
+		case n > 0:
+			r.delta = math.Inf(1)
+		case n < 0:
+			r.delta = math.Inf(-1)
 		}
 		switch classifyMetric(path) {
 		case metricHigherBetter:
@@ -136,14 +207,44 @@ func collectCompare(path string, oldV, newV any, rows *[]compareRow) {
 		case metricLowerBetter:
 			r.gated = true
 			// Alloc counts are integers per op: below 1 on both sides the
-			// relative delta is rounding noise, not a regression.
-			r.regressed = o != 0 && r.delta > compareTolerance && !(o < 1 && n < 1)
+			// relative delta is rounding noise, not a regression. A zero
+			// baseline that grows to a whole alloc is a real one.
+			r.regressed = r.delta > compareTolerance && !(o < 1 && n < 1)
 		case metricInfo:
 			// shown, never gates
 		default:
 			return // counts, scales, identifiers: not a metric
 		}
 		*rows = append(*rows, r)
+	}
+}
+
+// collectOneSided records the numeric metrics under a subtree only one file
+// has. From the baseline side, gated metrics become failing rows — a
+// vanished gate must not pass silently; info metrics are dropped (they
+// carry no comparison). From the new side every metric is an info row.
+func collectOneSided(path string, v any, rows *[]compareRow, isNew bool) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sv := range t {
+			collectOneSided(joinPath(path, k), sv, rows, isNew)
+		}
+	case []any:
+		for i, sv := range t {
+			collectOneSided(fmt.Sprintf("%s[%d]", path, i), sv, rows, isNew)
+		}
+	case float64:
+		class := classifyMetric(path)
+		if class == metricSkip {
+			return
+		}
+		if isNew {
+			*rows = append(*rows, compareRow{path: path, new: t, missingOld: true})
+			return
+		}
+		if class == metricHigherBetter || class == metricLowerBetter {
+			*rows = append(*rows, compareRow{path: path, old: t, gated: true, missingNew: true})
+		}
 	}
 }
 

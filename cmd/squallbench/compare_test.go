@@ -1,0 +1,118 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	body := `{"pr": 1, "speedup_x": 2.0, "elapsed_ms": 10.0, "allocs_per_op": 3}`
+	if code := compareFiles(writeBench(t, "old.json", body), writeBench(t, "new.json", body)); code != 0 {
+		t.Fatalf("identical files: exit %d, want 0", code)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	old := writeBench(t, "old.json", `{"speedup_x": 2.0}`)
+	bad := writeBench(t, "new.json", `{"speedup_x": 1.0}`)
+	if code := compareFiles(old, bad); code != 1 {
+		t.Fatalf("halved speedup: exit %d, want 1", code)
+	}
+	ok := writeBench(t, "ok.json", `{"speedup_x": 1.9}`)
+	if code := compareFiles(old, ok); code != 0 {
+		t.Fatalf("within tolerance: exit %d, want 0", code)
+	}
+}
+
+// A gated metric present in the baseline but gone from the new file is a
+// dropped gate — it must fail, not silently narrow the comparison.
+func TestCompareMissingGatedMetricFails(t *testing.T) {
+	old := writeBench(t, "old.json", `{"speedup_x": 2.0, "other_x": 1.0}`)
+	missing := writeBench(t, "new.json", `{"other_x": 1.0}`)
+	if code := compareFiles(old, missing); code != 1 {
+		t.Fatalf("dropped gated metric: exit %d, want 1", code)
+	}
+	// An info metric disappearing is fine: times come and go with the host.
+	old2 := writeBench(t, "old2.json", `{"speedup_x": 2.0, "elapsed_ms": 12.0}`)
+	noInfo := writeBench(t, "new2.json", `{"speedup_x": 2.0}`)
+	if code := compareFiles(old2, noInfo); code != 0 {
+		t.Fatalf("dropped info metric: exit %d, want 0", code)
+	}
+}
+
+// Metrics only the new file has are context, never failures: schemas grow
+// across PRs and older baselines must keep working.
+func TestCompareNewMetricIsInfoOnly(t *testing.T) {
+	old := writeBench(t, "old.json", `{"speedup_x": 2.0}`)
+	grown := writeBench(t, "new.json", `{"speedup_x": 2.0, "net": {"bag_equal_x": 1.0, "elapsed_ms": 5}}`)
+	if code := compareFiles(old, grown); code != 0 {
+		t.Fatalf("grown schema: exit %d, want 0", code)
+	}
+}
+
+// A zero baseline used to make any regression invisible (no relative delta).
+func TestCompareZeroBaseline(t *testing.T) {
+	old := writeBench(t, "old.json", `{"allocs_per_op": 0}`)
+	leak := writeBench(t, "new.json", `{"allocs_per_op": 2}`)
+	if code := compareFiles(old, leak); code != 1 {
+		t.Fatalf("allocs 0 -> 2: exit %d, want 1", code)
+	}
+	noise := writeBench(t, "noise.json", `{"allocs_per_op": 0.4}`)
+	if code := compareFiles(old, noise); code != 0 {
+		t.Fatalf("allocs 0 -> 0.4 is rounding noise: exit %d, want 0", code)
+	}
+	// Higher-better from zero is an improvement, and the +Inf delta must not
+	// poison the verdict.
+	oldX := writeBench(t, "oldx.json", `{"speedup_x": 0}`)
+	newX := writeBench(t, "newx.json", `{"speedup_x": 3.0}`)
+	if code := compareFiles(oldX, newX); code != 0 {
+		t.Fatalf("speedup 0 -> 3: exit %d, want 0", code)
+	}
+}
+
+func TestCompareInfDeltaRows(t *testing.T) {
+	var rows []compareRow
+	collectCompare("", map[string]any{"allocs_per_op": 0.0}, map[string]any{"allocs_per_op": 2.0}, &rows)
+	if len(rows) != 1 || !math.IsInf(rows[0].delta, 1) || !rows[0].regressed {
+		t.Fatalf("allocs 0 -> 2: rows %+v, want one +Inf regressed row", rows)
+	}
+	if got := fmtDelta(rows[0]); got != "+Inf%" {
+		t.Fatalf("delta renders %q, want +Inf%%", got)
+	}
+}
+
+func TestCompareUnusableInputs(t *testing.T) {
+	empty := writeBench(t, "empty.json", `{}`)
+	if code := compareFiles(empty, empty); code != 2 {
+		t.Fatalf("empty objects: exit %d, want 2", code)
+	}
+	malformed := writeBench(t, "bad.json", `{not json`)
+	good := writeBench(t, "good.json", `{"speedup_x": 1.0}`)
+	if code := compareFiles(malformed, good); code != 2 {
+		t.Fatalf("malformed old: exit %d, want 2", code)
+	}
+	if code := compareFiles(good, filepath.Join(t.TempDir(), "nope.json")); code != 2 {
+		t.Fatalf("missing new file: exit %d, want 2", code)
+	}
+}
+
+// A metric whose shape changed (object vs number) is one-sided on both
+// ends: the baseline's gated leaves under it must still fail.
+func TestCompareShapeChange(t *testing.T) {
+	old := writeBench(t, "old.json", `{"exec": {"speedup_x": 2.0}}`)
+	reshaped := writeBench(t, "new.json", `{"exec": 7}`)
+	if code := compareFiles(old, reshaped); code != 1 {
+		t.Fatalf("gated metric lost to a shape change: exit %d, want 1", code)
+	}
+}

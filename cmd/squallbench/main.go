@@ -43,6 +43,14 @@
 // the vectorized path misses its speedup gate or any mode's results
 // diverge (the CI gate).
 //
+// The `net` experiment (PR 7) runs the same join once in-process and once as
+// a real cluster — this binary re-executed as two squalld-style worker
+// processes joined to the coordinator over loopback TCP — measuring the
+// end-to-end cost of the socket hop. With -json it writes BENCH_PR7.json; it
+// exits non-zero when the distributed run (including one with a remote
+// joiner task killed and recovered mid-run) stops being bag-equal to the
+// in-process engine (the CI gate).
+//
 // `squallbench compare old.json new.json` diffs two bench JSON files and
 // exits non-zero when a gated metric (speedup/reduction ratios, alloc
 // counts) regresses more than 15% — CI runs it against the checked-in
@@ -73,6 +81,7 @@ var (
 )
 
 func main() {
+	maybeNetWorker()
 	flag.Parse()
 	if flag.NArg() > 0 && flag.Arg(0) == "compare" {
 		compareMain(flag.Args()[1:])
@@ -102,6 +111,7 @@ func main() {
 		"recover":  recoverBench,
 		"exec":     execBench,
 		"vec":      vecBench,
+		"net":      netBench,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -111,7 +121,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec vec all (or: compare old.json new.json)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec vec net all (or: compare old.json new.json)\n", what)
 		os.Exit(2)
 	}
 	f()

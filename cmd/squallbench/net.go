@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"squall"
+	"squall/internal/clusterjobs"
+	"squall/internal/enginetest"
+)
+
+// benchFileNet is where `-json net` records the PR 7 numbers.
+const benchFileNet = "BENCH_PR7.json"
+
+const (
+	// netWorkerEnv re-executes this binary as a squalld-style worker: set,
+	// the process listens on a loopback port, prints it and serves cluster
+	// sessions until killed.
+	netWorkerEnv  = "SQUALLBENCH_NET_WORKER"
+	netAddrPrefix = "SQUALLBENCH_WORKER_ADDR "
+)
+
+// maybeNetWorker hijacks the process when it was spawned as a bench worker.
+// Called first thing in main, before flag parsing.
+func maybeNetWorker() {
+	if os.Getenv(netWorkerEnv) != "1" {
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "net worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s%s\n", netAddrPrefix, ln.Addr())
+	if err := squall.ServeWorker(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "net worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// spawnNetWorker starts one worker process and returns its address; the
+// returned func kills it.
+func spawnNetWorker() (string, func(), error) {
+	self, err := os.Executable()
+	if err != nil {
+		return "", nil, err
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(), netWorkerEnv+"=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	stop := func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if addr, ok := strings.CutPrefix(sc.Text(), netAddrPrefix); ok {
+				addrCh <- addr
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr, stop, nil
+	case <-time.After(30 * time.Second):
+		stop()
+		return "", nil, fmt.Errorf("worker process never reported its address")
+	}
+}
+
+// netRun is one configuration's measurement.
+type netRun struct {
+	Name      string  `json:"name"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Rows      int64   `json:"result_rows"`
+}
+
+type netReport struct {
+	PR        int    `json:"pr"`
+	Benchmark string `json:"benchmark"`
+	Tuples    int    `json:"tuples_per_rel"`
+	Machines  int    `json:"machines"`
+	Workers   int    `json:"worker_processes"`
+	InProc    netRun `json:"in_process"`
+	Cluster   netRun `json:"cluster_tcp"`
+	Recovered netRun `json:"cluster_tcp_recovered_kill"`
+	// HopOverheadPct is the TCP run's elapsed time over the in-process run,
+	// minus one, in percent — the cost of crossing real sockets. Info only:
+	// absolute overhead depends on the host's loopback stack.
+	HopOverheadPct float64 `json:"hop_overhead_pct"`
+	// BagEqualX / RecoveredX are the CI gates: 1 when the cluster run (and
+	// the run with a remote joiner task killed and recovered) is bag-equal
+	// to the in-process engine, 0 otherwise.
+	BagEqualX  float64 `json:"bag_equal_x"`
+	RecoveredX float64 `json:"recovered_x"`
+}
+
+// netBench is the PR 7 experiment: the same join once in-process and once as
+// a real cluster — a coordinator plus two worker processes over loopback TCP
+// — measuring what the socket hop costs and gating on the distributed run
+// (including one with a remote joiner killed mid-run) staying bag-identical.
+func netBench() {
+	n := 40_000
+	if *smoke {
+		n = 8_000
+	}
+	const machines = 8
+	header(fmt.Sprintf("Multi-node execution over TCP (2 relations x %d tuples, %dJ, 2 worker processes)", n, machines))
+
+	params := clusterjobs.WorkloadParams{
+		Seed: 7, NumRels: 2, RowsPerRel: n, KeyDomain: n / 6,
+		Config: enginetest.EngineConfig{
+			Scheme: squall.HashHypercube, Local: squall.Traditional,
+			BatchSize: 64, Machines: machines, Seed: 7,
+		},
+	}
+
+	runOnce := func(name string, cluster *squall.ClusterSpec, kill bool) (netRun, uint64, int64) {
+		p := params
+		p.Config.Kill = kill
+		q, opts, err := p.Build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "net: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if cluster != nil {
+			spec := *cluster
+			spec.Params = p.Marshal()
+			opts.Cluster = &spec
+		}
+		res, err := q.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "net: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if kill && res.Metrics.Recovery.Kills.Load() != 1 {
+			fmt.Fprintf(os.Stderr, "net: %s: %d kills recovered, want 1\n", name, res.Metrics.Recovery.Kills.Load())
+			os.Exit(1)
+		}
+		return netRun{
+			Name:      name,
+			ElapsedMS: float64(res.Metrics.Elapsed.Microseconds()) / 1000,
+			Rows:      res.RowCount,
+		}, bagHash(res.Rows), res.RowCount
+	}
+
+	// Best-of-reps on the timings; every rep must produce the identical bag.
+	const reps = 3
+	measure := func(name string, cluster *squall.ClusterSpec, kill bool) (netRun, uint64) {
+		best, bestBag, rows := runOnce(name, cluster, kill)
+		for i := 1; i < reps; i++ {
+			r, bag, n := runOnce(name, cluster, kill)
+			if bag != bestBag || n != rows {
+				fmt.Fprintf(os.Stderr, "net: %s: nondeterministic result bag across reps\n", name)
+				os.Exit(1)
+			}
+			if r.ElapsedMS < best.ElapsedMS {
+				best.ElapsedMS = r.ElapsedMS
+			}
+		}
+		return best, bestBag
+	}
+
+	inproc, inprocBag := measure("in-process", nil, false)
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		addr, stop, err := spawnNetWorker()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "net: spawning worker: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		addrs = append(addrs, addr)
+	}
+	spec := &squall.ClusterSpec{Workers: addrs, Job: clusterjobs.WorkloadJob}
+
+	cluster, clusterBag := measure("cluster 3-process", spec, false)
+	// The chaos point: the joiner lives on worker 1 under default placement,
+	// so the injected kill and its recovery cross real process boundaries.
+	recovered, recoveredBag := measure("cluster+remote-kill", spec, true)
+
+	report := netReport{
+		PR: 7,
+		Benchmark: fmt.Sprintf("equi-join over loopback TCP: coordinator + 2 worker processes vs in-process (%d+%d tuples, %dJ)",
+			n, n, machines),
+		Tuples: n, Machines: machines, Workers: 2,
+		InProc: inproc, Cluster: cluster, Recovered: recovered,
+		HopOverheadPct: 100 * (cluster.ElapsedMS/inproc.ElapsedMS - 1),
+	}
+	if clusterBag == inprocBag && cluster.Rows == inproc.Rows {
+		report.BagEqualX = 1
+	}
+	if recoveredBag == inprocBag && recovered.Rows == inproc.Rows {
+		report.RecoveredX = 1
+	}
+
+	fmt.Printf("  %-22s %12s %12s\n", "run", "elapsed", "rows")
+	for _, r := range []netRun{inproc, cluster, recovered} {
+		fmt.Printf("  %-22s %10.1fms %12d\n", r.Name, r.ElapsedMS, r.Rows)
+	}
+	fmt.Printf("  TCP hop overhead: %+.1f%% end-to-end vs in-process (loopback, %d worker processes)\n",
+		report.HopOverheadPct, report.Workers)
+
+	ok := true
+	if report.BagEqualX != 1 {
+		fmt.Fprintf(os.Stderr, "  FAIL: cluster run is not bag-equal to the in-process engine\n")
+		ok = false
+	}
+	if report.RecoveredX != 1 {
+		fmt.Fprintf(os.Stderr, "  FAIL: cluster run with a killed remote joiner is not bag-equal to the in-process engine\n")
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(benchFileNet, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", benchFileNet, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", benchFileNet)
+	}
+}

@@ -1,0 +1,47 @@
+// Command squalld is a squall cluster worker: it listens for coordinator
+// sessions (see squall.ServeWorker), rebuilds each job's plan from the
+// registered cluster jobs and runs its share of the topology. A second
+// listener serves /healthz for liveness probes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"squall"
+
+	_ "squall/internal/clusterjobs" // register the jobs this worker can host
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7171", "address for coordinator and peer connections")
+	healthz := flag.String("healthz", "", "address for the /healthz HTTP endpoint (empty = disabled)")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("squalld: %v", err)
+	}
+	srv := squall.NewWorkerServer(ln)
+	// The chosen port matters when -listen used :0; print it for harnesses.
+	fmt.Printf("squalld listening on %s\n", ln.Addr())
+
+	if *healthz != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/healthz", srv.Healthz())
+		go func() {
+			if err := http.ListenAndServe(*healthz, mux); err != nil {
+				log.Printf("squalld: healthz: %v", err)
+			}
+		}()
+	}
+
+	if err := srv.Serve(); err != nil {
+		log.Printf("squalld: %v", err)
+		os.Exit(1)
+	}
+}

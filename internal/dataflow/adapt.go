@@ -261,7 +261,19 @@ func (ex *execution) initAdaptive(pol *AdaptivePolicy) error {
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
-	a.live.Store(int64(rn.par + sn.par))
+	liveCnt := rn.par + sn.par
+	if ex.net != nil {
+		// In a cluster run, live counts the producers hosted *here*; the
+		// controller adds the remote workers' counts from their pause acks.
+		liveCnt = 0
+		if ex.net.owns(rn) {
+			liveCnt += rn.par
+		}
+		if ex.net.owns(sn) {
+			liveCnt += sn.par
+		}
+	}
+	a.live.Store(int64(liveCnt))
 	a.latest = make([]loadReport, n.par)
 	ex.metrics.Adapt.FinalRows.Store(int64(m.Rows))
 	ex.metrics.Adapt.FinalCols.Store(int64(m.Cols))
@@ -442,12 +454,30 @@ func (a *adaptState) reshape(next adaptive.Matrix) bool {
 	if !a.pause() {
 		return false
 	}
+	// Cluster round: pause the adaptive gate on every remote producer worker
+	// (their acks report how many of their producers are still live), then
+	// flush in-flight remote data ahead of the barrier markers with tokens
+	// through every joiner inbox — post-barrier data mid-migration is a
+	// protocol violation the executor fails on.
+	var remoteLive int64
+	if a.ex.net != nil {
+		var ok bool
+		if remoteLive, ok = a.ex.net.pauseRemote(planeAdapt, a.node); !ok {
+			return false
+		}
+	}
 	// If every adaptive producer has already EOS'd, joiner tasks may have
 	// exited and a barrier would never be acked: the stream is over, so the
 	// reshape is pointless anyway.
-	if a.live.Load() == 0 {
+	if a.live.Load()+remoteLive == 0 {
+		if a.ex.net != nil && !a.ex.net.resumeRemote(planeAdapt, a.node, a.cur.Rows, a.cur.Cols) {
+			return false
+		}
 		a.resume(a.cur)
 		return true
+	}
+	if a.ex.net != nil && !a.ex.net.quiesce(a.node, allTasks(a.node)) {
+		return false
 	}
 	a.epoch++
 	cmd := &reshapeCmd{epoch: a.epoch, old: a.cur, next: next}
@@ -476,6 +506,9 @@ func (a *adaptState) reshape(next adaptive.Matrix) bool {
 	a.ex.metrics.Adapt.Reshapes.Add(1)
 	a.ex.metrics.Adapt.FinalRows.Store(int64(next.Rows))
 	a.ex.metrics.Adapt.FinalCols.Store(int64(next.Cols))
+	if a.ex.net != nil && !a.ex.net.resumeRemote(planeAdapt, a.node, next.Rows, next.Cols) {
+		return false
+	}
 	a.resume(next)
 	return true
 }

@@ -64,6 +64,13 @@ type Options struct {
 	// checkpoints, and kill/panic recovery by peer refetch or checkpoint +
 	// replay (see recover.go).
 	Recovery *RecoveryPolicy
+	// Net, when set, makes this Run one worker of a multi-process cluster:
+	// only the components Net places here execute locally, edges to remote
+	// components ship serialized envelopes over TCP with credit-based
+	// backpressure, and the control planes drive their remote producers
+	// through the plane's RPCs (see net.go). Every participating process
+	// must build the identical topology with identical Options.
+	Net *NetPlane
 }
 
 // envelope is one channel message: a batch of tuples sharing provenance
@@ -114,12 +121,12 @@ var (
 func releaseEnv(env *envelope) {
 	if env.pframe != nil {
 		*env.pframe = env.frame[:0]
-		framePool.Put(env.pframe)
+		putFrameBox(env.pframe)
 		env.pframe, env.frame = nil, nil
 	}
 	if env.pbatch != nil {
 		*env.pbatch = env.batch[:0]
-		batchPool.Put(env.pbatch)
+		putBatchBox(env.pbatch)
 		env.pbatch, env.batch = nil, nil
 	}
 }
@@ -361,7 +368,7 @@ func (c *Collector) EmitRow(row []byte) error {
 // newRowBuf takes a frame buffer (and its box) from the pool with hdrRoom
 // bytes reserved for the count varint flushRow stamps.
 func (c *Collector) newRowBuf(rb *rowBatch) {
-	p := framePool.Get().(*[]byte)
+	p := getFrameBox()
 	buf := *p
 	if cap(buf) < c.hdrRoom {
 		buf = make([]byte, c.hdrRoom, c.hdrRoom+512)
@@ -414,7 +421,7 @@ func (c *Collector) flushRow(ei, target int) error {
 		c.ex.rec.record(c.recPid, target, replayEnt{frame: frame, count: rb.count, seq: env.seq})
 		// The replay buffer retains the frame: return only the empty box.
 		*rb.box = nil
-		framePool.Put(rb.box)
+		putFrameBox(rb.box)
 	} else {
 		env.pframe = rb.box
 	}
@@ -582,15 +589,16 @@ func (c *Collector) flush(ei, target int) error {
 			ent = replayEnt{tuples: batch, count: len(batch)}
 			if box != nil {
 				*box = nil
-				batchPool.Put(box)
+				putBatchBox(box)
 			}
 		} else {
 			if box == nil {
 				box = new([]types.Tuple) // first flush of this slot
+				adoptBatchBox(box)
 			}
 			env.pbatch = box
 		}
-		p := batchPool.Get().(*[]types.Tuple)
+		p := getBatchBox()
 		next := *p
 		if cap(next) < c.batchSize {
 			next = make([]types.Tuple, 0, c.batchSize)
@@ -607,7 +615,7 @@ func (c *Collector) flush(ei, target int) error {
 		// per frame, so retained tuples are unaffected by recycling) whose
 		// box rides the envelope back to the pool.
 		c.scratch = wire.EncodeBatch(c.scratch[:0], batch)
-		p := batchPool.Get().(*[]types.Tuple)
+		p := getBatchBox()
 		out, _, err := c.dec.DecodeReuse(c.scratch, *p)
 		if err != nil {
 			return fmt.Errorf("dataflow: wire corruption on %s->%s: %w", e.from.name, e.to.name, err)
@@ -617,7 +625,7 @@ func (c *Collector) flush(ei, target int) error {
 			// The consumer may stash the batch during a recovery round;
 			// only the empty box returns.
 			*p = nil
-			batchPool.Put(p)
+			putBatchBox(p)
 		} else {
 			env.pbatch = p
 		}
@@ -664,6 +672,38 @@ func (c *Collector) flushAll() error {
 		}
 	}
 	return nil
+}
+
+// close returns the pool boxes the collector still holds once the task is
+// done emitting: the NoSerialize accumulation boxes parked in outBox (every
+// flush Gets a replacement that the final flush strands there), and any
+// packed-row buffer an abort left unflushed. Without it, every task retired
+// one box per output slot per run — never unsafe, but a steady leak that
+// degraded the pools back toward per-envelope allocation on repeated runs,
+// and noise that would mask real leaks in the pool ledger. Must run after
+// the last flush/eos; boxes in envelopes already sent are owned downstream
+// and are not touched.
+func (c *Collector) close() {
+	for ei := range c.outBox {
+		for t, box := range c.outBox[ei] {
+			if box != nil {
+				*box = nil
+				putBatchBox(box)
+				c.outBox[ei][t] = nil
+				c.out[ei][t] = nil
+			}
+		}
+	}
+	for ei := range c.pout {
+		for t := range c.pout[ei] {
+			rb := &c.pout[ei][t]
+			if rb.box != nil {
+				*rb.box = nil
+				putFrameBox(rb.box)
+				rb.box, rb.buf, rb.count = nil, nil, 0
+			}
+		}
+	}
 }
 
 // eos flushes all pending batches, then broadcasts end-of-stream to every
@@ -742,6 +782,7 @@ type execution struct {
 	err     error
 	adapt   *adaptState // non-nil when Options.Adaptive is set
 	rec     *recState   // non-nil when Options.Recovery is set
+	net     *NetPlane   // non-nil when Options.Net is set (cluster worker)
 	// roundMu serializes control-plane rounds: an adaptive reshape and a
 	// recovery round each hold it end to end, so a task is never asked to
 	// migrate state and rebuild it in the same breath.
@@ -751,6 +792,11 @@ type execution struct {
 func (ex *execution) fail(err error) {
 	ex.once.Do(func() {
 		ex.err = err
+		if ex.net != nil {
+			// Tell the other workers before releasing local waiters, so their
+			// own failure reports name this error rather than a link teardown.
+			ex.net.broadcastAbort(err)
+		}
 		close(ex.abort)
 	})
 }
@@ -768,8 +814,12 @@ func (ex *execution) abortErr() error {
 }
 
 // send delivers an envelope unless the run has been aborted; it reports
-// whether delivery happened.
+// whether delivery happened. Envelopes for remotely hosted components leave
+// through the network plane instead of an inbox.
 func (ex *execution) send(to *node, task int, env envelope) bool {
+	if ex.net != nil && !ex.net.owns(to) {
+		return ex.net.sendRemote(to, task, env)
+	}
 	select {
 	case ex.inboxes[to][task] <- env:
 		return true
@@ -806,6 +856,14 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 		abort:   make(chan struct{}),
 		metrics: &RunMetrics{Components: make(map[string]*ComponentMetrics, len(t.nodes)), topo: t},
 	}
+	if opts.Net != nil {
+		if opts.NoSerialize {
+			return nil, errors.New("dataflow: NoSerialize cannot cross process boundaries — cluster runs serialize every edge")
+		}
+		// Set before initAdaptive/initRecovery: both size their accounting to
+		// the locally hosted slice of the topology.
+		ex.net = opts.Net
+	}
 	for _, n := range t.nodes {
 		cm := &ComponentMetrics{Name: n.name, Par: n.par, Tasks: make([]*TaskMetrics, n.par)}
 		chans := make([]chan envelope, n.par)
@@ -826,16 +884,30 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 			return nil, err
 		}
 	}
+	if ex.net != nil {
+		if err := ex.net.bind(ex); err != nil {
+			return nil, err
+		}
+	}
 
+	// In a cluster run, only the locally placed slice executes here: local
+	// tasks, and a control-plane manager only when its protected component is
+	// hosted here (keeping every control envelope process-local).
+	local := func(n *node) bool { return ex.net == nil || ex.net.owns(n) }
 	start := time.Now()
 	var wg sync.WaitGroup
-	if ex.adapt != nil {
+	runAdapt := ex.adapt != nil && local(ex.adapt.node)
+	runRec := ex.rec != nil && local(ex.rec.node)
+	if runAdapt {
 		go ex.adapt.run()
 	}
-	if ex.rec != nil {
+	if runRec {
 		go ex.rec.run()
 	}
 	for _, n := range t.nodes {
+		if !local(n) {
+			continue
+		}
 		for task := 0; task < n.par; task++ {
 			wg.Add(1)
 			if n.spout != nil {
@@ -846,12 +918,12 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 		}
 	}
 	wg.Wait()
-	if ex.adapt != nil {
+	if runAdapt {
 		close(ex.adapt.quit)
 		<-ex.adapt.done
 		ex.adapt.exportWG.Wait()
 	}
-	if ex.rec != nil {
+	if runRec {
 		close(ex.rec.quit)
 		<-ex.rec.done
 	}
@@ -928,6 +1000,7 @@ func (ex *execution) collector(n *node, task int) *Collector {
 func (ex *execution) runSpout(wg *sync.WaitGroup, n *node, task int) {
 	defer wg.Done()
 	col := ex.collector(n, task)
+	defer col.close() // after eos: the final flush decides which boxes remain
 	defer col.eos()
 	sp := n.spout(task, n.par)
 	// Packed sources (RowSpout) hand the executor wire-encoded rows: one
@@ -1031,6 +1104,7 @@ func safeFinish(b Bolt, col *Collector) (err error) {
 func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	defer wg.Done()
 	col := ex.collector(n, task)
+	defer col.close() // eos (or an abort) has flushed whatever will flush
 	bolt := n.bolt(task, n.par)
 	mem, hasMem := bolt.(MemReporter)
 	rowBolt, _ := bolt.(RowBolt)
@@ -1337,6 +1411,12 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 						return
 					}
 				}
+			case ctrlNetFlush:
+				if ex.net == nil {
+					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] received a flush token without a network plane", n.name, task))
+					return
+				}
+				ex.net.tokenSeen(env.seq)
 			case ctrlStateReq:
 				if rs == nil {
 					ex.fail(fmt.Errorf("dataflow: bolt %s[%d] stray state request", n.name, task))
@@ -1531,6 +1611,10 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 					if !rs.serveStateReq(bolt, tm, env.rec) {
 						return
 					}
+				} else if env.ctrl == ctrlNetFlush && ex.net != nil {
+					// A late cluster round is quiescing this (finished) task;
+					// the token must still complete its round trip.
+					ex.net.tokenSeen(env.seq)
 				}
 			case <-ex.abort:
 				return

@@ -158,6 +158,11 @@ const (
 	// ctrlStateReq asks a peer task to export one relation to the failed
 	// task's inbox.
 	ctrlStateReq
+	// ctrlNetFlush is a cluster flush token (see NetPlane.quiesce): it rides
+	// the data path from a remote producer worker, so draining it proves
+	// every data envelope that worker sent earlier has been processed. The
+	// task reports it to the plane and carries on.
+	ctrlNetFlush
 )
 
 // recMsg is the payload of recovery control envelopes.
@@ -488,6 +493,26 @@ func (a *recState) handleFault(f faultNote) bool {
 	start := time.Now()
 	m := &a.ex.metrics.Recovery
 
+	// Cluster round: close the recovery gate on every remote producer worker,
+	// then flush their in-flight data ahead of any control marker with tokens
+	// through the victim's (and, for kill rounds, every peer's) inbox. This
+	// restores the in-process invariant that a closed gate leaves nothing
+	// between a producer and the protected inboxes — without it, a kill
+	// marker or state request could overtake data still staged on the wire.
+	if a.ex.net != nil {
+		if _, ok := a.ex.net.pauseRemote(planeRec, a.node); !ok {
+			return false
+		}
+		defer a.ex.net.resumeRemote(planeRec, a.node, 0, 0)
+		tasks := []int{f.task}
+		if !f.panicked {
+			tasks = allTasks(a.node)
+		}
+		if !a.ex.net.quiesce(a.node, tasks) {
+			return false
+		}
+	}
+
 	// An injected kill is delivered only now, behind the closed gate: FIFO
 	// inboxes guarantee the task has applied every delivered envelope before
 	// it sees the marker, so the loss is pure state loss at a quiesced point.
@@ -625,6 +650,19 @@ func (a *recState) handleFault(f faultNote) bool {
 					return false
 				}
 			}
+		}
+	}
+	// Remote producers replay their own retained input: each serving worker
+	// streams seq-tagged data messages and a flush token; waiting on the
+	// tokens (which traverse the victim's inbox behind the replayed data)
+	// guarantees the ctrlRecDone markers below cannot overtake any of it.
+	if a.ex.net != nil {
+		var man *recovery.Manifest
+		if haveCk {
+			man = &ck.Manifest
+		}
+		if !a.ex.net.replayRemote(a.node, f.task, routes, a.relOfEdge, man) {
+			return false
 		}
 	}
 	for rel, peer := range routes {
@@ -784,6 +822,11 @@ func (s *recSession) checkpoint(bolt Bolt) error {
 		return err
 	}
 	a.commitTrims(s.task, s.cursors)
+	if a.ex.net != nil {
+		// Producers on other workers hold their own replay buffers; forward
+		// the commit so theirs trim too.
+		a.ex.net.trimBroadcast(a.node, s.task, s.cursors)
+	}
 	s.sinceCkpt = 0
 	m := &a.ex.metrics.Recovery
 	m.Checkpoints.Add(1)

@@ -168,8 +168,10 @@ func (w *Workload) query(c EngineConfig) *squall.JoinQuery {
 	return q
 }
 
-// RunEngine executes one configuration and returns the result bag.
-func (w *Workload) RunEngine(c EngineConfig) (map[string]int, *squall.Result, error) {
+// Plan assembles the query and options for one configuration — the shared
+// entry point for in-process runs, cluster coordinators and cluster workers
+// (all three must build the identical execution; see squall.RegisterClusterJob).
+func (w *Workload) Plan(c EngineConfig) (*squall.JoinQuery, squall.Options) {
 	opts := squall.Options{
 		Seed:        c.Seed,
 		BatchSize:   c.BatchSize,
@@ -192,7 +194,13 @@ func (w *Workload) RunEngine(c EngineConfig) (map[string]int, *squall.Result, er
 		opts.FaultPlan = &squall.FaultPlan{Task: 0, AfterTuples: 3 + int(c.Seed%11)}
 		opts.Recovery = &squall.RecoveryOptions{CheckpointEvery: 24}
 	}
-	res, err := w.query(c).Run(opts)
+	return w.query(c), opts
+}
+
+// RunEngine executes one configuration and returns the result bag.
+func (w *Workload) RunEngine(c EngineConfig) (map[string]int, *squall.Result, error) {
+	q, opts := w.Plan(c)
+	res, err := q.Run(opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// protoMagic and protoVersion pin the handshake: a connection from anything
+// that is not a compatible squall process fails fast instead of feeding
+// garbage into the frame path.
+const (
+	protoMagic   int64 = 0x5351554c // "SQUL"
+	protoVersion int64 = 1
+)
+
+// kindHello is the handshake message, always the first message on a
+// connection in each direction.
+const kindHello byte = 1
+
+// Purpose of a connection, carried in the hello.
+const (
+	PurposeJob  = 1 // coordinator -> worker: job control + data link
+	PurposePeer = 2 // worker -> worker: data link between two workers
+)
+
+// Hello identifies the dialing process to the accepting one.
+type Hello struct {
+	RunID   string
+	From    int // worker index of the dialer (coordinator is 0)
+	Purpose int
+}
+
+// Conn is one bidirectional message link between two processes. Writes are
+// safe from any goroutine (serialized by a mutex, each message flushed so
+// control messages are never stuck behind a buffer); reads must happen from
+// a single owner goroutine.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	wbuf []byte
+	werr error
+
+	rbuf []byte
+}
+
+// NewConn wraps an accepted or dialed net.Conn. The handshake is not
+// performed here; use SendHello/ReadHello.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// Dial connects to addr and performs the client half of the handshake.
+func Dial(addr string, timeout time.Duration, h Hello) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // control RPCs and credit grants are latency-bound
+	}
+	c := NewConn(nc)
+	if err := c.SendHello(h); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// SendHello writes the handshake message.
+func (c *Conn) SendHello(h Hello) error {
+	return c.WriteMsg(&Msg{
+		Kind:   kindHello,
+		Stream: h.RunID,
+		A:      int64(h.From),
+		B:      int64(h.Purpose),
+		C:      protoVersion,
+		D:      protoMagic,
+	})
+}
+
+// ReadHello reads and validates the handshake message. deadline bounds the
+// wait so a stray connection cannot pin an accept loop.
+func (c *Conn) ReadHello(deadline time.Duration) (Hello, error) {
+	if deadline > 0 {
+		c.c.SetReadDeadline(time.Now().Add(deadline))
+		defer c.c.SetReadDeadline(time.Time{})
+	}
+	var m Msg
+	if err := c.ReadMsg(&m); err != nil {
+		return Hello{}, err
+	}
+	if m.Kind != kindHello || m.D != protoMagic {
+		return Hello{}, fmt.Errorf("transport: not a squall handshake")
+	}
+	if m.C != protoVersion {
+		return Hello{}, fmt.Errorf("transport: protocol version %d, want %d", m.C, protoVersion)
+	}
+	return Hello{RunID: m.Stream, From: int(m.A), Purpose: int(m.B)}, nil
+}
+
+// WriteMsg encodes and sends m, flushing to the socket before returning.
+// It is safe for concurrent use; once a write fails the connection is
+// poisoned and every later write returns the same error.
+func (c *Conn) WriteMsg(m *Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
+	buf, err := appendMsg(c.wbuf[:0], m)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf[:0]
+	if _, err := c.bw.Write(buf); err == nil {
+		err = c.bw.Flush()
+		if err == nil {
+			return nil
+		}
+		c.werr = err
+	} else {
+		c.werr = err
+	}
+	return c.werr
+}
+
+// ReadMsg reads the next message into m. m.Stream and m.Payload alias the
+// connection's read buffer and are only valid until the next ReadMsg call —
+// the caller copies what it keeps. Not safe for concurrent use.
+func (c *Conn) ReadMsg(m *Msg) error {
+	var lenb [4]byte
+	if _, err := io.ReadFull(c.br, lenb[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n == 0 || n > MaxMsgSize {
+		return fmt.Errorf("transport: message length %d out of range", n)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	body := c.rbuf[:n]
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return err
+	}
+	return parseMsg(body, m)
+}
+
+// Close tears down the underlying socket. Any blocked read or write fails.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr exposes the peer address for diagnostics.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }

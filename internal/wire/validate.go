@@ -1,0 +1,37 @@
+package wire
+
+import "fmt"
+
+// ValidateBatchFrame checks that frame is a deliverable batch frame: the
+// count varint parses, every one of count rows parses inside the buffer
+// (each field bounds-checked by Cursor.Parse), and any column-offset footer
+// present agrees with the rows it annotates. It returns the row count so the
+// receiver can account tuples without a second walk.
+//
+// This is the admission check for frames arriving from an untrusted socket:
+// a frame that validates can be handed to any consumer path (EachRow row
+// walk, BatchDecoder, vectorized footer view) without panicking, over-reading
+// or silently dropping rows.
+//
+// The footer cross-check closes a hole ParseFooter alone cannot: ParseFooter
+// validates footer structure from the end of the frame without walking the
+// rows, so a frame whose row bytes extend past the claimed footer body start
+// can still present a structurally valid footer. StripFooter would then
+// truncate mid-row and the boxed decode path fails — or worse, the
+// vectorized path gathers field offsets that point into what is actually
+// footer bytes. Admission has already walked the rows, so it knows where
+// they really end and rejects any footer that disagrees. Trailing bytes that
+// do not parse as a footer are allowed: every consumer parses exactly count
+// rows from the front and ignores them.
+func ValidateBatchFrame(frame []byte) (count int, err error) {
+	var cur Cursor
+	n, consumed, err := EachRow(frame, &cur, func([]byte) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	var f Footer
+	if ParseFooter(frame, &f) && f.RowsEnd != consumed {
+		return 0, fmt.Errorf("wire: footer claims rows end at %d, rows end at %d", f.RowsEnd, consumed)
+	}
+	return n, nil
+}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"testing"
+
+	"squall/internal/types"
+)
+
+func TestValidateBatchFrameAccepts(t *testing.T) {
+	batch := []types.Tuple{
+		{types.Int(1), types.Str("a")},
+		{types.Int(2), types.Str("bb")},
+	}
+	for _, tc := range []struct {
+		name  string
+		frame []byte
+	}{
+		{"bare", EncodeBatch(nil, batch)},
+		{"footered", AppendFooter(EncodeBatch(nil, batch))},
+		{"empty", EncodeBatch(nil, nil)},
+		{"garbage tail", append(EncodeBatch(nil, batch), 0xde, 0xad)},
+	} {
+		n, err := ValidateBatchFrame(tc.frame)
+		if err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+			continue
+		}
+		want := len(batch)
+		if tc.name == "empty" {
+			want = 0
+		}
+		if n != want {
+			t.Errorf("%s: count %d, want %d", tc.name, n, want)
+		}
+	}
+}
+
+func TestValidateBatchFrameRejectsTruncation(t *testing.T) {
+	frame := EncodeBatch(nil, []types.Tuple{{types.Int(1)}, {types.Int(2)}})
+	for cut := 1; cut < len(frame); cut++ {
+		if _, err := ValidateBatchFrame(frame[:cut]); err == nil {
+			// Some prefixes are themselves valid smaller frames only if the
+			// count still matches; with count=2 fixed, every cut must fail.
+			t.Errorf("accepted frame truncated to %d of %d bytes", cut, len(frame))
+		}
+	}
+}
+
+// TestValidateBatchFrameRejectsEmbeddedFooter pins the bug the delivery
+// fuzzer found: a frame whose last row's string payload ends in the bytes of
+// a structurally valid footer. ParseFooter (which never walks the rows)
+// reports the footer valid with a RowsEnd inside the real rows region, so
+// StripFooter would truncate mid-row and the boxed decode path would fail —
+// admission must reject the frame instead.
+func TestValidateBatchFrameRejectsEmbeddedFooter(t *testing.T) {
+	inner := EncodeBatch(nil, []types.Tuple{
+		{types.Int(1), types.Int(2)},
+		{types.Int(3), types.Int(4)},
+	})
+	footered := AppendFooter(inner)
+	if len(footered) == len(inner) {
+		t.Fatal("AppendFooter produced no footer")
+	}
+	fb := footered[len(inner):]
+
+	evil := EncodeBatch(nil, []types.Tuple{
+		{types.Int(7)},
+		{types.Str(string(fb))},
+	})
+	var f Footer
+	if !ParseFooter(evil, &f) {
+		t.Fatal("test construction broken: embedded footer not structurally valid")
+	}
+	if stripped := StripFooter(evil); len(stripped) == len(evil) {
+		t.Fatal("test construction broken: StripFooter did not truncate")
+	}
+	if _, err := ValidateBatchFrame(evil); err == nil {
+		t.Fatal("ValidateBatchFrame accepted a frame whose embedded footer truncates rows")
+	}
+}

@@ -226,6 +226,12 @@ type Options struct {
 	// FaultPlan injects one deterministic joiner-task kill; setting it
 	// enables Recovery with defaults if Recovery is nil.
 	FaultPlan *FaultPlan
+	// Cluster, when set, spreads the topology over squalld worker processes
+	// connected by TCP: this process becomes the coordinator (worker 0) and
+	// drives the run end to end (see cluster.go). The query must be
+	// registered as a cluster job so every worker can rebuild the identical
+	// plan. Incompatible with NoSerialize.
+	Cluster *ClusterSpec
 }
 
 // PackedMode selects the execution path (Options.PackedExec).
@@ -397,11 +403,53 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// queryPlan is a fully built execution: the dataflow topology plus the
+// options that run it, and the handles needed to assemble a Result
+// afterwards. Building the plan is separated from running it so a cluster
+// worker can rebuild the coordinator's exact execution from the query alone
+// (see cluster.go).
+type queryPlan struct {
+	topo   *dataflow.Topology
+	dopts  dataflow.Options
+	sink   *limitSink
+	hc     *core.Hypercube
+	joiner string
+	// components lists every component name in topology order — the
+	// placement domain for cluster runs.
+	components []string
+}
+
+// result assembles the Result for a finished run of this plan.
+func (p *queryPlan) result(metrics *RunMetrics) *Result {
+	return &Result{
+		Rows:            p.sink.rows,
+		RowCount:        p.sink.count,
+		Metrics:         metrics,
+		Hypercube:       p.hc,
+		JoinerComponent: p.joiner,
+	}
+}
+
 // Run executes the query to completion and returns rows plus metrics. The
 // topology is: one spout per source (with its Pre pipeline co-located), a
 // joiner component partitioned by the hypercube scheme, and — when Agg is
 // set — a merger component combining the joiners' partial aggregates.
+// When opt.Cluster is set the same topology is spread over squalld worker
+// processes instead (see cluster.go).
 func (q *JoinQuery) Run(opt Options) (*Result, error) {
+	if opt.Cluster != nil {
+		return q.runCluster(opt)
+	}
+	p, err := q.plan(opt)
+	if err != nil {
+		return nil, err
+	}
+	metrics, runErr := dataflow.Run(p.topo, p.dopts)
+	return p.result(metrics), runErr
+}
+
+// plan translates the query into a ready-to-run dataflow topology.
+func (q *JoinQuery) plan(opt Options) (*queryPlan, error) {
 	hc, err := q.BuildScheme()
 	if err != nil {
 		return nil, err
@@ -531,24 +579,36 @@ func (q *JoinQuery) Run(opt Options) (*Result, error) {
 			}
 		}
 	}
-	metrics, runErr := dataflow.Run(topo, dataflow.Options{
-		Seed:            opt.Seed,
-		ChannelBuf:      opt.ChannelBuf,
-		BatchSize:       opt.BatchSize,
-		MemLimitPerTask: opt.MemLimitPerTask,
-		NoSerialize:     opt.NoSerialize,
-		VecExec:         packed && opt.VecExec != VecOff,
-		Adaptive:        policy,
-		Recovery:        recPolicy,
-	})
-	res := &Result{
-		Rows:            sink.rows,
-		RowCount:        sink.count,
-		Metrics:         metrics,
-		Hypercube:       hc,
-		JoinerComponent: joiner,
+	components := make([]string, 0, len(q.Sources)+3)
+	for _, s := range q.Sources {
+		components = append(components, s.Name)
 	}
-	return res, runErr
+	components = append(components, joiner)
+	switch {
+	case useAggViews:
+		components = append(components, "merge", "sink")
+	case q.Agg != nil:
+		components = append(components, "agg", "sink")
+	default:
+		components = append(components, "sink")
+	}
+	return &queryPlan{
+		topo: topo,
+		dopts: dataflow.Options{
+			Seed:            opt.Seed,
+			ChannelBuf:      opt.ChannelBuf,
+			BatchSize:       opt.BatchSize,
+			MemLimitPerTask: opt.MemLimitPerTask,
+			NoSerialize:     opt.NoSerialize,
+			VecExec:         packed && opt.VecExec != VecOff,
+			Adaptive:        policy,
+			Recovery:        recPolicy,
+		},
+		sink:       sink,
+		hc:         hc,
+		joiner:     joiner,
+		components: components,
+	}, nil
 }
 
 // adaptivePolicy translates the query's adaptive knobs into the dataflow

@@ -1,0 +1,303 @@
+// Worker side of a cluster session (see cluster.go for the protocol). A
+// WorkerServer accepts coordinator and peer connections, rebuilds the job's
+// plan from the cluster-job registry, runs its share of the topology and
+// reports metrics back. One server hosts any number of concurrent sessions,
+// keyed by run id.
+package squall
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"squall/internal/dataflow"
+	"squall/internal/transport"
+)
+
+// WorkerServer hosts cluster sessions on one listener.
+type WorkerServer struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	sessions map[string]chan peerDelivery // runID -> rendezvous for peer links
+	parked   map[string][]peerDelivery    // peer links that beat their job spec
+	active   int
+	served   int64
+}
+
+// peerDelivery hands an accepted worker->worker connection to its session.
+type peerDelivery struct {
+	from int
+	conn *transport.Conn
+}
+
+// NewWorkerServer wraps a listener; call Serve to start accepting.
+func NewWorkerServer(ln net.Listener) *WorkerServer {
+	return &WorkerServer{
+		ln:       ln,
+		sessions: make(map[string]chan peerDelivery),
+		parked:   make(map[string][]peerDelivery),
+	}
+}
+
+// ServeWorker accepts cluster connections on ln until it is closed. Each
+// job connection runs its session on its own goroutine; the call returns
+// the listener's accept error.
+func ServeWorker(ln net.Listener) error { return NewWorkerServer(ln).Serve() }
+
+// Serve runs the accept loop until the listener closes.
+func (s *WorkerServer) Serve() error {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handshake(nc)
+	}
+}
+
+func (s *WorkerServer) handshake(nc net.Conn) {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn := transport.NewConn(nc)
+	h, err := conn.ReadHello(sessionTimeout)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch h.Purpose {
+	case transport.PurposeJob:
+		go s.runSession(conn, h)
+	case transport.PurposePeer:
+		s.deliverPeer(h, conn)
+	default:
+		conn.Close()
+	}
+}
+
+// deliverPeer routes an accepted peer link to its session, parking it when
+// the session's own job spec has not arrived yet (job and peer connections
+// race — the coordinator fans specs out concurrently).
+func (s *WorkerServer) deliverPeer(h transport.Hello, conn *transport.Conn) {
+	d := peerDelivery{from: h.From, conn: conn}
+	s.mu.Lock()
+	if ch, ok := s.sessions[h.RunID]; ok {
+		s.mu.Unlock()
+		select {
+		case ch <- d:
+		default:
+			conn.Close() // session's rendezvous full: protocol violation
+		}
+		return
+	}
+	s.parked[h.RunID] = append(s.parked[h.RunID], d)
+	s.mu.Unlock()
+}
+
+// openRendezvous claims the peer-delivery channel for one run, draining any
+// links that arrived early.
+func (s *WorkerServer) openRendezvous(runID string, capacity int) (chan peerDelivery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.sessions[runID]; dup {
+		return nil, fmt.Errorf("run %q already has a session here", runID)
+	}
+	ch := make(chan peerDelivery, capacity)
+	for _, d := range s.parked[runID] {
+		ch <- d
+	}
+	delete(s.parked, runID)
+	s.sessions[runID] = ch
+	s.active++
+	s.served++
+	return ch, nil
+}
+
+func (s *WorkerServer) closeRendezvous(runID string) {
+	s.mu.Lock()
+	ch := s.sessions[runID]
+	delete(s.sessions, runID)
+	s.active--
+	s.mu.Unlock()
+	if ch != nil {
+		for {
+			select {
+			case d := <-ch:
+				d.conn.Close()
+			default:
+				return
+			}
+		}
+	}
+}
+
+// Healthz returns an HTTP handler reporting liveness and session counts —
+// the probe target for cmd/squalld's -healthz listener.
+func (s *WorkerServer) Healthz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		body, _ := json.Marshal(map[string]any{
+			"ok": true, "active_sessions": s.active, "served_sessions": s.served,
+		})
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+}
+
+// failSession reports a setup error to the coordinator before the plane
+// exists.
+func failSession(conn *transport.Conn, err error) {
+	conn.WriteMsg(&transport.Msg{Kind: kindFailed, Payload: []byte(err.Error())})
+	conn.Close()
+}
+
+// runSession executes one worker's share of a cluster run. conn is the job
+// link to the coordinator; this goroutine is its only reader until the
+// NetPlane takes over.
+func (s *WorkerServer) runSession(conn *transport.Conn, h transport.Hello) {
+	spec, err := s.readJob(conn)
+	if err != nil {
+		failSession(conn, err)
+		return
+	}
+	if spec.RunID == "" {
+		spec.RunID = h.RunID
+	}
+
+	build, ok := lookupClusterJob(spec.Job)
+	if !ok {
+		failSession(conn, fmt.Errorf("cluster job %q is not registered in this binary", spec.Job))
+		return
+	}
+	query, opt, err := build(spec.Params)
+	if err != nil {
+		failSession(conn, fmt.Errorf("building cluster job %q: %w", spec.Job, err))
+		return
+	}
+	opt.Cluster = nil // the worker runs its local share, it does not recurse
+	if opt.NoSerialize {
+		failSession(conn, fmt.Errorf("cluster job %q asks for NoSerialize", spec.Job))
+		return
+	}
+	plan, err := query.plan(opt)
+	if err != nil {
+		failSession(conn, fmt.Errorf("planning cluster job %q: %w", spec.Job, err))
+		return
+	}
+
+	// Assemble the links: the job connection is the coordinator link, lower
+	// peers are dialed, higher peers arrive through the rendezvous.
+	rdv, err := s.openRendezvous(spec.RunID, spec.Workers)
+	if err != nil {
+		failSession(conn, err)
+		return
+	}
+	defer s.closeRendezvous(spec.RunID)
+	links := make([]*transport.Conn, spec.Workers)
+	links[0] = conn
+	closePeers := func() {
+		for w := 1; w < len(links); w++ {
+			if links[w] != nil {
+				links[w].Close()
+			}
+		}
+	}
+	for w := 1; w < spec.Worker; w++ {
+		peer, err := transport.Dial(spec.Addrs[w-1], sessionTimeout,
+			transport.Hello{RunID: spec.RunID, From: spec.Worker, Purpose: transport.PurposePeer})
+		if err != nil {
+			closePeers()
+			failSession(conn, fmt.Errorf("dialing peer worker %d: %w", w, err))
+			return
+		}
+		links[w] = peer
+	}
+	for need := spec.Workers - 1 - spec.Worker; need > 0; need-- {
+		select {
+		case d := <-rdv:
+			if d.from <= spec.Worker || d.from >= spec.Workers || links[d.from] != nil {
+				d.conn.Close()
+				closePeers()
+				failSession(conn, fmt.Errorf("unexpected peer link from worker %d", d.from))
+				return
+			}
+			links[d.from] = d.conn
+		case <-time.After(sessionTimeout):
+			closePeers()
+			failSession(conn, fmt.Errorf("timed out waiting for %d peer link(s)", need))
+			return
+		}
+	}
+
+	bye := make(chan struct{}, 1)
+	plane := dataflow.NewNetPlane(dataflow.NetConfig{
+		Self: spec.Worker, Workers: spec.Workers, Place: spec.Place, Links: links,
+		OnPeerMsg: func(from int, m transport.Msg) {
+			if from == 0 && m.Kind == kindBye {
+				select {
+				case bye <- struct{}{}:
+				default:
+				}
+			}
+		},
+	})
+	dopts := plan.dopts
+	dopts.Net = plane
+
+	// From here every link belongs to the plane; session messages ride the
+	// job link alongside data (the coordinator's OnPeerMsg sorts them out).
+	if err := conn.WriteMsg(&transport.Msg{Kind: kindReady}); err != nil {
+		plane.Shutdown()
+		closePeers()
+		conn.Close()
+		return
+	}
+
+	metrics, runErr := dataflow.Run(plan.topo, dopts)
+	if runErr != nil {
+		conn.WriteMsg(&transport.Msg{Kind: kindFailed, Payload: []byte(runErr.Error())})
+	} else if body, err := json.Marshal(plane.LocalSnapshot(metrics)); err != nil {
+		conn.WriteMsg(&transport.Msg{Kind: kindFailed, Payload: []byte(err.Error())})
+	} else {
+		conn.WriteMsg(&transport.Msg{Kind: kindDone, Payload: body})
+	}
+
+	// Hold the session open until the coordinator is done with the links:
+	// late recovery rounds may still need this worker's replay buffers.
+	if runErr == nil {
+		select {
+		case <-bye:
+		case <-time.After(sessionTimeout):
+		}
+	}
+	plane.Shutdown()
+	closePeers()
+	conn.Close()
+}
+
+// readJob reads the job spec off a fresh job connection.
+func (s *WorkerServer) readJob(conn *transport.Conn) (*jobSpec, error) {
+	m, err := readSessionMsg(conn, sessionTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("reading job spec: %w", err)
+	}
+	if m.Kind != kindJob {
+		return nil, fmt.Errorf("expected a job spec, got kind %d", m.Kind)
+	}
+	var spec jobSpec
+	if err := json.Unmarshal(m.Payload, &spec); err != nil {
+		return nil, fmt.Errorf("decoding job spec: %w", err)
+	}
+	if spec.Workers < 2 || spec.Worker < 1 || spec.Worker >= spec.Workers {
+		return nil, fmt.Errorf("job spec places this process at %d of %d", spec.Worker, spec.Workers)
+	}
+	if len(spec.Addrs) != spec.Workers-1 {
+		return nil, fmt.Errorf("job spec has %d addresses for %d workers", len(spec.Addrs), spec.Workers)
+	}
+	return &spec, nil
+}
