@@ -4,10 +4,12 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"squall"
 	"squall/internal/clusterjobs"
 	"squall/internal/enginetest"
+	"squall/internal/transport"
 )
 
 // startWorkers brings up n in-process WorkerServers on loopback listeners and
@@ -146,5 +148,239 @@ func TestClusterRejectsBadSpecs(t *testing.T) {
 				t.Fatalf("want error containing %q, got %v", c.wantErr, err)
 			}
 		})
+	}
+}
+
+// startWorkerHandles is startWorkers with the server handles exposed, so a
+// test can kill one mid-run the way SIGKILL kills a squalld.
+func startWorkerHandles(t *testing.T, n int) ([]string, []*squall.WorkerServer) {
+	t.Helper()
+	addrs := make([]string, n)
+	srvs := make([]*squall.WorkerServer, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		srv := squall.NewWorkerServer(ln)
+		t.Cleanup(func() { srv.Close() })
+		go srv.Serve()
+		addrs[i] = ln.Addr().String()
+		srvs[i] = srv
+	}
+	return addrs, srvs
+}
+
+// trickledParams is clusterParams slowed down so a mid-run fault reliably
+// lands while data is in flight.
+func trickledParams(cfg enginetest.EngineConfig) clusterjobs.WorkloadParams {
+	p := clusterParams(cfg)
+	p.RowsPerRel = 420
+	p.KeyDomain = 40
+	p.TrickleRows = 400
+	p.TrickleEveryUS = 500
+	return p
+}
+
+// chaosSpec is the survivability configuration the chaos tests share: fast
+// detection, a small dial budget, bounded attempts.
+func chaosSpec(addrs []string, params clusterjobs.WorkloadParams, policy squall.ClusterPolicy) *squall.ClusterSpec {
+	return &squall.ClusterSpec{
+		Workers: addrs, Job: clusterjobs.WorkloadJob, Params: params.Marshal(),
+		Policy: policy, MaxAttempts: 3,
+		Heartbeat: 100 * time.Millisecond, HeartbeatMiss: 3,
+		Retry: transport.RetryPolicy{Attempts: 2, BaseDelay: 20 * time.Millisecond, DialTimeout: 5 * time.Second},
+	}
+}
+
+func runChaosCase(t *testing.T, params clusterjobs.WorkloadParams, spec *squall.ClusterSpec) *squall.Result {
+	t.Helper()
+	q, opts, err := params.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	opts.Cluster = spec
+	res, err := q.Run(opts)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	w := enginetest.RandomWorkload(params.Seed, params.NumRels, params.RowsPerRel, params.KeyDomain, params.WithTheta)
+	got := make(map[string]int, len(res.Rows))
+	for _, r := range res.Rows {
+		got[r.Key()]++
+	}
+	if diff := enginetest.DiffBags(w.ReferenceBag(), got); diff != "" {
+		t.Fatalf("recovered run diverges from oracle:\n%s", diff)
+	}
+	return res
+}
+
+// Under Recover, killing a worker (here: the one hosting the joiner) mid-run
+// must yield a result bag-equal to the oracle, with the dead worker's
+// components reassigned to survivors.
+func TestClusterPolicyRecoverWorkerLoss(t *testing.T) {
+	cfg := enginetest.EngineConfig{
+		Scheme: squall.HashHypercube, Local: squall.Traditional,
+		BatchSize: 8, Machines: 4, Seed: 42,
+	}
+	params := trickledParams(cfg)
+	addrs, srvs := startWorkerHandles(t, 2)
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		srvs[0].Close() // worker 1: joiner host under default placement
+	}()
+	res := runChaosCase(t, params, chaosSpec(addrs, params, squall.Recover))
+	cm := res.Metrics.Cluster
+	if cm.Attempts < 2 || cm.WorkersLost < 1 || cm.Reassigned < 1 {
+		t.Fatalf("recovery not exercised: %+v", cm)
+	}
+	if cm.RecoveryNS <= 0 {
+		t.Fatalf("recovery time not recorded: %+v", cm)
+	}
+}
+
+// Under Recover with every worker dead, the coordinator absorbs the whole
+// topology and finishes alone.
+func TestClusterPolicyRecoverTotalLoss(t *testing.T) {
+	cfg := enginetest.EngineConfig{
+		Scheme: squall.HashHypercube, Local: squall.Traditional,
+		BatchSize: 8, Machines: 4, Seed: 42,
+	}
+	params := trickledParams(cfg)
+	addrs, srvs := startWorkerHandles(t, 1)
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		srvs[0].Close()
+	}()
+	res := runChaosCase(t, params, chaosSpec(addrs, params, squall.Recover))
+	cm := res.Metrics.Cluster
+	if cm.WorkersLost != 1 || cm.Attempts < 2 {
+		t.Fatalf("total-loss recovery not exercised: %+v", cm)
+	}
+}
+
+// Under Retry, a one-way partition (writes vanish, reads flow — only
+// heartbeats can see it) must fail the first attempt in bounded time and
+// succeed on a re-dispatch over fresh connections.
+func TestClusterPolicyRetryPartition(t *testing.T) {
+	cfg := enginetest.EngineConfig{
+		Scheme: squall.HashHypercube, Local: squall.Traditional,
+		BatchSize: 8, Machines: 4, Seed: 42,
+	}
+	params := trickledParams(cfg)
+	addrs, _ := startWorkerHandles(t, 1)
+	spec := chaosSpec(addrs, params, squall.Retry)
+	// Fault only the first coordinator-dialed connection: attempt 0 starves
+	// behind the partition, attempt 1 runs clean.
+	spec.Fault = &transport.FaultSpec{Seed: 3, PartitionAfter: 30, MaxConns: 1}
+	res := runChaosCase(t, params, spec)
+	cm := res.Metrics.Cluster
+	if cm.Attempts != 2 || cm.WorkersLost != 0 {
+		t.Fatalf("partition retry not exercised: %+v", cm)
+	}
+}
+
+// Under FateShare the same mid-run worker loss still fails loudly — the
+// differential baseline.
+func TestClusterPolicyFateShareStillFails(t *testing.T) {
+	cfg := enginetest.EngineConfig{
+		Scheme: squall.HashHypercube, Local: squall.Traditional,
+		BatchSize: 8, Machines: 4, Seed: 42,
+	}
+	params := trickledParams(cfg)
+	addrs, srvs := startWorkerHandles(t, 2)
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		srvs[0].Close()
+	}()
+	q, opts, err := params.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	opts.Cluster = chaosSpec(addrs, params, squall.FateShare)
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Run(opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("FateShare run succeeded despite a dead worker")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("FateShare run hung after worker death")
+	}
+}
+
+// A connection carrying a stale link epoch must be rejected at the
+// handshake: it belongs to a dead attempt and may not join a newer one.
+func TestClusterStaleEpochRejected(t *testing.T) {
+	addrs, _ := startWorkerHandles(t, 1)
+	fresh, err := transport.Dial(addrs[0], 5*time.Second,
+		transport.Hello{RunID: "epochtest.1", From: 0, Purpose: transport.PurposeJob, Epoch: 1})
+	if err != nil {
+		t.Fatalf("dial epoch 1: %v", err)
+	}
+	defer fresh.Close()
+	// Dial returns once the hello is flushed, not once the worker admitted
+	// it; force a round-trip (bogus frame -> failure reply) so epoch 1 is
+	// recorded before the stale dial races in.
+	if err := fresh.WriteMsg(&transport.Msg{Kind: 99}); err != nil {
+		t.Fatalf("writing sync frame: %v", err)
+	}
+	fresh.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var ack transport.Msg
+	if err := fresh.ReadMsg(&ack); err != nil {
+		t.Fatalf("reading sync reply: %v", err)
+	}
+	stale, err := transport.Dial(addrs[0], 5*time.Second,
+		transport.Hello{RunID: "epochtest.0", From: 0, Purpose: transport.PurposeJob, Epoch: 0})
+	if err != nil {
+		t.Fatalf("dial epoch 0: %v", err)
+	}
+	defer stale.Close()
+	stale.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var m transport.Msg
+	if err := stale.ReadMsg(&m); err != nil {
+		t.Fatalf("reading stale-epoch verdict: %v", err)
+	}
+	if !strings.Contains(string(m.Payload), "stale link epoch") {
+		t.Fatalf("stale epoch not rejected: kind %d payload %q", m.Kind, m.Payload)
+	}
+}
+
+// With ClusterSpec.Store set, a remote chaos kill recovers through the
+// coordinator-served shared store: the worker's checkpoints must land in it.
+func TestClusterSharedStoreKillRecovery(t *testing.T) {
+	cfg := enginetest.EngineConfig{
+		Scheme: squall.HashHypercube, Local: squall.Traditional,
+		BatchSize: 4, Machines: 6, Seed: 42, Kill: true,
+	}
+	params := clusterParams(cfg)
+	q, opts, err := params.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	store := squall.NewMemCheckpointStore()
+	opts.Cluster = &squall.ClusterSpec{
+		Workers: startWorkers(t, 2),
+		Job:     clusterjobs.WorkloadJob,
+		Params:  params.Marshal(),
+		Store:   store,
+	}
+	res, err := q.Run(opts)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	if res.Metrics.Recovery.Kills.Load() != 1 {
+		t.Fatalf("expected 1 recovered kill, got %d", res.Metrics.Recovery.Kills.Load())
+	}
+	sized, ok := store.(interface{ Bytes() int })
+	if !ok {
+		t.Fatalf("mem store lost its Bytes accessor")
+	}
+	if sized.Bytes() == 0 {
+		t.Fatalf("remote kill recovered without a single checkpoint reaching the shared store")
 	}
 }

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"squall"
+	"squall/internal/clusterjobs"
+	"squall/internal/enginetest"
+	"squall/internal/transport"
+)
+
+// benchFileChaos is where `-json chaos` records the PR 8 numbers.
+const benchFileChaos = "BENCH_PR8.json"
+
+// chaosRun is one survivability measurement. A run that (deliberately)
+// failed records the error string and zero rows.
+type chaosRun struct {
+	Name        string  `json:"name"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Rows        int64   `json:"result_rows"`
+	Attempts    int     `json:"attempts,omitempty"`
+	WorkersLost int     `json:"workers_lost,omitempty"`
+	Err         string  `json:"error,omitempty"`
+}
+
+type chaosReport struct {
+	PR        int    `json:"pr"`
+	Benchmark string `json:"benchmark"`
+	Tuples    int    `json:"tuples_per_rel"`
+	Machines  int    `json:"machines"`
+	Workers   int    `json:"worker_processes"`
+
+	Oracle         chaosRun `json:"in_process_oracle"`
+	FateKill       chaosRun `json:"fate_share_worker_kill"`
+	RetryKill      chaosRun `json:"retry_worker_kill"`
+	RecoverKill    chaosRun `json:"recover_worker_kill"`
+	RetryPartition chaosRun `json:"retry_link_partition"`
+
+	// The CI gates (1 = claim holds, 0 = regression): under FateShare and
+	// Retry a killed worker must fail the run loudly (dead processes are
+	// not transient), under Recover the same kill must converge bag-equal
+	// to the in-process oracle on a later attempt, and under Retry a
+	// one-way link partition — detectable only by missed heartbeats — must
+	// be survived by a re-dispatch over fresh connections.
+	FateKillFailsX  float64 `json:"fate_kill_fails_x"`
+	RetryKillFailsX float64 `json:"retry_kill_fails_x"`
+	RecoverKillX    float64 `json:"recover_kill_x"`
+	RetryPartitionX float64 `json:"retry_partition_x"`
+
+	// RecoveryMS is detection + re-dispatch time for the Recover kill run
+	// (first failure to final success). Info only: dominated by the
+	// configured heartbeat window and the surviving attempt's runtime.
+	RecoveryMS float64 `json:"recovery_ms"`
+}
+
+// chaosWorkers brings up n in-process WorkerServers; Close() on a handle is
+// the chaos kill (listener and every live session link drop at once, the
+// in-process equivalent of SIGKILL on a squalld).
+func chaosWorkers(n int) ([]string, []*squall.WorkerServer, error) {
+	addrs := make([]string, n)
+	srvs := make([]*squall.WorkerServer, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		srv := squall.NewWorkerServer(ln)
+		go srv.Serve()
+		addrs[i] = ln.Addr().String()
+		srvs[i] = srv
+	}
+	return addrs, srvs, nil
+}
+
+// chaosBench is the PR 8 experiment: the same trickled join under injected
+// faults — a worker killed mid-run under each survivability policy, and a
+// one-way link partition under Retry — gating that FateShare/Retry fail
+// loudly on a dead process while Recover and the partition retry converge
+// bag-equal to the in-process oracle.
+func chaosBench() {
+	n, trickle, killAfter := 3_000, 1_200, 250*time.Millisecond
+	if *smoke {
+		n, trickle, killAfter = 900, 500, 100*time.Millisecond
+	}
+	const machines = 6
+	header(fmt.Sprintf("Cluster survivability under injected faults (3 relations x %d tuples, %dJ, 2 workers)", n, machines))
+
+	params := clusterjobs.WorkloadParams{
+		Seed: 8, NumRels: 3, RowsPerRel: n, KeyDomain: n / 6,
+		TrickleRows: trickle, TrickleEveryUS: 500,
+		Config: enginetest.EngineConfig{
+			Scheme: squall.HashHypercube, Local: squall.Traditional,
+			BatchSize: 16, Machines: machines, Seed: 8,
+		},
+	}
+
+	runCase := func(name string, spec *squall.ClusterSpec, killIdx int) (chaosRun, uint64, float64) {
+		q, opts, err := params.Build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		var srvs []*squall.WorkerServer
+		if spec != nil {
+			s := *spec
+			var addrs []string
+			addrs, srvs, err = chaosWorkers(2)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			defer func() {
+				for _, srv := range srvs {
+					srv.Close()
+				}
+			}()
+			s.Workers = addrs
+			s.Job = clusterjobs.WorkloadJob
+			s.Params = params.Marshal()
+			opts.Cluster = &s
+		}
+		if killIdx >= 0 {
+			victim := srvs[killIdx]
+			go func() {
+				time.Sleep(killAfter)
+				victim.Close()
+			}()
+		}
+		start := time.Now()
+		res, err := q.Run(opts)
+		run := chaosRun{Name: name, ElapsedMS: float64(time.Since(start).Microseconds()) / 1000}
+		if err != nil {
+			run.Err = err.Error()
+			return run, 0, 0
+		}
+		run.Rows = res.RowCount
+		run.Attempts = res.Metrics.Cluster.Attempts
+		run.WorkersLost = res.Metrics.Cluster.WorkersLost
+		return run, bagHash(res.Rows), float64(res.Metrics.Cluster.RecoveryNS) / 1e6
+	}
+
+	mkSpec := func(policy squall.ClusterPolicy) *squall.ClusterSpec {
+		return &squall.ClusterSpec{
+			Policy: policy, MaxAttempts: 2,
+			Heartbeat: 100 * time.Millisecond, HeartbeatMiss: 3,
+			Retry: transport.RetryPolicy{Attempts: 2, BaseDelay: 20 * time.Millisecond, DialTimeout: 5 * time.Second},
+		}
+	}
+
+	oracle, oracleBag, _ := runCase("in-process oracle", nil, -1)
+	if oracle.Err != "" {
+		fmt.Fprintf(os.Stderr, "chaos: oracle run failed: %s\n", oracle.Err)
+		os.Exit(1)
+	}
+
+	// Worker 1 hosts the joiner under default placement: killing it is the
+	// worst case short of losing the coordinator.
+	fateKill, _, _ := runCase("FateShare + worker kill", mkSpec(squall.FateShare), 0)
+	retryKill, _, _ := runCase("Retry + worker kill", mkSpec(squall.Retry), 0)
+	recoverKill, recoverBag, recoveryMS := runCase("Recover + worker kill", mkSpec(squall.Recover), 0)
+
+	partSpec := mkSpec(squall.Retry)
+	partSpec.Fault = &transport.FaultSpec{Seed: 8, PartitionAfter: 40, MaxConns: 1}
+	retryPart, partBag, _ := runCase("Retry + one-way partition", partSpec, -1)
+
+	report := chaosReport{
+		PR: 8,
+		Benchmark: fmt.Sprintf("trickled 3-way join under injected faults: worker kill per policy + one-way partition (%d tuples/rel, %dJ, 2 workers)",
+			n, machines),
+		Tuples: n, Machines: machines, Workers: 2,
+		Oracle: oracle, FateKill: fateKill, RetryKill: retryKill,
+		RecoverKill: recoverKill, RetryPartition: retryPart,
+		RecoveryMS: recoveryMS,
+	}
+	if fateKill.Err != "" {
+		report.FateKillFailsX = 1
+	}
+	if retryKill.Err != "" {
+		report.RetryKillFailsX = 1
+	}
+	if recoverKill.Err == "" && recoverBag == oracleBag && recoverKill.Rows == oracle.Rows && recoverKill.Attempts >= 2 {
+		report.RecoverKillX = 1
+	}
+	if retryPart.Err == "" && partBag == oracleBag && retryPart.Rows == oracle.Rows && retryPart.Attempts == 2 {
+		report.RetryPartitionX = 1
+	}
+
+	fmt.Printf("  %-28s %12s %10s %9s %6s  %s\n", "run", "elapsed", "rows", "attempts", "lost", "outcome")
+	for _, r := range []chaosRun{oracle, fateKill, retryKill, recoverKill, retryPart} {
+		outcome := "ok"
+		if r.Err != "" {
+			outcome = "failed (expected for FateShare/Retry kills)"
+		}
+		fmt.Printf("  %-28s %10.1fms %10d %9d %6d  %s\n", r.Name, r.ElapsedMS, r.Rows, r.Attempts, r.WorkersLost, outcome)
+	}
+
+	ok := true
+	check := func(x float64, msg string) {
+		if x != 1 {
+			fmt.Fprintf(os.Stderr, "  FAIL: %s\n", msg)
+			ok = false
+		}
+	}
+	check(report.FateKillFailsX, "FateShare swallowed a dead worker instead of failing loudly")
+	check(report.RetryKillFailsX, "Retry reported success against a permanently dead worker")
+	check(report.RecoverKillX, "Recover did not converge bag-equal to the oracle after the worker kill")
+	check(report.RetryPartitionX, "the one-way partition was not survived by re-dispatch")
+	if !ok {
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(benchFileChaos, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", benchFileChaos, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", benchFileChaos)
+	}
+}

@@ -1,6 +1,6 @@
 // squallbench regenerates the paper's tables and figures as text tables.
 //
-//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|state|recover|exec|vec|all]
+//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|state|recover|exec|vec|net|chaos|all]
 //	go run ./cmd/squallbench compare old.json new.json
 //
 // The extra `batch` experiment measures the PR 1 batched-transport speedup
@@ -50,6 +50,15 @@
 // exits non-zero when the distributed run (including one with a remote
 // joiner task killed and recovered mid-run) stops being bag-equal to the
 // in-process engine (the CI gate).
+//
+// The `chaos` experiment (PR 8) measures cluster survivability under
+// injected faults: the same trickled join with a worker killed mid-run under
+// each ClusterSpec policy (FateShare, Retry, Recover) plus a one-way link
+// partition — detectable only by missed heartbeats — injected through
+// transport.FaultSpec. With -json it writes BENCH_PR8.json; it exits
+// non-zero when FateShare/Retry stop failing loudly on a dead worker, or
+// when Recover (kill) and Retry (partition) stop converging bag-equal to
+// the in-process oracle (the CI gate).
 //
 // `squallbench compare old.json new.json` diffs two bench JSON files and
 // exits non-zero when a gated metric (speedup/reduction ratios, alloc
@@ -112,6 +121,7 @@ func main() {
 		"exec":     execBench,
 		"vec":      vecBench,
 		"net":      netBench,
+		"chaos":    chaosBench,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -121,7 +131,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec vec net all (or: compare old.json new.json)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec vec net chaos all (or: compare old.json new.json)\n", what)
 		os.Exit(2)
 	}
 	f()

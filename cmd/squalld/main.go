@@ -1,7 +1,9 @@
 // Command squalld is a squall cluster worker: it listens for coordinator
 // sessions (see squall.ServeWorker), rebuilds each job's plan from the
 // registered cluster jobs and runs its share of the topology. A second
-// listener serves /healthz for liveness probes.
+// listener serves /healthz (liveness: active sessions, per-link
+// last-heartbeat ages, failure counters) and /readyz (503 when any live
+// link has gone silent past its detection window).
 package main
 
 import (
@@ -19,7 +21,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7171", "address for coordinator and peer connections")
-	healthz := flag.String("healthz", "", "address for the /healthz HTTP endpoint (empty = disabled)")
+	healthz := flag.String("healthz", "", "address for the /healthz and /readyz HTTP endpoints (empty = disabled)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -32,7 +34,11 @@ func main() {
 
 	if *healthz != "" {
 		mux := http.NewServeMux()
+		// Liveness: always 200 with session/heartbeat detail. Readiness:
+		// 503 once any live link misses its heartbeat window — the signal
+		// for an external supervisor to restart a wedged worker.
 		mux.Handle("/healthz", srv.Healthz())
+		mux.Handle("/readyz", srv.Readyz())
 		go func() {
 			if err := http.ListenAndServe(*healthz, mux); err != nil {
 				log.Printf("squalld: healthz: %v", err)

@@ -9,9 +9,12 @@ package clusterjobs
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"squall"
+	"squall/internal/dataflow"
 	"squall/internal/enginetest"
+	"squall/internal/types"
 )
 
 // WorkloadJob rebuilds a deterministic enginetest workload and one engine
@@ -29,6 +32,13 @@ type WorkloadParams struct {
 	RowsPerRel int   `json:"rows_per_rel"`
 	KeyDomain  int   `json:"key_domain"`
 	WithTheta  bool  `json:"with_theta,omitempty"`
+	// TrickleRows > 0 paces each relation's first TrickleRows rows by
+	// sleeping TrickleEveryUS microseconds per row. The tuples themselves
+	// are unchanged, so results stay bag-identical to the untrickled run —
+	// this only guarantees the run lasts long enough for chaos tests and
+	// benches to kill a worker mid-flight deterministically.
+	TrickleRows    int   `json:"trickle_rows,omitempty"`
+	TrickleEveryUS int64 `json:"trickle_every_us,omitempty"`
 	// The engine configuration to run over it.
 	Config enginetest.EngineConfig `json:"config"`
 }
@@ -50,6 +60,19 @@ func (p WorkloadParams) Build() (*squall.JoinQuery, squall.Options, error) {
 	}
 	w := enginetest.RandomWorkload(p.Seed, p.NumRels, p.RowsPerRel, p.KeyDomain, p.WithTheta)
 	q, opts := w.Plan(p.Config)
+	if p.TrickleRows > 0 && p.TrickleEveryUS > 0 {
+		delay := time.Duration(p.TrickleEveryUS) * time.Microsecond
+		limit := p.TrickleRows
+		for rel := range q.Sources {
+			rows := w.Rels[rel]
+			q.Sources[rel].Spout = dataflow.GenSpout(len(rows), func(i int) types.Tuple {
+				if i < limit {
+					time.Sleep(delay)
+				}
+				return rows[i]
+			})
+		}
+	}
 	return q, opts, nil
 }
 

@@ -93,7 +93,24 @@ type RunMetrics struct {
 	// checkpoints taken, faults recovered, and the state restored or
 	// replayed (see RecoveryMetrics).
 	Recovery RecoveryMetrics
-	topo     *Topology
+	// Cluster counts coordinator-side survivability activity on a cluster
+	// run (always zero in-process): dispatch attempts, workers lost,
+	// components reassigned off dead workers, and the wall clock from the
+	// first infrastructure failure to the final successful attempt. Written
+	// once by the coordinator after the run settles.
+	Cluster ClusterMetrics
+	topo    *Topology
+}
+
+// ClusterMetrics is the coordinator's account of a cluster run's
+// survivability: how many dispatch attempts it took (1 = clean), how many
+// worker processes were declared dead, how many components were reassigned
+// to survivors, and how long the detection-and-recovery ladder ran.
+type ClusterMetrics struct {
+	Attempts    int
+	WorkersLost int
+	Reassigned  int
+	RecoveryNS  int64
 }
 
 // Component returns the metrics of one component (nil if unknown).

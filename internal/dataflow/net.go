@@ -22,6 +22,7 @@ package dataflow
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -31,6 +32,13 @@ import (
 	"squall/internal/transport"
 	"squall/internal/wire"
 )
+
+// ErrLink marks a run failure caused by cluster infrastructure — a lost or
+// corrupted link, a peer-loss declaration, or an abort relayed from a worker
+// that itself failed on infrastructure — rather than by the job. The cluster
+// layer retries or recovers failures carrying this sentinel; anything else
+// (an operator error, a bad plan) is permanent and escalates as-is.
+var ErrLink = errors.New("cluster infrastructure failure")
 
 // Dataflow-plane message kinds (all below transport.KindUser; kind 1 is the
 // transport handshake).
@@ -245,7 +253,11 @@ func (p *NetPlane) fail(err error) {
 // broadcastAbort tells every peer the run failed here. Write errors are
 // ignored: a dead link's worker learns of the failure from the EOF instead.
 func (p *NetPlane) broadcastAbort(err error) {
-	m := transport.Msg{Kind: mkAbort, Payload: []byte(err.Error())}
+	var infra int64
+	if errors.Is(err, ErrLink) || errors.Is(err, transport.ErrPeerLost) {
+		infra = 1
+	}
+	m := transport.Msg{Kind: mkAbort, A: infra, Payload: []byte(err.Error())}
 	for _, lk := range p.links {
 		if lk != nil {
 			_ = lk.conn.WriteMsg(&m)
@@ -311,7 +323,7 @@ func (p *NetPlane) readLoop(lk *netLink) {
 			select {
 			case <-p.closed:
 			default:
-				p.fail(fmt.Errorf("dataflow: link to worker %d lost: %w", lk.worker, err))
+				p.fail(fmt.Errorf("dataflow: link to worker %d lost: %w (%w)", lk.worker, err, ErrLink))
 			}
 			return
 		}
@@ -388,7 +400,13 @@ func (p *NetPlane) handle(lk *netLink, m *transport.Msg) {
 			p.ex.rec.commitTrims(tr.Task, tr.Cursors)
 		}
 	case mkAbort:
-		p.fail(fmt.Errorf("dataflow: run aborted by worker %d: %s", lk.worker, m.Payload))
+		err := fmt.Errorf("dataflow: run aborted by worker %d: %s", lk.worker, m.Payload)
+		if m.A == 1 {
+			// The worker failed on infrastructure, not on the job: keep the
+			// classification so the coordinator's policy can act on it.
+			err = fmt.Errorf("%w (%w)", err, ErrLink)
+		}
+		p.fail(err)
 	default:
 		p.fail(fmt.Errorf("dataflow: worker %d sent unknown message kind %d", lk.worker, m.Kind))
 	}

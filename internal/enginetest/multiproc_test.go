@@ -22,6 +22,7 @@ import (
 	"squall/internal/dataflow"
 	"squall/internal/enginetest"
 	"squall/internal/expr"
+	"squall/internal/transport"
 	"squall/internal/types"
 )
 
@@ -233,5 +234,110 @@ func TestClusterWorkerProcessLoss(t *testing.T) {
 		t.Logf("coordinator failed as expected: %v", err)
 	case <-time.After(30 * time.Second):
 		t.Fatalf("coordinator hung after worker process death")
+	}
+}
+
+// chaosParams is a trickled workload: tuples identical to the untrickled
+// oracle, but paced so a chaos fault reliably lands mid-run.
+func chaosParams() clusterjobs.WorkloadParams {
+	return clusterjobs.WorkloadParams{
+		Seed: 11, NumRels: 3, RowsPerRel: 420, KeyDomain: 40,
+		TrickleRows: 400, TrickleEveryUS: 500,
+		Config: enginetest.EngineConfig{
+			Scheme: squall.HashHypercube, Local: squall.Traditional,
+			BatchSize: 8, Machines: 4, Seed: 11,
+		},
+	}
+}
+
+func chaosRef(t *testing.T, params clusterjobs.WorkloadParams) map[string]int {
+	t.Helper()
+	w := enginetest.RandomWorkload(params.Seed, params.NumRels, params.RowsPerRel, params.KeyDomain, params.WithTheta)
+	ref := w.ReferenceBag()
+	if len(ref) == 0 {
+		t.Fatalf("degenerate workload: oracle produced no rows")
+	}
+	return ref
+}
+
+// TestClusterChaosRecoverProcessKill SIGKILLs the worker process hosting the
+// joiner mid-run. Under the Recover policy the coordinator must detect the
+// loss, reassign the dead worker's components to the survivor and finish
+// bag-identical to the oracle — exactly once, no duplicates from the aborted
+// attempt.
+func TestClusterChaosRecoverProcessKill(t *testing.T) {
+	addr1, victim := startWorkerProc(t) // worker 1: joiner host under default placement
+	addr2, _ := startWorkerProc(t)
+
+	params := chaosParams()
+	ref := chaosRef(t, params)
+
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		victim.Process.Kill()
+	}()
+	q, opts, err := params.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	opts.Cluster = &squall.ClusterSpec{
+		Workers: []string{addr1, addr2}, Job: clusterjobs.WorkloadJob, Params: params.Marshal(),
+		Policy: squall.Recover, MaxAttempts: 3,
+		Heartbeat: 200 * time.Millisecond, HeartbeatMiss: 5,
+		Retry: transport.RetryPolicy{Attempts: 3, BaseDelay: 50 * time.Millisecond, DialTimeout: 5 * time.Second},
+	}
+	res, err := q.Run(opts)
+	if err != nil {
+		t.Fatalf("recover run: %v", err)
+	}
+	got := make(map[string]int, len(res.Rows))
+	for _, r := range res.Rows {
+		got[r.Key()]++
+	}
+	if diff := enginetest.DiffBags(ref, got); diff != "" {
+		t.Fatalf("recovered run diverges from oracle:\n%s", diff)
+	}
+	cm := res.Metrics.Cluster
+	if cm.Attempts < 2 || cm.WorkersLost < 1 {
+		t.Fatalf("process kill not recovered through the cluster ladder: %+v", cm)
+	}
+}
+
+// TestClusterChaosRecoverLinkPartition injects a one-way partition on the
+// first coordinator->worker connection: writes vanish silently while reads
+// still flow, so only missed heartbeats can expose it. The worker process
+// stays healthy, so recovery re-dispatches onto the same worker over fresh
+// connections and must converge bag-identical to the oracle.
+func TestClusterChaosRecoverLinkPartition(t *testing.T) {
+	addr, _ := startWorkerProc(t)
+
+	params := chaosParams()
+	ref := chaosRef(t, params)
+
+	q, opts, err := params.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	opts.Cluster = &squall.ClusterSpec{
+		Workers: []string{addr}, Job: clusterjobs.WorkloadJob, Params: params.Marshal(),
+		Policy: squall.Recover, MaxAttempts: 3,
+		Heartbeat: 100 * time.Millisecond, HeartbeatMiss: 3,
+		Retry: transport.RetryPolicy{Attempts: 3, BaseDelay: 20 * time.Millisecond, DialTimeout: 5 * time.Second},
+		Fault: &transport.FaultSpec{Seed: 7, PartitionAfter: 30, MaxConns: 1},
+	}
+	res, err := q.Run(opts)
+	if err != nil {
+		t.Fatalf("partition run: %v", err)
+	}
+	got := make(map[string]int, len(res.Rows))
+	for _, r := range res.Rows {
+		got[r.Key()]++
+	}
+	if diff := enginetest.DiffBags(ref, got); diff != "" {
+		t.Fatalf("partitioned run diverges from oracle:\n%s", diff)
+	}
+	cm := res.Metrics.Cluster
+	if cm.Attempts != 2 || cm.WorkersLost != 0 {
+		t.Fatalf("partition not recovered through re-dispatch: %+v", cm)
 	}
 }
