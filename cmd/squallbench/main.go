@@ -1,6 +1,6 @@
 // squallbench regenerates the paper's tables and figures as text tables.
 //
-//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|state|recover|exec|vec|net|chaos|all]
+//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|state|recover|exec|vec|net|chaos|serve|all]
 //	go run ./cmd/squallbench compare old.json new.json
 //
 // The extra `batch` experiment measures the PR 1 batched-transport speedup
@@ -59,6 +59,15 @@
 // non-zero when FateShare/Retry stop failing loudly on a dead worker, or
 // when Recover (kill) and Retry (partition) stop converging bag-equal to
 // the in-process oracle (the CI gate).
+//
+// The `serve` experiment (PR 9) registers K=8 continuous queries on one
+// multi-query serving engine sharing five physical TPC-H scans — plus a
+// deliberately failing query and a budget-capped tenant — and gates that
+// every shared-scan query stays bag-equal to its standalone run, that
+// source rows are wire-encoded once instead of once per query, that the
+// failing query is isolated, and that admission control rejects the
+// over-budget registration with the typed error. With -json it writes
+// BENCH_PR9.json (the CI gate).
 //
 // `squallbench compare old.json new.json` diffs two bench JSON files and
 // exits non-zero when a gated metric (speedup/reduction ratios, alloc
@@ -122,6 +131,7 @@ func main() {
 		"vec":      vecBench,
 		"net":      netBench,
 		"chaos":    chaosBench,
+		"serve":    serveBench,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -131,7 +141,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec vec net chaos all (or: compare old.json new.json)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec vec net chaos serve all (or: compare old.json new.json)\n", what)
 		os.Exit(2)
 	}
 	f()

@@ -1,0 +1,318 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"squall"
+	"squall/experiments"
+	"squall/internal/datagen"
+	"squall/internal/serve"
+	"squall/internal/types"
+)
+
+// benchFileServe is where `-json serve` records the PR 9 numbers.
+const benchFileServe = "BENCH_PR9.json"
+
+// serveQueryRun is one registered query's outcome in the report.
+type serveQueryRun struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Status string `json:"status"`
+	Rows   int64  `json:"result_rows"`
+	Err    string `json:"error,omitempty"`
+}
+
+type serveReport struct {
+	PR        int    `json:"pr"`
+	Benchmark string `json:"benchmark"`
+	Lineitems int64  `json:"lineitems"`
+	QueriesK  int    `json:"queries_k"`
+
+	// Shared-scan accounting across every source: a private-per-query design
+	// encodes each source row once per query that scans it; the engine
+	// encodes it once, period.
+	SourceRows       int64               `json:"source_rows"`
+	SourceEncodes    int64               `json:"source_encodes"`
+	PrivateEncodes   int64               `json:"private_design_encodes"`
+	EncodesPerRow    float64             `json:"encodes_per_source_row"`
+	Sources          []serve.SourceStats `json:"sources"`
+	SharedEngineMS   float64             `json:"shared_engine_ms"`
+	StandaloneSumMS  float64             `json:"standalone_total_ms"`
+	RegisteredRuns   []serveQueryRun     `json:"registered_runs"`
+	RejectedRegister string              `json:"rejected_registration"`
+
+	// The CI gates. ServeBagEqualX: every one of the K shared-scan queries is
+	// bag-equal to its standalone run. ServeEncodeOnceX: source rows are
+	// wire-encoded once regardless of fan-out (rows/encodes). ServeScanShareX:
+	// encodes a private-per-query design would have performed divided by the
+	// engine's (the scan-sharing reduction, ~K on the hot source).
+	// ServeIsolationX: the deliberately failing query settles as failed while
+	// every sibling stays bag-equal. ServeAdmissionX: the over-budget
+	// registration is rejected with the typed budget error while the same
+	// tenant's admitted query runs to completion.
+	ServeBagEqualX  float64 `json:"serve_bag_equal_x"`
+	ServeEncodeOnce float64 `json:"serve_encode_once_x"`
+	ServeScanShareX float64 `json:"serve_scan_share_x"`
+	ServeIsolationX float64 `json:"serve_isolation_x"`
+	ServeAdmissionX float64 `json:"serve_admission_x"`
+}
+
+// serveFailOp errors after `after` tuples — injected into one registered
+// query's Pre to prove per-query fault isolation on a shared scan.
+type serveFailOp struct {
+	after int64
+	seen  atomic.Int64
+}
+
+func (o *serveFailOp) Apply(t types.Tuple) ([]types.Tuple, error) {
+	if o.seen.Add(1) > o.after {
+		return nil, errors.New("injected query failure")
+	}
+	return []types.Tuple{t}, nil
+}
+
+// serveCount rewrites a builder query's aggregate to COUNT: integer group
+// counts make the shared-vs-standalone differential exact (float SUMs would
+// drift with arrival order across parallel tasks).
+func serveCount(q *squall.JoinQuery) *squall.JoinQuery {
+	q.Agg.Kind = squall.Count
+	q.Agg.Sum = nil
+	return q
+}
+
+// serveShared strips the private spouts so registration binds every relation
+// to the engine's shared scan of the same name.
+func serveShared(q *squall.JoinQuery) *squall.JoinQuery {
+	for i := range q.Sources {
+		q.Sources[i].Spout = nil
+	}
+	return q
+}
+
+// serveBench is the PR 9 experiment: K=8 continuous queries registered on
+// one serving engine share five physical TPC-H scans; each must stay
+// bag-equal to its standalone run while every source row is wire-encoded
+// once instead of once per query. A ninth query carries an erroring
+// pipeline (isolation gate) and a capped tenant exercises admission
+// control alongside the healthy fleet.
+func serveBench() {
+	n := int64(60_000)
+	if *smoke {
+		n = 12_000
+	}
+	const k = 8
+	const machines = 4
+	header(fmt.Sprintf("Multi-query serving: %d shared-scan queries over TPC-H (%d lineitems, %dJ each)", k, n, machines))
+
+	gen := datagen.NewTPCH(42, n, 0)
+	opt := squall.Options{Seed: 9}
+	mk := func(i int) *squall.JoinQuery {
+		if i%2 == 0 {
+			return serveCount(experiments.TPCH9Partial(gen, squall.HashHypercube, squall.DBToaster, machines))
+		}
+		return serveCount(experiments.Q3(gen, squall.HashHypercube, squall.DBToaster, machines))
+	}
+
+	eng := squall.NewEngine(squall.EngineOptions{Run: opt})
+	eng.AddSource("LINEITEM", gen.LineitemSpout(), gen.Lineitems)
+	eng.AddSource("PARTSUPP", gen.PartSuppSpout(), gen.PartSupps())
+	eng.AddSource("PART", gen.PartSpout(), gen.Parts())
+	eng.AddSource("CUSTOMER", gen.CustomerSpout(), gen.Customers())
+	eng.AddSource("ORDERS", gen.OrdersSpout(), gen.Orders())
+
+	fatal := func(stage string, err error) {
+		fmt.Fprintf(os.Stderr, "serve: %s: %v\n", stage, err)
+		os.Exit(1)
+	}
+
+	// tapCount tracks how many healthy queries scan each source: a
+	// private-per-query design wire-encodes every source row once per
+	// scanning query, the engine once, period.
+	tapCount := make(map[string]int)
+	noteScans := func(q *squall.JoinQuery) {
+		for _, s := range q.Sources {
+			tapCount[s.Name]++
+		}
+	}
+
+	handles := make([]*squall.ServedQuery, k)
+	for i := 0; i < k; i++ {
+		q := mk(i)
+		noteScans(q)
+		sq, err := eng.Register(squall.RegisterRequest{
+			Tenant: "main", ID: fmt.Sprintf("Q%d", i), Query: serveShared(q),
+		})
+		if err != nil {
+			fatal(fmt.Sprintf("register Q%d", i), err)
+		}
+		handles[i] = sq
+	}
+
+	// The isolation probe: same shape as the fleet, but its ORDERS pipeline
+	// errors after 100 tuples. It must settle failed without disturbing the
+	// shared scan its eight siblings are riding.
+	failQ := serveShared(mk(1))
+	failQ.Sources[1].Pre = append(failQ.Sources[1].Pre, &serveFailOp{after: 100})
+	failSQ, err := eng.Register(squall.RegisterRequest{Tenant: "chaos", ID: "QFAIL", Query: failQ})
+	if err != nil {
+		fatal("register QFAIL", err)
+	}
+
+	// Admission control: tenant "capped" may hold one query. The first
+	// registration is admitted and must complete; the second is rejected with
+	// the typed budget error before it touches any shared source.
+	eng.SetTenantBudget("capped", serve.Budget{MaxQueries: 1})
+	capQ := mk(1)
+	noteScans(capQ)
+	capSQ, err := eng.Register(squall.RegisterRequest{Tenant: "capped", ID: "QCAP", Query: serveShared(capQ)})
+	if err != nil {
+		fatal("register QCAP", err)
+	}
+	_, rejErr := eng.Register(squall.RegisterRequest{Tenant: "capped", ID: "QCAP2", Query: serveShared(mk(0))})
+	admissionOK := errors.Is(rejErr, serve.ErrBudgetExceeded)
+	var be *serve.BudgetError
+	admissionOK = admissionOK && errors.As(rejErr, &be)
+
+	start := time.Now()
+	eng.Start()
+	eng.Drain()
+	sharedMS := float64(time.Since(start).Microseconds()) / 1000
+
+	stats := eng.Stats()
+	var srcRows, srcEncodes, privateEncodes int64
+	for _, s := range stats.Sources {
+		srcRows += s.Rows
+		srcEncodes += s.Encodes
+		privateEncodes += s.Rows * int64(tapCount[s.Name])
+	}
+
+	// Standalone oracle: the same K queries with their private spouts, run
+	// sequentially. Each shared run must be bag-equal to its oracle.
+	bagEqual := true
+	var standaloneMS float64
+	runs := make([]serveQueryRun, 0, k+2)
+	for i := 0; i < k; i++ {
+		res, err := handles[i].Wait()
+		run := serveQueryRun{ID: handles[i].ID, Tenant: handles[i].Tenant, Status: handles[i].Status().String()}
+		if err != nil {
+			run.Err = err.Error()
+			bagEqual = false
+			runs = append(runs, run)
+			continue
+		}
+		run.Rows = res.RowCount
+		t0 := time.Now()
+		oracle, err := mk(i).Run(opt)
+		standaloneMS += float64(time.Since(t0).Microseconds()) / 1000
+		if err != nil {
+			fatal(fmt.Sprintf("standalone Q%d", i), err)
+		}
+		if res.RowCount != oracle.RowCount || bagHash(res.Rows) != bagHash(oracle.Rows) {
+			run.Err = "diverged from standalone run"
+			bagEqual = false
+		}
+		runs = append(runs, run)
+	}
+
+	failRes, failErr := failSQ.Wait()
+	isolationOK := failErr != nil && failSQ.Status() == squall.QueryFailed && bagEqual
+	failRun := serveQueryRun{ID: "QFAIL", Tenant: "chaos", Status: failSQ.Status().String()}
+	if failErr != nil {
+		failRun.Err = failErr.Error()
+	} else if failRes != nil {
+		failRun.Rows = failRes.RowCount
+	}
+	runs = append(runs, failRun)
+
+	capRes, capErr := capSQ.Wait()
+	capRun := serveQueryRun{ID: "QCAP", Tenant: "capped", Status: capSQ.Status().String()}
+	if capErr != nil {
+		capRun.Err = capErr.Error()
+		admissionOK = false
+	} else {
+		capRun.Rows = capRes.RowCount
+		capOracle, err := mk(1).Run(opt)
+		if err != nil {
+			fatal("standalone QCAP", err)
+		}
+		admissionOK = admissionOK && bagHash(capRes.Rows) == bagHash(capOracle.Rows)
+	}
+	runs = append(runs, capRun)
+
+	report := serveReport{
+		PR: 9,
+		Benchmark: fmt.Sprintf("%d shared-scan queries + 1 failing + capped tenant on one serving engine (%d lineitems, %dJ)",
+			k, n, machines),
+		Lineitems: n, QueriesK: k,
+		SourceRows: srcRows, SourceEncodes: srcEncodes,
+		PrivateEncodes: privateEncodes,
+		Sources:        stats.Sources,
+		SharedEngineMS: sharedMS, StandaloneSumMS: standaloneMS,
+		RegisteredRuns: runs,
+	}
+	if rejErr != nil {
+		report.RejectedRegister = rejErr.Error()
+	}
+	if srcEncodes > 0 {
+		report.EncodesPerRow = float64(srcEncodes) / float64(srcRows)
+		report.ServeScanShareX = float64(privateEncodes) / float64(srcEncodes)
+		if srcEncodes == srcRows {
+			report.ServeEncodeOnce = 1
+		}
+	}
+	if bagEqual {
+		report.ServeBagEqualX = 1
+	}
+	if isolationOK {
+		report.ServeIsolationX = 1
+	}
+	if admissionOK {
+		report.ServeAdmissionX = 1
+	}
+
+	fmt.Printf("  %-8s %-8s %-10s %10s  %s\n", "query", "tenant", "status", "rows", "note")
+	for _, r := range runs {
+		fmt.Printf("  %-8s %-8s %-10s %10d  %s\n", r.ID, r.Tenant, r.Status, r.Rows, r.Err)
+	}
+	fmt.Printf("  shared engine %.1fms for %d queries; %d standalone runs %.1fms total\n",
+		sharedMS, k, k, standaloneMS)
+	fmt.Printf("  source rows %d wire-encoded %d times (%.3f/row); private design would encode %d (%.1fx more)\n",
+		srcRows, srcEncodes, report.EncodesPerRow, privateEncodes, report.ServeScanShareX)
+
+	ok := true
+	check := func(x float64, msg string) {
+		if x != 1 {
+			fmt.Fprintf(os.Stderr, "  FAIL: %s\n", msg)
+			ok = false
+		}
+	}
+	check(report.ServeBagEqualX, "a shared-scan query diverged from its standalone run")
+	check(report.ServeEncodeOnce, "shared sources re-encoded rows (encodes != rows)")
+	check(report.ServeIsolationX, "the failing query was not isolated (or poisoned its siblings)")
+	check(report.ServeAdmissionX, "admission control failed (typed rejection or the admitted query broke)")
+	if report.ServeScanShareX < 2 {
+		fmt.Fprintf(os.Stderr, "  FAIL: scan sharing saved only %.2fx encodes\n", report.ServeScanShareX)
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(benchFileServe, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", benchFileServe, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", benchFileServe)
+	}
+}

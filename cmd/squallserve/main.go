@@ -1,0 +1,242 @@
+// Command squallserve hosts a multi-query serving Engine over HTTP: one set
+// of shared TPC-H scans, a catalog of registrable continuous queries, and a
+// registry API so operators can add, drop and inspect queries at runtime
+// without restarting the sources.
+//
+// Endpoints:
+//
+//	POST /register?id=Q1&query=tpch9&tenant=acme[&machines=4][&evict=1]
+//	POST /unregister?id=Q1
+//	POST /budget?tenant=acme[&max_bytes=N][&max_queries=N]
+//	POST /start               open the shared scans (after initial registrations)
+//	GET  /queries             full registry snapshot (Engine.Stats)
+//	GET  /results?id=Q1[&limit=N]
+//	GET  /healthz             per-query / per-tenant / per-source counts
+//
+// Registration against an exhausted budget answers 429 with the budget
+// detail; &evict=1 lets the registration evict the tenant's own oldest
+// query instead.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+
+	"squall"
+	"squall/experiments"
+	"squall/internal/datagen"
+	"squall/internal/serve"
+)
+
+// catalog maps query names to builders. The builders produce standalone
+// plans; shared() strips their private spouts so registration binds each
+// relation to the engine's shared scan of the same name.
+func catalog(gen *datagen.TPCH) map[string]func(machines int) *squall.JoinQuery {
+	return map[string]func(machines int) *squall.JoinQuery{
+		"tpch9": func(m int) *squall.JoinQuery {
+			return shared(experiments.TPCH9Partial(gen, squall.HashHypercube, squall.DBToaster, m))
+		},
+		"q3": func(m int) *squall.JoinQuery {
+			return shared(experiments.Q3(gen, squall.HashHypercube, squall.DBToaster, m))
+		},
+	}
+}
+
+func shared(q *squall.JoinQuery) *squall.JoinQuery {
+	for i := range q.Sources {
+		q.Sources[i].Spout = nil
+	}
+	return q
+}
+
+type server struct {
+	eng     *squall.Engine
+	queries map[string]func(machines int) *squall.JoinQuery
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8181", "address for the HTTP API")
+	rows := flag.Int64("rows", 60_000, "Lineitem rows in the generated TPC-H stream")
+	zipf := flag.Float64("zipf", 0, "zipf skew exponent (0 = uniform)")
+	collect := flag.Int("collect", 10_000, "per-query collected-row cap")
+	flag.Parse()
+
+	gen := datagen.NewTPCH(42, *rows, *zipf)
+	eng := squall.NewEngine(squall.EngineOptions{
+		Run: squall.Options{CollectLimit: *collect},
+	})
+	eng.AddSource("LINEITEM", gen.LineitemSpout(), gen.Lineitems)
+	eng.AddSource("PARTSUPP", gen.PartSuppSpout(), gen.PartSupps())
+	eng.AddSource("PART", gen.PartSpout(), gen.Parts())
+	eng.AddSource("CUSTOMER", gen.CustomerSpout(), gen.Customers())
+	eng.AddSource("ORDERS", gen.OrdersSpout(), gen.Orders())
+
+	s := &server{eng: eng, queries: catalog(gen)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", s.register)
+	mux.HandleFunc("/unregister", s.unregister)
+	mux.HandleFunc("/budget", s.budget)
+	mux.HandleFunc("/start", s.start)
+	mux.HandleFunc("/queries", s.stats)
+	mux.HandleFunc("/results", s.results)
+	mux.HandleFunc("/healthz", s.healthz)
+
+	fmt.Printf("squallserve listening on %s\n", *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func fail(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) register(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fail(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	name := r.FormValue("query")
+	build := s.queries[name]
+	if build == nil {
+		names := make([]string, 0, len(s.queries))
+		for n := range s.queries {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fail(w, http.StatusNotFound, fmt.Errorf("unknown query %q (catalog: %v)", name, names))
+		return
+	}
+	machines := 4
+	if m := r.FormValue("machines"); m != "" {
+		if _, err := fmt.Sscanf(m, "%d", &machines); err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("machines: %v", err))
+			return
+		}
+	}
+	req := squall.RegisterRequest{
+		Tenant: r.FormValue("tenant"),
+		ID:     r.FormValue("id"),
+		Query:  build(machines),
+		Evict:  r.FormValue("evict") != "",
+	}
+	sq, err := s.eng.Register(req)
+	switch {
+	case errors.Is(err, serve.ErrBudgetExceeded):
+		var be *serve.BudgetError
+		errors.As(err, &be)
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error(), "budget": be})
+		return
+	case err != nil:
+		fail(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": sq.ID, "tenant": sq.Tenant, "status": sq.Status().String(),
+	})
+}
+
+func (s *server) unregister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fail(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if err := s.eng.Unregister(r.FormValue("id")); err != nil {
+		fail(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) budget(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fail(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	tenant := r.FormValue("tenant")
+	if tenant == "" {
+		fail(w, http.StatusBadRequest, errors.New("tenant required"))
+		return
+	}
+	var b serve.Budget
+	if v := r.FormValue("max_bytes"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &b.MaxBytes); err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("max_bytes: %v", err))
+			return
+		}
+	}
+	if v := r.FormValue("max_queries"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &b.MaxQueries); err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("max_queries: %v", err))
+			return
+		}
+	}
+	s.eng.SetTenantBudget(tenant, b)
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "budget": b})
+}
+
+func (s *server) start(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fail(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	s.eng.Start()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func (s *server) results(w http.ResponseWriter, r *http.Request) {
+	sq, err := s.eng.Query(r.FormValue("id"))
+	if err != nil {
+		fail(w, http.StatusNotFound, err)
+		return
+	}
+	rows := sq.Rows()
+	limit := len(rows)
+	if v := r.FormValue("limit"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &limit); err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("limit: %v", err))
+			return
+		}
+	}
+	out := make([]string, 0, min(limit, len(rows)))
+	for _, t := range rows[:min(limit, len(rows))] {
+		out = append(out, t.String())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": sq.ID, "status": sq.Status().String(), "total": len(rows), "rows": out,
+	})
+}
+
+// healthz condenses the registry into operator-facing counts: how many
+// queries are in each state, each tenant's usage against budget, and the
+// shared sources' fan-out counters.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	byStatus := make(map[string]int)
+	for _, q := range st.Queries {
+		byStatus[q.Status]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":              true,
+		"queries":         len(st.Queries),
+		"query_status":    byStatus,
+		"tenants":         st.Tenants,
+		"sources":         st.Sources,
+		"catalog_queries": len(s.queries),
+	})
+}

@@ -21,13 +21,6 @@ func slot(rel, col int) squall.KeySlot {
 	return squall.KeySlot{Rel: rel, Expr: expr.C(col).String()}
 }
 
-func max1(v int64) int64 {
-	if v < 1 {
-		return 1
-	}
-	return v
-}
-
 // Section31Query builds the paper's §3.1 running example R(x,y) ⋈ S(y,z) ⋈
 // T(z,t) with equal relation sizes h and zipfian z in S and T (top key
 // holding half the mass, Figure 2c's "0.5H"). It is used analytically (via
@@ -206,8 +199,8 @@ func WebAnalytics(cfg WebAnalyticsConfig, scheme squall.SchemeKind, local squall
 		expr.EquiCol(0, 0, 2, 0), // W1.FromUrl = C.Url
 	)
 	// Post-selection size estimates, as the paper reports them.
-	w1Size := max1(int64(float64(cfg.Arcs) * w.HubInFreq()))
-	w2Size := max1(int64(float64(cfg.Arcs) * w.HubOutFreq()))
+	w1Size := max(int64(float64(cfg.Arcs)*w.HubInFreq()), 1)
+	w2Size := max(int64(float64(cfg.Arcs)*w.HubOutFreq()), 1)
 	return &squall.JoinQuery{
 		Sources: []squall.Source{
 			{Name: "W1", Schema: datagen.WebGraphSchema, Spout: w.Spout(), Size: w1Size, Pre: toHub},

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"squall"
 	"squall/internal/dataflow"
@@ -57,11 +58,11 @@ func HashImperfection(d, p int, trials int) ImperfectionResult {
 		}
 		hOwned := count(hash)
 		rOwned := count(rr)
-		res.HashMaxKeys += float64(maxInt(hOwned))
-		res.RoundRobinMaxKeys += float64(maxInt(rOwned))
+		res.HashMaxKeys += float64(slices.Max(hOwned))
+		res.RoundRobinMaxKeys += float64(slices.Max(rOwned))
 		res.HashSkew += skewDegree(hOwned)
 		res.RoundRobinSkew += skewDegree(rOwned)
-		if maxInt(hOwned) > optimal {
+		if slices.Max(hOwned) > optimal {
 			res.HashSuboptimal++
 		}
 	}
@@ -229,16 +230,6 @@ func AdaptiveDrift(cfg DriftConfig) ([]DriftRun, error) {
 		runs = append(runs, r)
 	}
 	return runs, nil
-}
-
-func maxInt(xs []int) int {
-	m := 0
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
 }
 
 func skewDegree(load []int) float64 {

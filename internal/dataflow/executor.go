@@ -18,6 +18,10 @@ import (
 // per-task memory budget — the paper's "Memory Overflow" outcome in Figure 7.
 var ErrMemoryOverflow = errors.New("memory overflow")
 
+// ErrCanceled is returned when a run is aborted through Options.Cancel —
+// the serving engine's Unregister path, not a failure of the query itself.
+var ErrCanceled = errors.New("dataflow: run canceled")
+
 // DefaultBatchSize is the transport batch size used when Options.BatchSize
 // is unset: envelopes carry up to this many tuples per channel send, so the
 // per-hop framing (channel operation, abort select, wire frame) is amortized
@@ -64,6 +68,17 @@ type Options struct {
 	// checkpoints, and kill/panic recovery by peer refetch or checkpoint +
 	// replay (see recover.go).
 	Recovery *RecoveryPolicy
+	// Cancel, when non-nil, aborts the run with ErrCanceled once the channel
+	// is closed. The long-lived serving engine uses it to detach a registered
+	// query without fate-sharing the process; a cancelled run still drains its
+	// tasks and returns partial metrics like any other abort.
+	Cancel <-chan struct{}
+	// MemObserver, when non-nil, receives every MemReporter state sample the
+	// executor takes (the same cadence as MemLimitPerTask enforcement: every
+	// 256 processed tuples per task plus once at end of stream). The serving
+	// engine charges these samples against per-tenant budgets. Called from
+	// task goroutines; must be cheap and concurrency-safe across tasks.
+	MemObserver func(component string, task int, bytes int64)
 	// Net, when set, makes this Run one worker of a multi-process cluster:
 	// only the components Net places here execute locally, edges to remote
 	// components ship serialized envelopes over TCP with credit-based
@@ -890,6 +905,25 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 		}
 	}
 
+	// The cancel watcher must be joined before Run returns: a Cancel closed
+	// as the run drains would otherwise race its fail call against the caller
+	// reading the returned error.
+	stopCancel := func() {}
+	if opts.Cancel != nil {
+		cancelQuit := make(chan struct{})
+		cancelExit := make(chan struct{})
+		go func() {
+			defer close(cancelExit)
+			select {
+			case <-opts.Cancel:
+				ex.fail(ErrCanceled)
+			case <-cancelQuit:
+			case <-ex.abort:
+			}
+		}()
+		stopCancel = func() { close(cancelQuit); <-cancelExit }
+	}
+
 	// In a cluster run, only the locally placed slice executes here: local
 	// tasks, and a control-plane manager only when its protected component is
 	// hosted here (keeping every control envelope process-local).
@@ -918,6 +952,7 @@ func Run(t *Topology, opts Options) (*RunMetrics, error) {
 		}
 	}
 	wg.Wait()
+	stopCancel()
 	if runAdapt {
 		close(ex.adapt.quit)
 		<-ex.adapt.done
@@ -1638,6 +1673,9 @@ func (ex *execution) checkMem(n *node, task int, tm *TaskMetrics, mem MemReporte
 	sz := int64(mem.MemSize())
 	if sz > tm.MaxMem.Load() {
 		tm.MaxMem.Store(sz)
+	}
+	if ex.opts.MemObserver != nil {
+		ex.opts.MemObserver(n.name, task, sz)
 	}
 	if ex.opts.MemLimitPerTask > 0 && sz > int64(ex.opts.MemLimitPerTask) {
 		ex.fail(fmt.Errorf("dataflow: bolt %s[%d] state %dB exceeds budget %dB: %w",

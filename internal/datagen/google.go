@@ -25,16 +25,16 @@ const numEventTypes = 5
 var Platforms = []string{"HpVn", "Kx3a", "zQw9"}
 
 // JobEvents returns the JOB_EVENTS row count (≈9.5% of TASK_EVENTS).
-func (g *GoogleTrace) JobEvents() int64 { return max64(g.TaskEvents*95/1000, 1) }
+func (g *GoogleTrace) JobEvents() int64 { return max(g.TaskEvents*95/1000, 1) }
 
 // MachineEvents returns the MACHINE_EVENTS row count (≈5% of TASK_EVENTS).
-func (g *GoogleTrace) MachineEvents() int64 { return max64(g.TaskEvents*50/1000, 1) }
+func (g *GoogleTrace) MachineEvents() int64 { return max(g.TaskEvents*50/1000, 1) }
 
 // Jobs is the jobID domain (each job has ~2 job events).
-func (g *GoogleTrace) Jobs() int64 { return max64(g.JobEvents()/2, 1) }
+func (g *GoogleTrace) Jobs() int64 { return max(g.JobEvents()/2, 1) }
 
 // Machines is the machineID domain (each machine has ~2 machine events).
-func (g *GoogleTrace) Machines() int64 { return max64(g.MachineEvents()/2, 1) }
+func (g *GoogleTrace) Machines() int64 { return max(g.MachineEvents()/2, 1) }
 
 // Schemas.
 var (

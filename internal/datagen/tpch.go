@@ -42,26 +42,19 @@ func NewTPCH(seed uint64, lineitems int64, zipfS float64) *TPCH {
 // Derived table cardinalities (TPC-H ratios).
 
 // Orders returns the Orders row count (Lineitem/4).
-func (t *TPCH) Orders() int64 { return max64(t.Lineitems/4, 1) }
+func (t *TPCH) Orders() int64 { return max(t.Lineitems/4, 1) }
 
 // Customers returns the Customer row count (Lineitem/40).
-func (t *TPCH) Customers() int64 { return max64(t.Lineitems/40, 1) }
+func (t *TPCH) Customers() int64 { return max(t.Lineitems/40, 1) }
 
 // Parts returns the Part row count (Lineitem/30).
-func (t *TPCH) Parts() int64 { return max64(t.Lineitems/30, 1) }
+func (t *TPCH) Parts() int64 { return max(t.Lineitems/30, 1) }
 
 // PartSupps returns the PartSupp row count (4 suppliers per part).
 func (t *TPCH) PartSupps() int64 { return 4 * t.Parts() }
 
 // Suppliers returns the Supplier row count (Lineitem/600).
-func (t *TPCH) Suppliers() int64 { return max64(t.Lineitems/600, 4) }
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
+func (t *TPCH) Suppliers() int64 { return max(t.Lineitems/600, 4) }
 
 // TopPartkeyFreq returns the generated frequency of the most popular
 // Partkey in Lineitem (0 when uniform) — what the §3.4 sampler would see.

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"squall/internal/types"
+)
+
+// ErrSubscriberLagged closes a DisconnectSlow subscription whose buffer was
+// full when a delta arrived.
+var ErrSubscriberLagged = errors.New("serve: subscriber lagged")
+
+// SubPolicy decides what happens to a subscriber whose channel is full when
+// the next delta arrives. The engine never blocks on a subscriber.
+type SubPolicy int
+
+const (
+	// DropDeltas discards the delta for that subscriber and counts the
+	// dropped rows (Delta.Dropped carries the running total).
+	DropDeltas SubPolicy = iota
+	// CoalesceDeltas accumulates missed rows and delivers them as one
+	// combined delta as soon as the subscriber has room again.
+	CoalesceDeltas
+	// DisconnectSlow closes the subscription with ErrSubscriberLagged.
+	DisconnectSlow
+)
+
+// Delta is one push to a subscriber: the rows materialized since the last
+// delivered delta. Rows is shared read-only among all subscribers (tuples
+// are immutable engine-wide) — one materialization, N receivers. The final
+// delta has Final set and carries the query's terminal error, if any.
+type Delta struct {
+	Seq     int64
+	Rows    []types.Tuple
+	Dropped int64 // rows dropped for this subscriber so far (DropDeltas)
+	Final   bool
+	Err     error
+}
+
+// SubOptions configures one subscription.
+type SubOptions struct {
+	Policy SubPolicy
+	// Buf is the subscription channel depth in deltas (default 16, min 1).
+	Buf int
+}
+
+// Subscription is one consumer of a query's result stream.
+type Subscription struct {
+	hub     *Hub
+	id      int
+	policy  SubPolicy
+	ch      chan Delta
+	dropped int64
+	pending []types.Tuple // CoalesceDeltas backlog (always privately owned)
+}
+
+// C is the delta stream. It is closed after the Final delta (or after
+// Cancel / a DisconnectSlow eviction).
+func (s *Subscription) C() <-chan Delta { return s.ch }
+
+// Cancel detaches the subscription and closes its channel.
+func (s *Subscription) Cancel() { s.hub.cancel(s) }
+
+// Hub fans one query's result deltas out to its subscribers: dedup'd push
+// (each batch is materialized once upstream and the slice shared), slow
+// consumers handled per their policy, never blocking the publisher.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[int]*Subscription
+	nextID int
+	seq    int64
+	closed bool
+	err    error
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[int]*Subscription)}
+}
+
+// Subscribe adds a consumer. replay, when non-empty, is delivered as the
+// first delta (the rows materialized before this subscriber arrived).
+// Subscribing to an already-closed hub still works: the replay and the
+// final delta are delivered, then the channel closes.
+func (h *Hub) Subscribe(o SubOptions, replay []types.Tuple) *Subscription {
+	if o.Buf < 1 {
+		o.Buf = 16
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &Subscription{hub: h, id: h.nextID, policy: o.Policy, ch: make(chan Delta, o.Buf+1)}
+	h.nextID++
+	if len(replay) > 0 {
+		// Buf+1 capacity guarantees room for the replay (and for the final
+		// delta of an already-closed hub right behind it).
+		s.ch <- Delta{Seq: h.seq, Rows: replay}
+	}
+	if h.closed {
+		s.ch <- Delta{Seq: h.seq, Final: true, Err: h.err}
+		close(s.ch)
+		return s
+	}
+	h.subs[s.id] = s
+	return s
+}
+
+// SubCount returns the number of live subscriptions.
+func (h *Hub) SubCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Publish pushes one materialized batch to every subscriber. rows must not
+// be mutated afterwards — subscribers alias it.
+func (h *Hub) Publish(rows []types.Tuple) {
+	if len(rows) == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	for _, s := range h.subs {
+		h.deliver(s, rows)
+	}
+}
+
+func (h *Hub) deliver(s *Subscription, rows []types.Tuple) {
+	payload := rows
+	if len(s.pending) > 0 {
+		// The backlog is privately owned (copied on first coalesce), so
+		// appending shared rows to it cannot scribble on a slice another
+		// subscriber aliases.
+		s.pending = append(s.pending, rows...)
+		payload = s.pending
+	}
+	select {
+	case s.ch <- Delta{Seq: h.seq, Rows: payload, Dropped: s.dropped}:
+		s.pending = nil
+	default:
+		switch s.policy {
+		case DropDeltas:
+			s.dropped += int64(len(rows))
+		case CoalesceDeltas:
+			if s.pending == nil {
+				s.pending = append(make([]types.Tuple, 0, len(rows)*2), rows...)
+			}
+		case DisconnectSlow:
+			delete(h.subs, s.id)
+			h.forceSend(s, Delta{Seq: h.seq, Dropped: s.dropped, Final: true, Err: ErrSubscriberLagged})
+			close(s.ch)
+		}
+	}
+}
+
+// Close ends the stream: every subscriber receives a Final delta (carrying
+// its coalesced backlog and the query's terminal error) and its channel is
+// closed. A full subscriber has stale deltas stolen to make room — the
+// Final delta is never silently lost.
+func (h *Hub) Close(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.err = err
+	h.seq++
+	for _, s := range h.subs {
+		final := Delta{Seq: h.seq, Rows: s.pending, Dropped: s.dropped, Final: true, Err: err}
+		s.pending = nil
+		h.forceSend(s, final)
+		close(s.ch)
+	}
+	h.subs = make(map[int]*Subscription)
+}
+
+// forceSend delivers d without blocking: if the channel is full, the oldest
+// undelivered delta is stolen (its rows folded into d as dropped or
+// prepended for coalescing subscribers) until d fits.
+func (h *Hub) forceSend(s *Subscription, d Delta) {
+	for {
+		select {
+		case s.ch <- d:
+			return
+		default:
+		}
+		select {
+		case old := <-s.ch:
+			if s.policy == CoalesceDeltas {
+				d.Rows = append(append(make([]types.Tuple, 0, len(old.Rows)+len(d.Rows)), old.Rows...), d.Rows...)
+			} else {
+				s.dropped += int64(len(old.Rows))
+				d.Dropped = s.dropped
+			}
+		default:
+			// The consumer drained concurrently; retry the send.
+		}
+	}
+}
+
+func (h *Hub) cancel(s *Subscription) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, live := h.subs[s.id]; !live {
+		return
+	}
+	delete(h.subs, s.id)
+	close(s.ch)
+}

@@ -1,0 +1,52 @@
+package slab
+
+import "sync/atomic"
+
+// Meter is a concurrency-safe running total of resident bytes — the
+// per-tenant accounting hook over the arena's real-bytes MemSize. A Meter is
+// one running total (a tenant); a Gauge is one sampled source charging it
+// (one per operator task). The executor samples every MemReporter — whose
+// unit of truth for slab-backed state is Arena.MemSize — and each sample is
+// folded into the meter as a delta against the gauge's previous reading, so
+// the meter tracks the tenant's current resident bytes, not a sum of
+// samples.
+type Meter struct {
+	n atomic.Int64
+}
+
+// Bytes returns the current total.
+func (m *Meter) Bytes() int64 { return m.n.Load() }
+
+// Add adjusts the total directly (registration-time charges, refunds).
+func (m *Meter) Add(d int64) { m.n.Add(d) }
+
+// Gauge returns a new sampling source charging this meter. Each Gauge must
+// be fed from a single goroutine (the executor calls the memory observer
+// from the owning task's goroutine); distinct gauges may charge one meter
+// concurrently.
+func (m *Meter) Gauge() *Gauge { return &Gauge{m: m} }
+
+// Gauge folds absolute byte samples from one source into a Meter as deltas.
+type Gauge struct {
+	m    *Meter
+	last atomic.Int64
+}
+
+// Set records an absolute reading, charging the difference from the previous
+// reading to the meter.
+func (g *Gauge) Set(bytes int64) {
+	prev := g.last.Swap(bytes)
+	if d := bytes - prev; d != 0 {
+		g.m.Add(d)
+	}
+}
+
+// Release refunds the gauge's current charge (task freed, query
+// unregistered). Further Sets re-charge from zero; releasing twice is a
+// no-op.
+func (g *Gauge) Release() {
+	prev := g.last.Swap(0)
+	if prev != 0 {
+		g.m.Add(-prev)
+	}
+}

@@ -181,7 +181,7 @@ func (c *sqlCompiler) compile(o SQLOptions) (*JoinQuery, error) {
 			for range r.filter {
 				est /= 3
 			}
-			src.Size = max64(est, 1)
+			src.Size = max(est, 1)
 		}
 		jq.Sources = append(jq.Sources, src)
 		_ = i

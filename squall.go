@@ -98,6 +98,12 @@ type Source struct {
 	Spout  dataflow.SpoutFactory
 	Size   int64
 	Pre    ops.Pipeline
+	// raw marks Spout as execution-ready: plan() installs it verbatim instead
+	// of wrapping it in the packed/boxed adapters (and Pre is expected to be
+	// already applied inside it). The serving engine sets it on the fan-out
+	// taps it substitutes for shared sources, whose frames arrive
+	// pre-encoded.
+	raw bool
 }
 
 // AggSpec describes the final aggregation of a join query. References are
@@ -298,6 +304,25 @@ type limitSink struct {
 	rows  []Tuple
 	count int64
 	limit int
+	// notify, when set, receives every materialized result batch as it
+	// arrives — the serving engine's subscription feed. With a notify hook
+	// every row is materialized (subscribers see the full delta stream) even
+	// when limit caps what the sink retains. Called outside the sink lock.
+	notify func(rows []Tuple)
+}
+
+// snapshot copies the retained rows (a subscription's replay prefix).
+func (s *limitSink) snapshot() []Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Tuple(nil), s.rows...)
+}
+
+// rowCount reads the running output count (registry introspection).
+func (s *limitSink) rowCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
 }
 
 func (s *limitSink) factory() dataflow.BoltFactory {
@@ -318,17 +343,27 @@ func (b sinkBolt) Execute(in dataflow.Input, _ *dataflow.Collector) error {
 		s.rows = append(s.rows, in.Tuple)
 	}
 	s.mu.Unlock()
+	if s.notify != nil {
+		s.notify([]Tuple{in.Tuple})
+	}
 	return nil
 }
 
 func (b sinkBolt) ExecuteRow(in dataflow.RowInput, _ *dataflow.Collector) error {
 	s := b.s
+	var tup Tuple
 	s.mu.Lock()
 	s.count++
 	if s.limit <= 0 || len(s.rows) < s.limit {
-		s.rows = append(s.rows, in.Cur.Tuple(nil))
+		tup = in.Cur.Tuple(nil)
+		s.rows = append(s.rows, tup)
+	} else if s.notify != nil {
+		tup = in.Cur.Tuple(nil)
 	}
 	s.mu.Unlock()
+	if s.notify != nil && tup != nil {
+		s.notify([]Tuple{tup})
+	}
 	return nil
 }
 
@@ -338,19 +373,29 @@ func (b sinkBolt) ExecuteRow(in dataflow.RowInput, _ *dataflow.Collector) error 
 func (b sinkBolt) ExecuteFrame(in dataflow.FrameInput, _ *dataflow.Collector) error {
 	s := b.s
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.count += int64(in.Count)
-	if s.limit > 0 && len(s.rows) >= s.limit {
+	if s.notify == nil && s.limit > 0 && len(s.rows) >= s.limit {
+		s.mu.Unlock()
 		return nil
 	}
+	var batch []Tuple
 	var cur wire.Cursor
 	_, _, err := wire.EachRow(in.Frame, &cur, func(_ []byte) error {
-		s.rows = append(s.rows, cur.Tuple(nil))
-		if s.limit > 0 && len(s.rows) >= s.limit {
+		tup := cur.Tuple(nil)
+		if s.notify != nil {
+			batch = append(batch, tup)
+		}
+		if s.limit <= 0 || len(s.rows) < s.limit {
+			s.rows = append(s.rows, tup)
+		} else if s.notify == nil {
 			return errSinkFull
 		}
 		return nil
 	})
+	s.mu.Unlock()
+	if s.notify != nil && len(batch) > 0 {
+		s.notify(batch)
+	}
 	if err == errSinkFull {
 		return nil
 	}
@@ -391,16 +436,9 @@ func (q *JoinQuery) spec() (core.JoinSpec, error) {
 			return core.JoinSpec{}, fmt.Errorf("squall: source %d needs a name and a spout", i)
 		}
 		spec.Names[i] = s.Name
-		spec.Sizes[i] = max64(s.Size, 1)
+		spec.Sizes[i] = max(s.Size, int64(1))
 	}
 	return spec, nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // queryPlan is a fully built execution: the dataflow topology plus the
@@ -471,7 +509,9 @@ func (q *JoinQuery) plan(opt Options) (*queryPlan, error) {
 	relOf := map[string]int{}
 	for i, s := range q.Sources {
 		spout := ops.PipedSpout(s.Spout, s.Pre)
-		if packed && !q.AdaptiveJoin {
+		if s.raw {
+			spout = s.Spout
+		} else if packed && !q.AdaptiveJoin {
 			spout = ops.PackedSpout(s.Spout, s.Pre)
 		}
 		b.Spout(s.Name, opt.SourcePar, spout)
@@ -628,7 +668,7 @@ func (q *JoinQuery) adaptivePolicy(joiner string) (*dataflow.AdaptivePolicy, err
 	rows, cols := cfg.InitialRows, cfg.InitialCols
 	if rows == 0 && cols == 0 {
 		m := adaptive.OptimalMatrix(q.Machines,
-			float64(max64(q.Sources[0].Size, 1)), float64(max64(q.Sources[1].Size, 1)))
+			float64(max(q.Sources[0].Size, int64(1))), float64(max(q.Sources[1].Size, int64(1))))
 		rows, cols = m.Rows, m.Cols
 	}
 	return &dataflow.AdaptivePolicy{

@@ -40,11 +40,16 @@ type WorkerServer struct {
 	failed   int64
 	stale    int64 // connections rejected for a stale epoch
 	closed   bool
+	// registry, when set, contributes a "serving" section to the health
+	// snapshot — a process hosting a serving Engine next to this worker
+	// exposes its query/tenant registry through the same probe endpoint.
+	registry func() any
 }
 
 // sessionInfo is one live session's observable state.
 type sessionInfo struct {
 	runID   string
+	job     string
 	worker  int
 	attempt int
 	started time.Time
@@ -257,6 +262,16 @@ func (s *WorkerServer) registerSession(si *sessionInfo) {
 	s.mu.Unlock()
 }
 
+// SetRegistry attaches a registry snapshot source (e.g. Engine.Stats) whose
+// value is embedded as the "serving" section of every health snapshot, so
+// operators probing /healthz see query/tenant registry state alongside link
+// liveness. fn must be safe for concurrent use.
+func (s *WorkerServer) SetRegistry(fn func() any) {
+	s.mu.Lock()
+	s.registry = fn
+	s.mu.Unlock()
+}
+
 // healthSnapshot builds the liveness + readiness report. A worker is ready
 // when every heartbeat-armed link of every live session has seen traffic
 // within twice its detection window; a stalled link means a wedged or
@@ -267,7 +282,11 @@ func (s *WorkerServer) healthSnapshot() (map[string]any, bool) {
 	now := time.Now()
 	ready := !s.closed
 	sessions := make([]map[string]any, 0, len(s.info))
+	jobs := make(map[string]int)
 	for _, si := range s.info {
+		if si.job != "" {
+			jobs[si.job]++
+		}
 		links := make([]map[string]any, 0, len(si.links))
 		for w, c := range si.links {
 			if c == nil {
@@ -286,21 +305,27 @@ func (s *WorkerServer) healthSnapshot() (map[string]any, bool) {
 		}
 		sessions = append(sessions, map[string]any{
 			"run":     si.runID,
+			"job":     si.job,
 			"worker":  si.worker,
 			"attempt": si.attempt,
 			"age_ms":  now.Sub(si.started).Milliseconds(),
 			"links":   links,
 		})
 	}
-	return map[string]any{
+	snap := map[string]any{
 		"ok":              true,
 		"ready":           ready,
 		"active_sessions": s.active,
 		"served_sessions": s.served,
 		"failed_sessions": s.failed,
 		"stale_rejected":  s.stale,
+		"jobs":            jobs,
 		"sessions":        sessions,
-	}, ready
+	}
+	if s.registry != nil {
+		snap["serving"] = s.registry()
+	}
+	return snap, ready
 }
 
 // Healthz returns an HTTP handler reporting liveness plus per-session,
@@ -436,7 +461,7 @@ func (s *WorkerServer) runSession(conn *transport.Conn, h transport.Hello) {
 		}
 	}
 	s.registerSession(&sessionInfo{
-		runID: spec.RunID, worker: spec.Worker, attempt: spec.Attempt,
+		runID: spec.RunID, job: spec.Job, worker: spec.Worker, attempt: spec.Attempt,
 		started: time.Now(), links: links,
 	})
 
