@@ -1,6 +1,6 @@
 // squallbench regenerates the paper's tables and figures as text tables.
 //
-//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|state|recover|exec|vec|net|chaos|serve|all]
+//	go run ./cmd/squallbench [-json] [-smoke] [figure5|figure6|figure7|figure8|table1|table2|section5|batch|adapt|state|recover|exec|vec|net|chaos|serve|spill|all]
 //	go run ./cmd/squallbench compare old.json new.json
 //
 // The extra `batch` experiment measures the PR 1 batched-transport speedup
@@ -69,6 +69,15 @@
 // over-budget registration with the typed error. With -json it writes
 // BENCH_PR9.json (the CI gate).
 //
+// The `spill` experiment (PR 10) runs the same 2-way join untiered, tiered
+// with an uncapped ladder, and tiered with the resident cap at 50% of the
+// uncapped peak — the degradation ladder must keep residency under the cap
+// by spilling sealed, CRC-checksummed segments while the result stays
+// bag-equal — plus a full-vs-incremental checkpoint comparison and a run
+// with one spill segment deliberately corrupted, which must be quarantined
+// and recovered through the PR 4 plane exactly-once. With -json it writes
+// BENCH_PR10.json (the CI gate).
+//
 // `squallbench compare old.json new.json` diffs two bench JSON files and
 // exits non-zero when a gated metric (speedup/reduction ratios, alloc
 // counts) regresses more than 15% — CI runs it against the checked-in
@@ -132,6 +141,7 @@ func main() {
 		"net":      netBench,
 		"chaos":    chaosBench,
 		"serve":    serveBench,
+		"spill":    spillBench,
 	}
 	if what == "all" {
 		for _, name := range []string{"figure5", "figure6", "figure7", "table1", "figure8", "section5"} {
@@ -141,7 +151,7 @@ func main() {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec vec net chaos serve all (or: compare old.json new.json)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: figure5 figure6 figure7 figure8 table1 table2 section5 batch adapt state recover exec vec net chaos serve spill all (or: compare old.json new.json)\n", what)
 		os.Exit(2)
 	}
 	f()

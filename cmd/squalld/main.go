@@ -22,6 +22,7 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7171", "address for coordinator and peer connections")
 	healthz := flag.String("healthz", "", "address for the /healthz and /readyz HTTP endpoints (empty = disabled)")
+	memcap := flag.Int64("memcap", 0, "resident-state budget in bytes: session state runs tiered, spilling cold segments as it fills (0 = uncapped)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -29,6 +30,11 @@ func main() {
 		log.Fatalf("squalld: %v", err)
 	}
 	srv := squall.NewWorkerServer(ln)
+	if *memcap > 0 {
+		// /healthz gains resident/spilled/sealed counters and the ladder
+		// stage; /readyz degrades once spilling stops keeping up.
+		srv.SetMemCap(*memcap)
+	}
 	// The chosen port matters when -listen used :0; print it for harnesses.
 	fmt.Printf("squalld listening on %s\n", ln.Addr())
 

@@ -31,6 +31,7 @@ import (
 	"squall/experiments"
 	"squall/internal/datagen"
 	"squall/internal/serve"
+	"squall/internal/slab"
 )
 
 // catalog maps query names to builders. The builders produce standalone
@@ -64,11 +65,13 @@ func main() {
 	rows := flag.Int64("rows", 60_000, "Lineitem rows in the generated TPC-H stream")
 	zipf := flag.Float64("zipf", 0, "zipf skew exponent (0 = uniform)")
 	collect := flag.Int("collect", 10_000, "per-query collected-row cap")
+	memcap := flag.Int64("memcap", 0, "engine-wide resident-state budget in bytes: query state runs tiered and spills as it fills; registrations are rejected at the cap (0 = uncapped)")
 	flag.Parse()
 
 	gen := datagen.NewTPCH(42, *rows, *zipf)
 	eng := squall.NewEngine(squall.EngineOptions{
-		Run: squall.Options{CollectLimit: *collect},
+		Run:         squall.Options{CollectLimit: *collect},
+		MemCapBytes: *memcap,
 	})
 	eng.AddSource("LINEITEM", gen.LineitemSpout(), gen.Lineitems)
 	eng.AddSource("PARTSUPP", gen.PartSuppSpout(), gen.PartSupps())
@@ -85,6 +88,7 @@ func main() {
 	mux.HandleFunc("/queries", s.stats)
 	mux.HandleFunc("/results", s.results)
 	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/readyz", s.readyz)
 
 	fmt.Printf("squallserve listening on %s\n", *listen)
 	log.Fatal(http.ListenAndServe(*listen, mux))
@@ -223,20 +227,41 @@ func (s *server) results(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthz condenses the registry into operator-facing counts: how many
-// queries are in each state, each tenant's usage against budget, and the
-// shared sources' fan-out counters.
+// queries are in each state, each tenant's usage against budget, the shared
+// sources' fan-out counters, and — when a memcap is set — the pressure
+// ladder (resident/spilled/sealed state and the current stage).
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthBody())
+}
+
+// readyz answers 200 while the engine can take new queries at full speed.
+// It degrades to 503 one ladder rung BEFORE registrations start bouncing
+// (Backpressure: spilling is not keeping residency under the cap), so a load
+// balancer drains traffic away ahead of hard rejection.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	code := http.StatusOK
+	if p := s.eng.Pressure(); p != nil && p.Stage() >= slab.PressureBackpressure {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, s.healthBody())
+}
+
+func (s *server) healthBody() map[string]any {
 	st := s.eng.Stats()
 	byStatus := make(map[string]int)
 	for _, q := range st.Queries {
 		byStatus[q.Status]++
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":              true,
 		"queries":         len(st.Queries),
 		"query_status":    byStatus,
 		"tenants":         st.Tenants,
 		"sources":         st.Sources,
 		"catalog_queries": len(s.queries),
-	})
+	}
+	if st.Pressure != nil {
+		body["pressure"] = st.Pressure
+	}
+	return body
 }

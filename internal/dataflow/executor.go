@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"squall/internal/slab"
 	"squall/internal/types"
 	"squall/internal/wire"
 )
@@ -79,6 +80,18 @@ type Options struct {
 	// engine charges these samples against per-tenant budgets. Called from
 	// task goroutines; must be cheap and concurrency-safe across tasks.
 	MemObserver func(component string, task int, bytes int64)
+	// Pressure, when set, is the tiered-state degradation ladder (PR 10).
+	// The executor only reads it: spouts pause briefly per batch while the
+	// ladder sits at Backpressure (spilling is not keeping residency under
+	// the cap) and pause harder at Reject, giving the arenas' spill step time
+	// to catch up instead of racing emission against eviction. The arenas
+	// themselves feed the ladder through their pressure gauges.
+	Pressure *slab.Pressure
+	// SpillObserver, when non-nil, receives every SpillReporter sample the
+	// executor takes (same cadence as MemObserver). The serving engine
+	// mirrors these into per-tenant spilled-byte accounting. Called from task
+	// goroutines; must be cheap and concurrency-safe across tasks.
+	SpillObserver func(component string, task int, bytes int64)
 	// Net, when set, makes this Run one worker of a multi-process cluster:
 	// only the components Net places here execute locally, edges to remote
 	// components ship serialized envelopes over TCP with credit-based
@@ -1050,6 +1063,7 @@ func (ex *execution) runSpout(wg *sync.WaitGroup, n *node, task int) {
 					return
 				default:
 				}
+				ex.spoutThrottle()
 			}
 			row, ok := rsp.NextRow()
 			if !ok {
@@ -1070,6 +1084,7 @@ func (ex *execution) runSpout(wg *sync.WaitGroup, n *node, task int) {
 				return
 			default:
 			}
+			ex.spoutThrottle()
 		}
 		tuple, ok := sp.Next()
 		if !ok {
@@ -1141,6 +1156,9 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	col := ex.collector(n, task)
 	defer col.close() // eos (or an abort) has flushed whatever will flush
 	bolt := n.bolt(task, n.par)
+	// The task owns its bolt's external charges (pressure gauges); refund
+	// them when the task exits, whatever bolt instance it ends with.
+	defer func() { releaseState(bolt) }()
 	mem, hasMem := bolt.(MemReporter)
 	rowBolt, _ := bolt.(RowBolt)
 	frameBolt, _ := bolt.(FrameBolt)
@@ -1169,6 +1187,7 @@ func (ex *execution) runBolt(wg *sync.WaitGroup, n *node, task int) {
 	}
 	// rebirth replaces the bolt after a fault dropped its state.
 	rebirth := func() bool {
+		releaseState(bolt) // the replaced instance must not keep its gauge charges
 		bolt = n.bolt(task, n.par)
 		mem, hasMem = bolt.(MemReporter)
 		rowBolt, _ = bolt.(RowBolt)
@@ -1676,6 +1695,11 @@ func (ex *execution) checkMem(n *node, task int, tm *TaskMetrics, mem MemReporte
 	}
 	if ex.opts.MemObserver != nil {
 		ex.opts.MemObserver(n.name, task, sz)
+	}
+	if ex.opts.SpillObserver != nil {
+		if sr, ok := mem.(slab.SpillReporter); ok {
+			ex.opts.SpillObserver(n.name, task, int64(sr.SpilledBytes()))
+		}
 	}
 	if ex.opts.MemLimitPerTask > 0 && sz > int64(ex.opts.MemLimitPerTask) {
 		ex.fail(fmt.Errorf("dataflow: bolt %s[%d] state %dB exceeds budget %dB: %w",

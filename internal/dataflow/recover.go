@@ -64,6 +64,7 @@ import (
 	"time"
 
 	"squall/internal/recovery"
+	"squall/internal/slab"
 	"squall/internal/types"
 	"squall/internal/wire"
 )
@@ -131,6 +132,10 @@ type RecoveryMetrics struct {
 	// (peer refetch frames + checkpoint frames).
 	RestoredTuples atomic.Int64
 	RestoredBytes  atomic.Int64
+	// SegmentBytes measures sealed-segment blobs read back from the
+	// checkpoint store during v2 (tiered) restores; a subset of
+	// RestoredBytes.
+	SegmentBytes atomic.Int64
 	// ReplayedEnvelopes / ReplayedTuples measure re-delivered input.
 	ReplayedEnvelopes atomic.Int64
 	ReplayedTuples    atomic.Int64
@@ -591,6 +596,16 @@ func (a *recState) handleFault(f faultNote) bool {
 			continue
 		}
 		m.CheckpointRels.Add(1)
+		if haveCk && ck.Segments != nil && rel < len(ck.Segments) {
+			// v2 manifest: the relation's sealed rows live in the store as
+			// referenced segments; read each back, verify it byte-for-byte
+			// against the manifest's CRC, and ship only the rows its
+			// liveness bitmap kept. A corrupt or missing checkpoint segment
+			// fails the run — fabricating state is worse than dying.
+			if !a.restoreSegments(f.task, rel, ck.Segments[rel]) {
+				return false
+			}
+		}
 		if haveCk && rel < len(ck.Frames) {
 			for _, frame := range ck.Frames[rel] {
 				tuples, _, err := dec.Decode(frame)
@@ -790,33 +805,73 @@ func (s *recSession) checkpoint(bolt Bolt) error {
 		}
 	}
 	batch := a.ex.opts.BatchSize
-	var bytes int64
-	for rel := 0; rel < a.pol.NumRels; rel++ {
-		var frames [][]byte
-		blitted := false
-		if fe, ok := bolt.(FrameExporter); ok {
-			blitted = fe.ExportStateFrames(rel, batch, a.ex.opts.VecExec, func(frame []byte, count int) bool {
-				frames = append(frames, append([]byte(nil), frame...))
-				ck.Tuples += int64(count)
-				return true
-			})
-		}
-		if !blitted {
-			tuples := rep.ExportState(rel)
-			for start := 0; start < len(tuples); start += batch {
-				end := start + batch
-				if end > len(tuples) {
-					end = len(tuples)
+
+	// Tiered bolts checkpoint incrementally (PR 10): sealed segments were
+	// persisted to the checkpoint store when they sealed (or spilled), so the
+	// manifest references them by key + CRC + liveness bitmap and only the
+	// hot (unsealed) rows are re-exported as frames. The v2 export is
+	// all-or-nothing across relations — every relation shares one state
+	// layout, so a single renege sends the whole checkpoint to the v1 path.
+	if te, ok := bolt.(TierExporter); ok {
+		if _, ok := a.pol.Store.(slab.SegmentStore); ok {
+			tiered := true
+			for rel := 0; rel < a.pol.NumRels && tiered; rel++ {
+				var frames [][]byte
+				cks, relOK, err := te.ExportStateTier(rel, batch, a.ex.opts.VecExec, func(frame []byte, count int) bool {
+					frames = append(frames, append([]byte(nil), frame...))
+					ck.Tuples += int64(count)
+					return true
+				})
+				if err != nil {
+					return err
 				}
-				s.scratch = wire.EncodeBatch(s.scratch[:0], tuples[start:end])
-				frames = append(frames, append([]byte(nil), s.scratch...))
-				ck.Tuples += int64(end - start)
+				if !relOK {
+					tiered = false
+					break
+				}
+				refs := make([]recovery.SegmentRef, len(cks))
+				for i, c := range cks {
+					refs[i] = recovery.SegmentRef{Key: c.Key, CRC: c.CRC, Rows: int64(c.Rows), Dead: c.Dead}
+				}
+				ck.Segments = append(ck.Segments, refs)
+				ck.Frames = append(ck.Frames, frames)
+			}
+			if !tiered {
+				ck.Segments, ck.Frames, ck.Tuples = nil, nil, 0
 			}
 		}
+	}
+	if ck.Segments == nil {
+		for rel := 0; rel < a.pol.NumRels; rel++ {
+			var frames [][]byte
+			blitted := false
+			if fe, ok := bolt.(FrameExporter); ok {
+				blitted = fe.ExportStateFrames(rel, batch, a.ex.opts.VecExec, func(frame []byte, count int) bool {
+					frames = append(frames, append([]byte(nil), frame...))
+					ck.Tuples += int64(count)
+					return true
+				})
+			}
+			if !blitted {
+				tuples := rep.ExportState(rel)
+				for start := 0; start < len(tuples); start += batch {
+					end := start + batch
+					if end > len(tuples) {
+						end = len(tuples)
+					}
+					s.scratch = wire.EncodeBatch(s.scratch[:0], tuples[start:end])
+					frames = append(frames, append([]byte(nil), s.scratch...))
+					ck.Tuples += int64(end - start)
+				}
+			}
+			ck.Frames = append(ck.Frames, frames)
+		}
+	}
+	var bytes int64
+	for _, frames := range ck.Frames {
 		for _, f := range frames {
 			bytes += int64(len(f))
 		}
-		ck.Frames = append(ck.Frames, frames)
 	}
 	if err := a.pol.Store.Put(a.node.name, s.task, ck); err != nil {
 		return err
@@ -832,6 +887,81 @@ func (s *recSession) checkpoint(bolt Bolt) error {
 	m.Checkpoints.Add(1)
 	m.CheckpointBytes.Add(bytes)
 	return nil
+}
+
+// restoreSegments ships one relation's sealed checkpoint segments to the
+// recovering task. Every blob read back from the store is verified
+// byte-for-byte: the segment codec's own CRC must decode clean AND match the
+// CRC the manifest recorded at checkpoint time, and the row count must match.
+// Rows the manifest's liveness bitmap marks dead are skipped — a restore must
+// not resurrect deleted state. Any failure fails the run: the alternatives
+// are fabricating rows or silently dropping them.
+func (a *recState) restoreSegments(task, rel int, refs []recovery.SegmentRef) bool {
+	ss, ok := a.pol.Store.(slab.SegmentStore)
+	if !ok {
+		a.ex.fail(fmt.Errorf("dataflow: checkpoint of %s[%d] references segments but store %T cannot read them", a.node.name, task, a.pol.Store))
+		return false
+	}
+	m := &a.ex.metrics.Recovery
+	batch := a.ex.opts.BatchSize
+	var tuples []types.Tuple
+	flush := func() bool {
+		if len(tuples) == 0 {
+			return true
+		}
+		m.RestoredTuples.Add(int64(len(tuples)))
+		if !a.sendCtrl(task, envelope{ctrl: ctrlRecBatch, rec: &recMsg{rel: rel, tuples: tuples}}) {
+			return false
+		}
+		tuples = nil
+		return true
+	}
+	for si, sr := range refs {
+		blob, found, err := ss.GetSegment(sr.Key)
+		if err == nil && !found {
+			err = fmt.Errorf("segment %q missing from store", sr.Key)
+		}
+		var offs []uint32
+		var payload []byte
+		if err == nil {
+			var crc uint32
+			offs, payload, crc, err = slab.DecodeSegment(blob)
+			switch {
+			case err != nil:
+			case crc != sr.CRC:
+				err = fmt.Errorf("segment %q checksum %08x does not match manifest %08x", sr.Key, crc, sr.CRC)
+			case int64(len(offs)-1) != sr.Rows:
+				err = fmt.Errorf("segment %q holds %d rows, manifest says %d", sr.Key, len(offs)-1, sr.Rows)
+			}
+		}
+		if err != nil {
+			a.ex.fail(fmt.Errorf("dataflow: checkpoint of %s[%d] rel %d segment %d: %w", a.node.name, task, rel, si, err))
+			return false
+		}
+		m.SegmentBytes.Add(int64(len(blob)))
+		m.RestoredBytes.Add(int64(len(blob)))
+		for i := 0; i+1 < len(offs); i++ {
+			if i/64 < len(sr.Dead) && sr.Dead[i/64]>>(uint(i)%64)&1 == 1 {
+				continue
+			}
+			span := payload[offs[i]:offs[i+1]]
+			if len(span) == 0 {
+				continue // compacted-away dead row
+			}
+			t, _, err := wire.Decode(span)
+			if err != nil {
+				a.ex.fail(fmt.Errorf("dataflow: checkpoint of %s[%d] rel %d segment %d row %d: %w", a.node.name, task, rel, si, i, err))
+				return false
+			}
+			tuples = append(tuples, t)
+			if len(tuples) >= batch {
+				if !flush() {
+					return false
+				}
+			}
+		}
+	}
+	return flush()
 }
 
 // serveStateReq exports one relation to a recovering peer over its inbox, as

@@ -104,6 +104,25 @@ func NewTupleJoin(g *expr.JoinGraph) *TupleJoin { return newTupleJoin(g, true) }
 // the opt-out baseline (squall.Options.LegacyState).
 func NewTupleJoinMap(g *expr.JoinGraph) *TupleJoin { return newTupleJoin(g, false) }
 
+// NewTupleJoinTiered builds the compact-layout operator with tiered
+// singleton arenas (PR 10): base rows seal into checksummed segments and
+// spill to tc.Store under memory pressure, faulting back in on probes.
+// View combos (flat ref arrays) and indexes stay resident — they are the
+// operator's working set; the base-row payload is the bulk of its bytes.
+func NewTupleJoinTiered(g *expr.JoinGraph, tc slab.TierConfig) *TupleJoin {
+	j := newTupleJoin(g, true)
+	base := tc.KeyPrefix
+	for mask, v := range j.views {
+		if v.arena == nil {
+			continue
+		}
+		rc := tc
+		rc.KeyPrefix = fmt.Sprintf("%s-r%d", base, bits.TrailingZeros64(mask))
+		v.arena.EnableTier(rc)
+	}
+	return j
+}
+
 func newTupleJoin(g *expr.JoinGraph, compact bool) *TupleJoin {
 	j := &TupleJoin{g: g, views: map[uint64]*tview{}, compact: compact, full: (uint64(1) << g.NumRels) - 1}
 	j.updateOrder = make([][]uint64, g.NumRels)
@@ -611,6 +630,48 @@ func (j *TupleJoin) StoredTuples() int {
 		}
 	}
 	return n
+}
+
+// SpilledBytes reports base-row bytes currently resident on disk only
+// (slab.SpillReporter; 0 unless tiered).
+func (j *TupleJoin) SpilledBytes() int {
+	n := 0
+	for _, v := range j.views {
+		if v.arena != nil {
+			n += v.arena.SpilledBytes()
+		}
+	}
+	return n
+}
+
+// ReleaseState refunds the arenas' pressure-gauge charges; called when the
+// operator instance is dropped (task rebirth, reshape, run end).
+func (j *TupleJoin) ReleaseState() {
+	for _, v := range j.views {
+		if v.arena != nil {
+			v.arena.ReleaseTier()
+		}
+	}
+}
+
+// ExportRelTier exports one relation for an incremental (v2) checkpoint:
+// sealed segments as store references and hot rows as frames. ok=false
+// falls back to full-frame export (not tiered / no checkpoint store / no
+// singleton view).
+func (j *TupleJoin) ExportRelTier(rel, batchSize int, footer bool, visit func(frame []byte, count int) bool) ([]slab.SegmentCk, bool, error) {
+	if !j.compact {
+		return nil, false, nil
+	}
+	v := j.views[uint64(1)<<rel]
+	if v == nil || v.arena == nil || !v.arena.Tiered() {
+		return nil, false, nil
+	}
+	cks, err := v.arena.SealedSegmentCks()
+	if err != nil {
+		return nil, false, nil
+	}
+	v.arena.EachHotFrame(batchSize, footer, nil, visit)
+	return cks, true, nil
 }
 
 // ViewSizes reports combos per materialized view, for tests and monitoring.

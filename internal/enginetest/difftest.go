@@ -115,7 +115,14 @@ type EngineConfig struct {
 	// a seeded point mid-run and recovered live (peer refetch when the
 	// scheme replicates the relation, checkpoint + replay otherwise); the
 	// result must still be bag-equal to the oracle.
-	Kill     bool
+	Kill bool
+	// Spill enables the tiered-state dimension (PR 10): joiner arenas seal
+	// cold rows into small checksummed segments and spill every sealed
+	// segment to a segment store, so probes continually fault state back in
+	// through the CRC-verified read path. The result must be bag-equal to
+	// the untiered runs. Combined with Kill, checkpoints go incremental
+	// (segment references) and recovery restores through them.
+	Spill    bool
 	Machines int
 	Seed     int64
 }
@@ -140,6 +147,9 @@ func (c EngineConfig) String() string {
 	chaos := ""
 	if c.Kill {
 		chaos = "/kill"
+	}
+	if c.Spill {
+		chaos += "/spill"
 	}
 	return fmt.Sprintf("%v/%v/batch=%d/%s/%s/%s%s", c.Scheme, c.Local, c.BatchSize, mode, state, exec, chaos)
 }
@@ -193,6 +203,13 @@ func (w *Workload) Plan(c EngineConfig) (*squall.JoinQuery, squall.Options) {
 		// so the kill lands while the task holds state.
 		opts.FaultPlan = &squall.FaultPlan{Task: 0, AfterTuples: 3 + int(c.Seed%11)}
 		opts.Recovery = &squall.RecoveryOptions{CheckpointEvery: 24}
+	}
+	if c.Spill {
+		// Minimum segment size and a tiny fault-in cache, no memory cap:
+		// without a pressure ladder the tier spills eagerly at every seal,
+		// so differential workloads constantly decode spilled segments back
+		// through the CRC-verified read path.
+		opts.Tier = &squall.TierOptions{SegmentRows: 64, CacheSegments: 2}
 	}
 	return w.query(c), opts
 }

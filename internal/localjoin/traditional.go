@@ -148,6 +148,22 @@ func NewTraditional(g *expr.JoinGraph) *Traditional { return newTraditional(g, t
 // benchmarked against.
 func NewTraditionalMap(g *expr.JoinGraph) *Traditional { return newTraditional(g, false) }
 
+// NewTraditionalTiered builds the compact-layout operator with tiered
+// arenas (PR 10): relation state seals into checksummed segments, compacts
+// segment-by-segment and spills to tc.Store under memory pressure. Refs
+// stay stable across seals and segment compactions, so indexes and window
+// queues never see a remap (OnCompact never fires in tiered mode).
+func NewTraditionalTiered(g *expr.JoinGraph, tc slab.TierConfig) *Traditional {
+	j := newTraditional(g, true)
+	base := tc.KeyPrefix
+	for rel, s := range j.stores {
+		rc := tc
+		rc.KeyPrefix = fmt.Sprintf("%s-r%d", base, rel)
+		s.arena.EnableTier(rc)
+	}
+	return j
+}
+
 func newTraditional(g *expr.JoinGraph, compact bool) *Traditional {
 	j := &Traditional{g: g, compact: compact, packedOK: true}
 	j.sideExpr = make([][]expr.Expr, len(g.Conjuncts))
@@ -398,7 +414,17 @@ func (j *Traditional) Compactions() int { return j.compactions }
 // path re-derives them from scratch.
 func (j *Traditional) maybeCompact(rel int) error {
 	s := j.stores[rel]
-	if s.arena == nil || s.arena.DeadBytes() < compactMinDeadBytes || s.arena.DeadBytes() <= s.arena.LiveBytes() {
+	if s.arena == nil {
+		return nil
+	}
+	if s.arena.Tiered() {
+		// Tiered arenas compact segment-by-segment with stable refs: no
+		// rebuild, no index rewrite, no remap callback — just drive one
+		// amortized maintenance step.
+		s.arena.Maintain()
+		return nil
+	}
+	if s.arena.DeadBytes() < compactMinDeadBytes || s.arena.DeadBytes() <= s.arena.LiveBytes() {
 		return nil
 	}
 	remap := s.arena.Compact()
@@ -697,4 +723,44 @@ func (j *Traditional) StoredTuples() int {
 		n += j.RelCount(rel)
 	}
 	return n
+}
+
+// SpilledBytes reports state bytes currently resident on disk only
+// (slab.SpillReporter; 0 unless tiered).
+func (j *Traditional) SpilledBytes() int {
+	n := 0
+	for _, s := range j.stores {
+		if s.arena != nil {
+			n += s.arena.SpilledBytes()
+		}
+	}
+	return n
+}
+
+// ReleaseState refunds the arenas' pressure-gauge charges; called when the
+// operator instance is dropped (task rebirth, reshape, run end).
+func (j *Traditional) ReleaseState() {
+	for _, s := range j.stores {
+		if s.arena != nil {
+			s.arena.ReleaseTier()
+		}
+	}
+}
+
+// ExportRelTier exports one relation for an incremental (v2) checkpoint:
+// sealed segments as store references (persisted to the tier's checkpoint
+// store on first export) and hot rows as wire batch frames. Reports
+// ok=false when the relation is not tiered or has no checkpoint store —
+// the caller falls back to full-frame export.
+func (j *Traditional) ExportRelTier(rel, batchSize int, footer bool, visit func(frame []byte, count int) bool) ([]slab.SegmentCk, bool, error) {
+	if !j.compact || !j.stores[rel].arena.Tiered() {
+		return nil, false, nil
+	}
+	a := j.stores[rel].arena
+	cks, err := a.SealedSegmentCks()
+	if err != nil {
+		return nil, false, nil // no checkpoint store: v1 fallback
+	}
+	a.EachHotFrame(batchSize, footer, nil, visit)
+	return cks, true, nil
 }

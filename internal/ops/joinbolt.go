@@ -7,6 +7,7 @@ import (
 	"squall/internal/dbtoaster"
 	"squall/internal/expr"
 	"squall/internal/localjoin"
+	"squall/internal/slab"
 	"squall/internal/types"
 	"squall/internal/wire"
 )
@@ -40,17 +41,31 @@ func (k LocalJoinKind) String() string {
 // the bolt frame-capable (dataflow.RowBolt): arrivals blit into the slab
 // without a decode/re-encode round trip and delta rows leave as spliced
 // encoded bytes (squall.Options.PackedExec).
-func JoinBolt(g *expr.JoinGraph, kind LocalJoinKind, relOf map[string]int, post Pipeline, legacy, packed bool) dataflow.BoltFactory {
+//
+// tier, when non-nil, puts the slab layouts' base-row arenas in tiered mode
+// (sealed, checksummed, spillable segments — squall.Options.Tier); it is
+// ignored by the legacy map layouts, which have no arenas to tier.
+func JoinBolt(g *expr.JoinGraph, kind LocalJoinKind, relOf map[string]int, post Pipeline, legacy, packed bool, tier *slab.TierConfig) dataflow.BoltFactory {
 	return func(task, ntasks int) dataflow.Bolt {
 		mk := func() localjoin.MultiJoin {
 			switch {
 			case kind == DBToaster && legacy:
 				return dbtoaster.NewTupleJoinMap(g)
 			case kind == DBToaster:
+				if tier != nil {
+					tc := *tier
+					tc.KeyPrefix = fmt.Sprintf("%s-t%d", tier.KeyPrefix, task)
+					return dbtoaster.NewTupleJoinTiered(g, tc)
+				}
 				return dbtoaster.NewTupleJoin(g)
 			case legacy:
 				return localjoin.NewTraditionalMap(g)
 			default:
+				if tier != nil {
+					tc := *tier
+					tc.KeyPrefix = fmt.Sprintf("%s-t%d", tier.KeyPrefix, task)
+					return localjoin.NewTraditionalTiered(g, tc)
+				}
 				return localjoin.NewTraditional(g)
 			}
 		}
@@ -155,6 +170,42 @@ func (b *joinBolt) Finish(*dataflow.Collector) error { return nil }
 
 func (b *joinBolt) MemSize() int { return b.mj.MemSize() }
 
+// tierJoin is the tier surface the slab-backed local joins expose; the map
+// layouts don't implement it, and the bolt degrades gracefully.
+type tierJoin interface {
+	SpilledBytes() int
+	ReleaseState()
+	ExportRelTier(rel, batchSize int, footer bool, visit func(frame []byte, count int) bool) ([]slab.SegmentCk, bool, error)
+}
+
+// SpilledBytes reports state bytes resident on disk only (slab.SpillReporter;
+// MemSize already excludes them).
+func (b *joinBolt) SpilledBytes() int {
+	if tj, ok := b.mj.(tierJoin); ok {
+		return tj.SpilledBytes()
+	}
+	return 0
+}
+
+// ReleaseState refunds the operator's pressure-gauge charges
+// (dataflow.StateReleaser); called when the task instance is dropped.
+func (b *joinBolt) ReleaseState() {
+	if tj, ok := b.mj.(tierJoin); ok {
+		tj.ReleaseState()
+	}
+}
+
+// ExportStateTier exports one relation for an incremental checkpoint: sealed
+// segments by store reference, hot rows as frames (dataflow.TierExporter).
+// ok=false sends the caller to the full-frame path.
+func (b *joinBolt) ExportStateTier(rel, batchSize int, footer bool, visit func(frame []byte, count int) bool) ([]slab.SegmentCk, bool, error) {
+	tj, ok := b.mj.(tierJoin)
+	if !ok {
+		return nil, false, nil
+	}
+	return tj.ExportRelTier(rel, batchSize, footer, visit)
+}
+
 // Live-repartitioning hooks (dataflow.Repartitioner), backed by the local
 // join's localjoin.Migrator snapshot/silent-insert primitives. Sides are
 // the adaptive 1-Bucket relation indexes (0 = rows, 1 = columns).
@@ -234,6 +285,11 @@ func (b *joinBolt) ResetForReshape(keep [2]bool) error {
 				return err
 			}
 		}
+	}
+	// The old operator is dropped: refund its pressure-gauge charges before
+	// the fresh one starts accruing its own.
+	if tj, ok := b.mj.(tierJoin); ok {
+		tj.ReleaseState()
 	}
 	b.mj = fresh
 	return nil

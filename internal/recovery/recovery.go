@@ -56,22 +56,44 @@ func (m *Manifest) CursorFor(stream string, fromTask int) int64 {
 	return 0
 }
 
+// SegmentRef references one sealed slab segment from an incremental (v2)
+// checkpoint: the segment blob was persisted to the segment side of the
+// store once, at seal time, under Key; the checkpoint carries only the
+// reference plus the tombstone bitmap observed at checkpoint time (restore
+// skips those rows). CRC pins the exact blob — a substituted or corrupted
+// segment fails verification at restore instead of fabricating rows.
+type SegmentRef struct {
+	Key  string
+	CRC  uint32
+	Rows int64
+	Dead []uint64
+}
+
 // Checkpoint is one task's full snapshot: the manifest plus, per relation,
 // the stored tuples as wire batch frames.
 type Checkpoint struct {
 	Manifest Manifest
-	// Frames[rel] is relation rel's state as encoded wire batch frames.
+	// Frames[rel] is relation rel's state as encoded wire batch frames. In
+	// an incremental (v2) checkpoint these cover only the hot (unsealed)
+	// rows; sealed rows are referenced through Segments.
 	Frames [][][]byte
+	// Segments[rel], when non-nil, lists relation rel's sealed segments by
+	// store reference (v2 checkpoints only; nil in v1).
+	Segments [][]SegmentRef
 	// Tuples counts the stored tuples across relations (metrics only).
 	Tuples int64
 }
 
 // manifestMagic tags encoded manifests; version byte follows.
 const (
-	manifestMagic     = "SQMF"
-	manifestVersion   = 1
-	checkpointMagic   = "SQCK"
-	checkpointVersion = 1
+	manifestMagic   = "SQMF"
+	manifestVersion = 1
+	checkpointMagic = "SQCK"
+	// checkpointVersion 1 is the full-frame format; 2 appends per-relation
+	// sealed-segment reference lists (incremental checkpoints). v1 blobs
+	// stay decodable forever.
+	checkpointVersion   = 1
+	checkpointVersionV2 = 2
 )
 
 // AppendManifest appends m's encoding to dst and returns the extended slice.
@@ -145,11 +167,17 @@ func DecodeManifest(src []byte) (*Manifest, int, error) {
 // AppendCheckpoint appends ck's encoding to dst: the manifest followed by
 // the per-relation frame sets.
 //
-//	checkpoint := "SQCK" ver manifest uv(tuples) uv(nrels) relFrames*
+//	checkpoint := "SQCK" ver manifest uv(tuples) uv(nrels) relFrames* [segs]
 //	relFrames  := uv(nframes) { uv(len) frameBytes }*
+//	segs       := uv(nrels) relSegs*                        (version 2 only)
+//	relSegs    := uv(nsegs) { str(key) uv(crc) uv(rows) uv(nwords) word64le* }*
 func AppendCheckpoint(dst []byte, ck *Checkpoint) []byte {
+	ver := byte(checkpointVersion)
+	if ck.Segments != nil {
+		ver = checkpointVersionV2
+	}
 	dst = append(dst, checkpointMagic...)
-	dst = append(dst, checkpointVersion)
+	dst = append(dst, ver)
 	dst = AppendManifest(dst, &ck.Manifest)
 	dst = binary.AppendUvarint(dst, uint64(ck.Tuples))
 	dst = binary.AppendUvarint(dst, uint64(len(ck.Frames)))
@@ -160,16 +188,39 @@ func AppendCheckpoint(dst []byte, ck *Checkpoint) []byte {
 			dst = append(dst, f...)
 		}
 	}
+	if ck.Segments != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(ck.Segments)))
+		for _, segs := range ck.Segments {
+			dst = binary.AppendUvarint(dst, uint64(len(segs)))
+			for _, s := range segs {
+				dst = appendString(dst, s.Key)
+				dst = binary.AppendUvarint(dst, uint64(s.CRC))
+				dst = binary.AppendUvarint(dst, uint64(s.Rows))
+				dst = binary.AppendUvarint(dst, uint64(len(s.Dead)))
+				for _, w := range s.Dead {
+					dst = binary.LittleEndian.AppendUint64(dst, w)
+				}
+			}
+		}
+	}
 	return dst
 }
 
 // DecodeCheckpoint parses one checkpoint blob, returning it and the bytes
 // consumed. Frame byte slices are copied out of src.
 func DecodeCheckpoint(src []byte) (*Checkpoint, int, error) {
-	pos, err := expectHeader(src, checkpointMagic, checkpointVersion)
-	if err != nil {
-		return nil, 0, fmt.Errorf("recovery: checkpoint: %w", err)
+	if len(src) < len(checkpointMagic)+1 {
+		return nil, 0, fmt.Errorf("recovery: checkpoint: truncated header")
 	}
+	if string(src[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, 0, fmt.Errorf("recovery: checkpoint: bad magic %q", src[:len(checkpointMagic)])
+	}
+	ver := src[len(checkpointMagic)]
+	if ver != checkpointVersion && ver != checkpointVersionV2 {
+		return nil, 0, fmt.Errorf("recovery: checkpoint: unsupported version %d", ver)
+	}
+	pos := len(checkpointMagic) + 1
+	var err error
 	m, n, err := DecodeManifest(src[pos:])
 	if err != nil {
 		return nil, 0, err
@@ -210,6 +261,55 @@ func DecodeCheckpoint(src []byte) (*Checkpoint, int, error) {
 			pos += int(l)
 		}
 		ck.Frames = append(ck.Frames, frames)
+	}
+	if ver == checkpointVersionV2 {
+		var nrels2 uint64
+		if nrels2, pos, err = decodeUvarint(src, pos); err != nil {
+			return nil, 0, fmt.Errorf("recovery: segment rel count: %w", err)
+		}
+		if nrels2 > uint64(len(src)-pos)+1 {
+			return nil, 0, fmt.Errorf("recovery: segment rel count %d exceeds buffer", nrels2)
+		}
+		ck.Segments = make([][]SegmentRef, 0, nrels2)
+		for r := uint64(0); r < nrels2; r++ {
+			var nsegs uint64
+			if nsegs, pos, err = decodeUvarint(src, pos); err != nil {
+				return nil, 0, fmt.Errorf("recovery: rel %d segment count: %w", r, err)
+			}
+			if nsegs > uint64(len(src)-pos) {
+				return nil, 0, fmt.Errorf("recovery: rel %d segment count %d exceeds buffer", r, nsegs)
+			}
+			segs := make([]SegmentRef, 0, nsegs)
+			for i := uint64(0); i < nsegs; i++ {
+				var s SegmentRef
+				if s.Key, pos, err = decodeString(src, pos); err != nil {
+					return nil, 0, fmt.Errorf("recovery: segment %d/%d key: %w", r, i, err)
+				}
+				var u uint64
+				if u, pos, err = decodeUvarint(src, pos); err != nil {
+					return nil, 0, fmt.Errorf("recovery: segment %d/%d crc: %w", r, i, err)
+				}
+				s.CRC = uint32(u)
+				if u, pos, err = decodeUvarint(src, pos); err != nil {
+					return nil, 0, fmt.Errorf("recovery: segment %d/%d rows: %w", r, i, err)
+				}
+				s.Rows = int64(u)
+				var nwords uint64
+				if nwords, pos, err = decodeUvarint(src, pos); err != nil {
+					return nil, 0, fmt.Errorf("recovery: segment %d/%d dead words: %w", r, i, err)
+				}
+				if nwords*8 > uint64(len(src)-pos) {
+					return nil, 0, fmt.Errorf("recovery: segment %d/%d dead bitmap exceeds buffer", r, i)
+				}
+				s.Dead = make([]uint64, nwords)
+				for w := uint64(0); w < nwords; w++ {
+					s.Dead[w] = binary.LittleEndian.Uint64(src[pos:])
+					pos += 8
+				}
+				segs = append(segs, s)
+			}
+			ck.Segments = append(ck.Segments, segs)
+		}
 	}
 	return ck, pos, nil
 }

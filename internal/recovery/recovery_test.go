@@ -1,6 +1,8 @@
 package recovery
 
 import (
+	"errors"
+	"os"
 	"reflect"
 	"testing"
 
@@ -124,6 +126,141 @@ func TestStores(t *testing.T) {
 			// Other tasks are independent keys.
 			if _, ok, _ := store.Get("joiner", 0); ok {
 				t.Fatal("task 0 must be absent")
+			}
+		})
+	}
+}
+
+func sampleV2Checkpoint() *Checkpoint {
+	ck := sampleCheckpoint()
+	ck.Segments = [][]SegmentRef{
+		{
+			{Key: "ck-joiner-g1-s0", CRC: 0xdeadbeef, Rows: 64, Dead: []uint64{0x5, 0}},
+			{Key: "ck-joiner-g1-s1", CRC: 0x01020304, Rows: 64, Dead: []uint64{0, 0}},
+		},
+		{}, // rel with no sealed segments yet
+	}
+	return ck
+}
+
+func TestCheckpointV2RoundTrip(t *testing.T) {
+	ck := sampleV2Checkpoint()
+	enc := AppendCheckpoint(nil, ck)
+	got, n, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatalf("decode v2: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if !reflect.DeepEqual(ck, got) {
+		t.Fatalf("v2 round trip:\n%+v\n->\n%+v", ck, got)
+	}
+	// v1 blobs (no Segments) must keep decoding with nil Segments.
+	v1 := sampleCheckpoint()
+	got1, _, err := DecodeCheckpoint(AppendCheckpoint(nil, v1))
+	if err != nil || got1.Segments != nil {
+		t.Fatalf("v1 decode: %v, segments %v", err, got1.Segments)
+	}
+}
+
+// A torn or bit-flipped checkpoint file must surface a typed corruption
+// error, never decode garbage.
+func TestDiskStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Put("joiner", 1, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	path := disk.fileFor("joiner", 1)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte at a time through the payload region.
+	for i := len(fileMagic) + 4; i < len(orig); i += 7 {
+		bad := append([]byte(nil), orig...)
+		bad[i] ^= 0x20
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := disk.Get("joiner", 1)
+		if err == nil {
+			t.Fatalf("flipped byte %d not detected", i)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flipped byte %d: error %v is not ErrCorrupt", i, err)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("flipped byte %d: error %T is not *CorruptError", i, err)
+		}
+	}
+
+	// Truncated tails (torn write) must be detected too.
+	for _, n := range []int{len(orig) - 1, len(orig) / 2, len(fileMagic) + 2, 3} {
+		if err := os.WriteFile(path, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := disk.Get("joiner", 1); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %dB: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+
+	// Restore the intact file: reads succeed again.
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := disk.Get("joiner", 1); !ok || err != nil {
+		t.Fatalf("intact file rejected: %v, %v", ok, err)
+	}
+
+	// Pre-container (legacy) files still read.
+	if err := os.WriteFile(path, AppendCheckpoint(nil, sampleCheckpoint()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := disk.Get("joiner", 1); !ok || err != nil {
+		t.Fatalf("legacy file rejected: %v, %v", ok, err)
+	}
+}
+
+// Both stores implement the slab.SegmentStore methods; verified
+// structurally here so the interface satisfaction never regresses.
+func TestSegmentStoreMethods(t *testing.T) {
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := map[string]interface {
+		PutSegment(string, []byte) error
+		GetSegment(string) ([]byte, bool, error)
+		DeleteSegment(string) error
+	}{"mem": NewMemStore(), "disk": disk}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, err := s.GetSegment("sp-a-g1-s0"); ok || err != nil {
+				t.Fatalf("empty GetSegment = %v, %v", ok, err)
+			}
+			blob := []byte("segment-bytes-\x00\xff")
+			if err := s.PutSegment("sp-a-g1-s0", blob); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.GetSegment("sp-a-g1-s0")
+			if err != nil || !ok || !reflect.DeepEqual(got, blob) {
+				t.Fatalf("GetSegment = %q, %v, %v", got, ok, err)
+			}
+			if err := s.DeleteSegment("sp-a-g1-s0"); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.GetSegment("sp-a-g1-s0"); ok {
+				t.Fatal("segment survived delete")
+			}
+			if err := s.DeleteSegment("never-existed"); err != nil {
+				t.Fatalf("deleting a missing segment must be a no-op: %v", err)
 			}
 		})
 	}

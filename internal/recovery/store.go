@@ -1,14 +1,69 @@
 package recovery
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 )
+
+// ErrCorrupt is the sentinel under every store-level corruption detection
+// (checksum mismatch, torn write, truncation); match with errors.Is and
+// unwrap *CorruptError for the location.
+var ErrCorrupt = errors.New("recovery: corrupt checkpoint data")
+
+// CorruptError reports a stored blob that failed its integrity check — the
+// bytes on disk are not the bytes that were written.
+type CorruptError struct {
+	Path   string // file or key that failed verification
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("recovery: %s: %s: %v", e.Path, e.Detail, ErrCorrupt)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// Checksummed file container for DiskStore: "SQF1" magic, 4-byte LE CRC32
+// (IEEE) of the payload, payload. Files written before the container was
+// introduced start with the payload's own magic and are still readable
+// (their inner codecs detect gross corruption; new writes always get the
+// container).
+const fileMagic = "SQF1"
+
+func sealBlob(blob []byte) []byte {
+	out := make([]byte, 0, len(fileMagic)+4+len(blob))
+	out = append(out, fileMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(blob))
+	return append(out, blob...)
+}
+
+// unsealBlob verifies and strips the file container. Legacy files (no
+// container) pass through unchanged.
+func unsealBlob(path string, data []byte) ([]byte, error) {
+	if len(data) < len(fileMagic) {
+		// Too short for any era's magic: a torn write, not a legacy file.
+		return nil, &CorruptError{Path: path, Detail: "truncated file"}
+	}
+	if string(data[:len(fileMagic)]) != fileMagic {
+		return data, nil // legacy file, pre-container
+	}
+	if len(data) < len(fileMagic)+4 {
+		return nil, &CorruptError{Path: path, Detail: "truncated checksum header"}
+	}
+	want := binary.LittleEndian.Uint32(data[len(fileMagic):])
+	payload := data[len(fileMagic)+4:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, &CorruptError{Path: path, Detail: "checksum mismatch (torn or corrupted write)"}
+	}
+	return payload, nil
+}
 
 // CheckpointStore persists per-task checkpoints. Implementations must allow
 // concurrent Put/Get from different goroutines (tasks checkpoint
@@ -28,10 +83,13 @@ type CheckpointStore interface {
 type MemStore struct {
 	mu   sync.Mutex
 	byID map[string][]byte
+	segs map[string][]byte
 }
 
 // NewMemStore returns an empty in-memory checkpoint store.
-func NewMemStore() *MemStore { return &MemStore{byID: map[string][]byte{}} }
+func NewMemStore() *MemStore {
+	return &MemStore{byID: map[string][]byte{}, segs: map[string][]byte{}}
+}
 
 func storeKey(component string, task int) string {
 	return fmt.Sprintf("%s/%d", component, task)
@@ -61,7 +119,8 @@ func (s *MemStore) Get(component string, task int) (*Checkpoint, bool, error) {
 	return ck, true, nil
 }
 
-// Bytes reports the total encoded bytes currently held (tests/metrics).
+// Bytes reports the total encoded bytes currently held (tests/metrics),
+// checkpoints and sealed segments together.
 func (s *MemStore) Bytes() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -69,7 +128,35 @@ func (s *MemStore) Bytes() int {
 	for _, b := range s.byID {
 		n += len(b)
 	}
+	for _, b := range s.segs {
+		n += len(b)
+	}
 	return n
+}
+
+// PutSegment stores a copy of one sealed slab segment (slab.SegmentStore).
+func (s *MemStore) PutSegment(key string, blob []byte) error {
+	s.mu.Lock()
+	s.segs[key] = append([]byte(nil), blob...)
+	s.mu.Unlock()
+	return nil
+}
+
+// GetSegment returns one sealed segment's bytes (slab.SegmentStore). The
+// segment codec carries its own CRC; verification happens at decode.
+func (s *MemStore) GetSegment(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	b, ok := s.segs[key]
+	s.mu.Unlock()
+	return b, ok, nil
+}
+
+// DeleteSegment drops one sealed segment (quarantine, garbage collection).
+func (s *MemStore) DeleteSegment(key string) error {
+	s.mu.Lock()
+	delete(s.segs, key)
+	s.mu.Unlock()
+	return nil
 }
 
 // DiskStore persists checkpoints as one file per (component, task) under a
@@ -129,20 +216,25 @@ func (s *DiskStore) fileFor(component string, task int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s-%d.ckpt", clean, task))
 }
 
-// Put encodes and atomically replaces the checkpoint file.
-func (s *DiskStore) Put(component string, task int, ck *Checkpoint) error {
-	blob := AppendCheckpoint(nil, ck)
-	path := s.fileFor(component, task)
+// writeAtomic writes data through a temp file and rename under the store
+// lock, so a crash mid-write never leaves a half-written file in place.
+func (s *DiskStore) writeAtomic(path string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("recovery: checkpoint write: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("recovery: checkpoint rename: %w", err)
 	}
 	return nil
+}
+
+// Put encodes and atomically replaces the checkpoint file, wrapped in the
+// checksummed container so a torn or bit-flipped file is detected on read.
+func (s *DiskStore) Put(component string, task int, ck *Checkpoint) error {
+	return s.writeAtomic(s.fileFor(component, task), sealBlob(AppendCheckpoint(nil, ck)))
 }
 
 // Get reads and decodes the checkpoint file, charging the modeled seek and
@@ -164,9 +256,67 @@ func (s *DiskStore) Get(component string, task int) (*Checkpoint, bool, error) {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
-	ck, _, err := DecodeCheckpoint(blob)
+	payload, err := unsealBlob(s.fileFor(component, task), blob)
+	if err != nil {
+		return nil, false, err
+	}
+	ck, _, err := DecodeCheckpoint(payload)
 	if err != nil {
 		return nil, false, err
 	}
 	return ck, true, nil
+}
+
+// segFileFor sanitizes a segment key into a stable file name, kept apart
+// from checkpoint files by extension.
+func (s *DiskStore) segFileFor(key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+	return filepath.Join(s.dir, clean+".seg")
+}
+
+// PutSegment atomically writes one sealed slab segment
+// (slab.SegmentStore). The segment codec carries its own CRC, so the blob
+// is stored bare.
+func (s *DiskStore) PutSegment(key string, blob []byte) error {
+	return s.writeAtomic(s.segFileFor(key), blob)
+}
+
+// GetSegment reads one sealed segment, charging the modeled seek and
+// bandwidth when configured (a fault-in is a disk read).
+func (s *DiskStore) GetSegment(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	blob, err := os.ReadFile(s.segFileFor(key))
+	s.mu.Unlock()
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("recovery: segment read: %w", err)
+	}
+	delay := s.SeekLatency
+	if s.ReadBytesPerSec > 0 {
+		delay += time.Duration(float64(len(blob)) / float64(s.ReadBytesPerSec) * float64(time.Second))
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return blob, true, nil
+}
+
+// DeleteSegment removes one sealed segment file (quarantine, garbage
+// collection). Deleting a missing segment is a no-op.
+func (s *DiskStore) DeleteSegment(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.segFileFor(key)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("recovery: segment delete: %w", err)
+	}
+	return nil
 }

@@ -41,14 +41,18 @@ func (e *BudgetError) Error() string {
 
 func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
 
-// TenantStats is one tenant's published registry state.
+// TenantStats is one tenant's published registry state. Bytes is resident
+// state only; SpilledBytes is state the tier layer moved to disk — it stays
+// visible (the tenant still owns it) but is never charged against MaxBytes,
+// which caps RAM.
 type TenantStats struct {
-	Name     string `json:"name"`
-	Queries  int    `json:"queries"`
-	Bytes    int64  `json:"bytes"`
-	Budget   Budget `json:"budget"`
-	Rejected int64  `json:"rejected"`
-	Evicted  int64  `json:"evicted"`
+	Name         string `json:"name"`
+	Queries      int    `json:"queries"`
+	Bytes        int64  `json:"bytes"`
+	SpilledBytes int64  `json:"spilled_bytes"`
+	Budget       Budget `json:"budget"`
+	Rejected     int64  `json:"rejected"`
+	Evicted      int64  `json:"evicted"`
 }
 
 // Tenants is the admission-control registry: per-tenant budgets, live query
@@ -145,18 +149,31 @@ func (ts *Tenants) Usage(name string) (bytes int64, queries int) {
 	return t.meter.Bytes(), t.queries
 }
 
+// SpilledUsage reports the tenant's current on-disk bytes (tiered state the
+// engine spilled on its behalf).
+func (ts *Tenants) SpilledUsage(name string) int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t := ts.m[name]
+	if t == nil {
+		return 0
+	}
+	return t.meter.SpilledBytes()
+}
+
 // Stats snapshots every tenant, sorted by name.
 func (ts *Tenants) Stats() []TenantStats {
 	ts.mu.Lock()
 	out := make([]TenantStats, 0, len(ts.m))
 	for name, t := range ts.m {
 		out = append(out, TenantStats{
-			Name:     name,
-			Queries:  t.queries,
-			Bytes:    t.meter.Bytes(),
-			Budget:   t.budget,
-			Rejected: t.rejected,
-			Evicted:  t.evicted,
+			Name:         name,
+			Queries:      t.queries,
+			Bytes:        t.meter.Bytes(),
+			SpilledBytes: t.meter.SpilledBytes(),
+			Budget:       t.budget,
+			Rejected:     t.rejected,
+			Evicted:      t.evicted,
 		})
 	}
 	ts.mu.Unlock()

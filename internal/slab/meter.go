@@ -11,13 +11,20 @@ import "sync/atomic"
 // the meter tracks the tenant's current resident bytes, not a sum of
 // samples.
 type Meter struct {
-	n atomic.Int64
+	n       atomic.Int64
+	spilled atomic.Int64
 }
 
-// Bytes returns the current total.
+// Bytes returns the current resident total. State spilled to disk is
+// tracked separately (SpilledBytes) so a tenant is never charged RAM its
+// state no longer occupies.
 func (m *Meter) Bytes() int64 { return m.n.Load() }
 
-// Add adjusts the total directly (registration-time charges, refunds).
+// SpilledBytes returns the current on-disk total.
+func (m *Meter) SpilledBytes() int64 { return m.spilled.Load() }
+
+// Add adjusts the resident total directly (registration-time charges,
+// refunds).
 func (m *Meter) Add(d int64) { m.n.Add(d) }
 
 // Gauge returns a new sampling source charging this meter. Each Gauge must
@@ -28,12 +35,13 @@ func (m *Meter) Gauge() *Gauge { return &Gauge{m: m} }
 
 // Gauge folds absolute byte samples from one source into a Meter as deltas.
 type Gauge struct {
-	m    *Meter
-	last atomic.Int64
+	m      *Meter
+	last   atomic.Int64
+	lastSp atomic.Int64
 }
 
-// Set records an absolute reading, charging the difference from the previous
-// reading to the meter.
+// Set records an absolute resident reading, charging the difference from
+// the previous reading to the meter.
 func (g *Gauge) Set(bytes int64) {
 	prev := g.last.Swap(bytes)
 	if d := bytes - prev; d != 0 {
@@ -41,12 +49,24 @@ func (g *Gauge) Set(bytes int64) {
 	}
 }
 
-// Release refunds the gauge's current charge (task freed, query
+// SetSpilled records an absolute on-disk reading for this source.
+func (g *Gauge) SetSpilled(bytes int64) {
+	prev := g.lastSp.Swap(bytes)
+	if d := bytes - prev; d != 0 {
+		g.m.spilled.Add(d)
+	}
+}
+
+// Release refunds the gauge's current charges (task freed, query
 // unregistered). Further Sets re-charge from zero; releasing twice is a
 // no-op.
 func (g *Gauge) Release() {
 	prev := g.last.Swap(0)
 	if prev != 0 {
 		g.m.Add(-prev)
+	}
+	prevSp := g.lastSp.Swap(0)
+	if prevSp != 0 {
+		g.m.spilled.Add(-prevSp)
 	}
 }

@@ -1,0 +1,107 @@
+package slab
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func buildSegment(rows [][]byte) ([]uint32, []byte) {
+	var payload []byte
+	offs := make([]uint32, 0, len(rows)+1)
+	for _, r := range rows {
+		offs = append(offs, uint32(len(payload)))
+		payload = append(payload, r...)
+	}
+	offs = append(offs, uint32(len(payload)))
+	return offs, payload
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	rows := [][]byte{
+		[]byte("hello"),
+		{}, // zero-length span (compacted-away row)
+		[]byte("a much longer row payload with some bytes"),
+		{0x00, 0xff, 0x80},
+	}
+	offs, payload := buildSegment(rows)
+	enc := AppendSegment(nil, offs, payload)
+
+	gotOffs, gotPayload, _, err := DecodeSegment(enc)
+	if err != nil {
+		t.Fatalf("DecodeSegment: %v", err)
+	}
+	if len(gotOffs) != len(offs) {
+		t.Fatalf("offs len = %d, want %d", len(gotOffs), len(offs))
+	}
+	for i := range offs {
+		if gotOffs[i] != offs[i] {
+			t.Fatalf("offs[%d] = %d, want %d", i, gotOffs[i], offs[i])
+		}
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("payload mismatch")
+	}
+}
+
+func TestSegmentEmptyRows(t *testing.T) {
+	offs := []uint32{0}
+	enc := AppendSegment(nil, offs, nil)
+	gotOffs, gotPayload, _, err := DecodeSegment(enc)
+	if err != nil {
+		t.Fatalf("DecodeSegment(empty): %v", err)
+	}
+	if len(gotOffs) != 1 || len(gotPayload) != 0 {
+		t.Fatalf("empty segment decoded to %d offs, %dB payload", len(gotOffs), len(gotPayload))
+	}
+}
+
+// Every single-byte mutation of an encoded segment must be rejected — the
+// CRC covers all preceding bytes including magic and header.
+func TestSegmentRejectsMutations(t *testing.T) {
+	offs, payload := buildSegment([][]byte{[]byte("row-one"), []byte("row-two-longer")})
+	enc := AppendSegment(nil, offs, payload)
+	for i := range enc {
+		for _, flip := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= flip
+			if _, _, _, err := DecodeSegment(mut); err == nil {
+				t.Fatalf("mutation at byte %d (^%#x) not rejected", i, flip)
+			} else if !errors.Is(err, ErrSegmentCorrupt) {
+				t.Fatalf("mutation at byte %d: error %v is not ErrSegmentCorrupt", i, err)
+			}
+		}
+	}
+	// Truncations at every length must be rejected too.
+	for n := 0; n < len(enc); n++ {
+		if _, _, _, err := DecodeSegment(enc[:n]); err == nil {
+			t.Fatalf("truncation to %dB not rejected", n)
+		}
+	}
+}
+
+func FuzzSegment(f *testing.F) {
+	offs, payload := buildSegment([][]byte{[]byte("seed-row"), {}, []byte("another")})
+	f.Add(AppendSegment(nil, offs, payload))
+	f.Add([]byte("SQSG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode must never panic, and any successful decode must
+		// re-encode to bytes that decode identically (self-consistency).
+		gotOffs, gotPayload, crc, err := DecodeSegment(data)
+		if err != nil {
+			return
+		}
+		re := AppendSegment(nil, gotOffs, gotPayload)
+		reOffs, rePayload, reCRC, err := DecodeSegment(re)
+		if err != nil {
+			t.Fatalf("re-encode of valid segment failed: %v", err)
+		}
+		if crc != reCRC {
+			t.Fatalf("re-encode CRC %08x != original %08x", reCRC, crc)
+		}
+		if len(reOffs) != len(gotOffs) || !bytes.Equal(rePayload, gotPayload) {
+			t.Fatalf("re-encode round trip mismatch")
+		}
+	})
+}

@@ -35,11 +35,17 @@ const NoRef Ref = math.MaxUint32
 // value is not ready; use New. An Arena is owned by one task (not safe for
 // concurrent use): Decode reuses internal scratch.
 type Arena struct {
-	buf       []byte   // wire-encoded rows, back to back
+	buf       []byte   // wire-encoded rows, back to back (tiered: the hot region)
 	offs      []uint32 // offs[i] = start of row i in buf; end = offs[i+1] or len(buf)
-	dead      []uint64 // tombstone bitmap, 1 bit per row
+	dead      []uint64 // tombstone bitmap, 1 bit per row (always globally indexed)
 	live      int      // rows not tombstoned
 	deadBytes int      // bytes occupied by tombstoned rows (compaction signal)
+
+	// t, when non-nil, runs the tiered state layer (tier.go): buf/offs hold
+	// only the hot tail past the last seal and refs below the hot base
+	// resolve through sealed segments. Nil keeps the legacy single-slab
+	// behavior bit for bit.
+	t *tier
 
 	// Decode scratch: string payloads of the row being decoded and which
 	// output values they become, so one string conversion backs every string
@@ -63,7 +69,7 @@ func (a *Arena) checkCapacity() {
 	if uint64(len(a.buf)) > math.MaxUint32 {
 		panic("slab: arena exceeds 4 GiB; 32-bit row offsets would wrap")
 	}
-	if Ref(len(a.offs)) >= NoRef {
+	if Ref(a.Rows()) >= NoRef {
 		panic("slab: arena exceeds 2^32-1 rows; refs would wrap")
 	}
 }
@@ -71,10 +77,13 @@ func (a *Arena) checkCapacity() {
 // Append stores t as a packed row and returns its ref.
 func (a *Arena) Append(t types.Tuple) Ref {
 	a.checkCapacity()
-	ref := Ref(len(a.offs))
+	ref := Ref(a.Rows())
 	a.offs = append(a.offs, uint32(len(a.buf)))
 	a.buf = wire.Encode(a.buf, t)
 	a.live++
+	if a.t != nil {
+		a.t.afterAppend(a)
+	}
 	return ref
 }
 
@@ -82,16 +91,24 @@ func (a *Arena) Append(t types.Tuple) Ref {
 // wire.Encode) and returns its ref. The bytes are copied.
 func (a *Arena) AppendEncoded(row []byte) Ref {
 	a.checkCapacity()
-	ref := Ref(len(a.offs))
+	ref := Ref(a.Rows())
 	a.offs = append(a.offs, uint32(len(a.buf)))
 	a.buf = append(a.buf, row...)
 	a.live++
+	if a.t != nil {
+		a.t.afterAppend(a)
+	}
 	return ref
 }
 
 // Rows returns the total rows ever appended, including tombstoned ones.
 // Valid refs are [0, Rows).
-func (a *Arena) Rows() int { return len(a.offs) }
+func (a *Arena) Rows() int {
+	if a.t != nil {
+		return a.t.hotBase() + len(a.offs)
+	}
+	return len(a.offs)
+}
 
 // Len returns the number of live (non-tombstoned) rows.
 func (a *Arena) Len() int { return a.live }
@@ -110,8 +127,14 @@ func (a *Arena) rowSpan(r Ref) (int, int) {
 }
 
 // RowBytes returns the wire encoding of one row. The slice aliases the
-// arena; callers must not retain it across Appends.
+// arena; callers must not retain it across Appends — nor, on a tiered
+// arena, across other RowBytes calls (a fault-in may evict the segment
+// backing an earlier return). Reading a spilled row faults its segment in
+// from the store; a CRC failure panics *CorruptSegmentError.
 func (a *Arena) RowBytes(r Ref) []byte {
+	if a.t != nil {
+		return a.t.rowBytes(a, r)
+	}
 	start, end := a.rowSpan(r)
 	return a.buf[start:end]
 }
@@ -219,7 +242,7 @@ func (a *Arena) DecodeInto(buf types.Tuple, r Ref) types.Tuple {
 
 // Live reports whether a row has not been tombstoned.
 func (a *Arena) Live(r Ref) bool {
-	if int(r) >= len(a.offs) {
+	if int(r) >= a.Rows() {
 		return false
 	}
 	return len(a.dead) <= int(r)/64 || a.dead[r/64]&(1<<(r%64)) == 0
@@ -228,9 +251,11 @@ func (a *Arena) Live(r Ref) bool {
 // Free tombstones a row: its bytes stay in the slab (append-only), its ref
 // stops being live, and DeadBytes grows so callers can decide to compact
 // (rebuild) when waste dominates. Freeing a dead or out-of-range ref is a
-// no-op.
+// no-op. Tiered arenas never clear dead bits (segment compaction encodes
+// removed rows as zero-length spans), so the bitmap is the single source
+// of liveness across seals and spills.
 func (a *Arena) Free(r Ref) {
-	if int(r) >= len(a.offs) || !a.Live(r) {
+	if int(r) >= a.Rows() || !a.Live(r) {
 		return
 	}
 	for len(a.dead) <= int(r)/64 {
@@ -238,13 +263,17 @@ func (a *Arena) Free(r Ref) {
 	}
 	a.dead[r/64] |= 1 << (r % 64)
 	a.live--
+	if a.t != nil {
+		a.t.noteFree(a, r)
+		return
+	}
 	start, end := a.rowSpan(r)
 	a.deadBytes += end - start
 }
 
 // Each visits live rows in ref order; fn returning false stops the scan.
 func (a *Arena) Each(fn func(Ref) bool) {
-	for i := range a.offs {
+	for i, n := 0, a.Rows(); i < n; i++ {
 		r := Ref(i)
 		if a.Live(r) && !fn(r) {
 			return
@@ -255,15 +284,27 @@ func (a *Arena) Each(fn func(Ref) bool) {
 // DeadBytes reports bytes held by tombstoned rows.
 func (a *Arena) DeadBytes() int { return a.deadBytes }
 
-// LiveBytes reports bytes held by live rows.
-func (a *Arena) LiveBytes() int { return len(a.buf) - a.deadBytes }
+// LiveBytes reports bytes held by live rows (on a tiered arena this counts
+// spilled payloads too — it measures logical state, not residency).
+func (a *Arena) LiveBytes() int {
+	if a.t != nil {
+		return len(a.buf) + int(a.t.segPayloadTotal) - a.deadBytes
+	}
+	return len(a.buf) - a.deadBytes
+}
 
 // MemSize reports the arena's real in-memory footprint in bytes: the byte
 // slab, the offset table and the tombstone bitmap, at their allocated
 // capacities. Unlike types.Tuple.MemSize sums, this is the number the Go
-// heap actually pays.
+// heap actually pays. On a tiered arena this counts only resident bytes —
+// sealed-segment payloads currently in RAM plus their offset tables —
+// which is what makes MemLimitPerTask a cap on residency, not on state.
 func (a *Arena) MemSize() int {
-	return cap(a.buf) + 4*cap(a.offs) + 8*cap(a.dead) + 64
+	n := cap(a.buf) + 4*cap(a.offs) + 8*cap(a.dead) + 64
+	if a.t != nil {
+		n += int(a.t.residentBlobBytes) + 4*(a.t.segRows+1)*len(a.t.segs)
+	}
+	return n
 }
 
 // Compact rebuilds the arena with only its live rows, reclaiming tombstoned
@@ -272,7 +313,24 @@ func (a *Arena) MemSize() int {
 // so iteration order is preserved. Callers owning external ref tables
 // (indexes, window expiration queues) must rewrite them through the remap —
 // localjoin.Traditional drives this from its DeadBytes > LiveBytes trigger.
+//
+// On a tiered arena Compact never renumbers: it force-compacts every
+// resident sealed segment in place and returns an identity remap (NoRef
+// for dead rows), since refs are stable by construction. Prefer Maintain
+// for incremental, amortized compaction.
 func (a *Arena) Compact() []Ref {
+	if a.t != nil {
+		a.t.compactAll(a)
+		remap := make([]Ref, a.Rows())
+		for i := range remap {
+			if a.Live(Ref(i)) {
+				remap[i] = Ref(i)
+			} else {
+				remap[i] = NoRef
+			}
+		}
+		return remap
+	}
 	remap := make([]Ref, len(a.offs))
 	buf := make([]byte, 0, a.LiveBytes())
 	offs := make([]uint32, 0, a.live)
@@ -306,7 +364,7 @@ func (a *Arena) EachFrame(batchSize int, scratch []byte, visit func(frame []byte
 	frame := scratch[:0]
 	remaining := a.live
 	count := 0
-	for i := range a.offs {
+	for i, n := 0, a.Rows(); i < n; i++ {
 		r := Ref(i)
 		if !a.Live(r) {
 			continue

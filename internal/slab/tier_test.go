@@ -1,0 +1,346 @@
+package slab
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"squall/internal/types"
+)
+
+// mapStore is a SegmentStore for tests, with optional fault injection.
+type mapStore struct {
+	m       map[string][]byte
+	puts    int
+	corrupt func(key string, blob []byte) []byte // applied at Put
+	putErr  error
+}
+
+func newMapStore() *mapStore { return &mapStore{m: make(map[string][]byte)} }
+
+func (s *mapStore) PutSegment(key string, blob []byte) error {
+	if s.putErr != nil {
+		return s.putErr
+	}
+	s.puts++
+	b := append([]byte(nil), blob...)
+	if s.corrupt != nil {
+		b = s.corrupt(key, b)
+	}
+	s.m[key] = b
+	return nil
+}
+
+func (s *mapStore) GetSegment(key string) ([]byte, bool, error) {
+	b, ok := s.m[key]
+	return b, ok, nil
+}
+
+func (s *mapStore) DeleteSegment(key string) error {
+	delete(s.m, key)
+	return nil
+}
+
+func tupleFor(i int) types.Tuple {
+	return types.Tuple{
+		types.Int(int64(i)),
+		types.Str(fmt.Sprintf("row-%d-%s", i, string(make([]byte, 40+i%17)))),
+		types.Float(float64(i) * 1.5),
+	}
+}
+
+// Tiered and legacy arenas must agree on every observable after a random
+// append/free workload (no store: seal + segment compaction only).
+func TestTieredEquivalence(t *testing.T) {
+	legacy := New()
+	tiered := New()
+	tiered.EnableTier(TierConfig{SegmentRows: 64})
+
+	rng := rand.New(rand.NewSource(42))
+	var refs []Ref
+	for i := 0; i < 2000; i++ {
+		tup := tupleFor(i)
+		r1 := legacy.Append(tup)
+		r2 := tiered.Append(tup)
+		if r1 != r2 {
+			t.Fatalf("ref divergence at %d: legacy %d tiered %d", i, r1, r2)
+		}
+		refs = append(refs, r1)
+		if rng.Intn(3) == 0 && len(refs) > 0 {
+			victim := refs[rng.Intn(len(refs))]
+			legacy.Free(victim)
+			tiered.Free(victim)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		tiered.Maintain() // drive segment compaction
+	}
+	if legacy.Rows() != tiered.Rows() || legacy.Len() != tiered.Len() {
+		t.Fatalf("rows/len diverge: legacy %d/%d tiered %d/%d",
+			legacy.Rows(), legacy.Len(), tiered.Rows(), tiered.Len())
+	}
+	for i := 0; i < legacy.Rows(); i++ {
+		r := Ref(i)
+		if legacy.Live(r) != tiered.Live(r) {
+			t.Fatalf("liveness diverges at ref %d", r)
+		}
+		if !legacy.Live(r) {
+			continue
+		}
+		want := legacy.Decode(r)
+		got := tiered.Decode(r)
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Fatalf("row %d diverges:\nlegacy %v\ntiered %v", r, want, got)
+		}
+	}
+	if tiered.SealedSegments() == 0 {
+		t.Fatal("no segments sealed")
+	}
+}
+
+// Eager spill: every sealed segment goes to the store, reads fault them
+// back in, residency stays bounded by the cache, and every row survives
+// the round trip bit-for-bit.
+func TestTierSpillFaultIn(t *testing.T) {
+	store := newMapStore()
+	a := New()
+	a.EnableTier(TierConfig{SegmentRows: 64, Store: store, CacheSegments: 2, KeyPrefix: "t"})
+
+	const n = 1000
+	want := make([]types.Tuple, n)
+	for i := 0; i < n; i++ {
+		want[i] = tupleFor(i)
+		a.Append(want[i])
+	}
+	st := a.TierStats()
+	if st.SealedSegments == 0 || st.SpilledSegments != st.SealedSegments {
+		t.Fatalf("eager spill incomplete: %+v", st)
+	}
+	// Random access pattern to exercise cache eviction.
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 5000; k++ {
+		i := rng.Intn(n)
+		got := a.Decode(Ref(i))
+		if fmt.Sprint(got) != fmt.Sprint(want[i]) {
+			t.Fatalf("row %d diverges after spill: %v != %v", i, got, want[i])
+		}
+	}
+	st = a.TierStats()
+	if st.Faults == 0 {
+		t.Fatal("no segment faults recorded")
+	}
+	if st.CachedSegments > 2 {
+		t.Fatalf("cache over cap: %d cached", st.CachedSegments)
+	}
+	if a.SpilledBytes() == 0 {
+		t.Fatal("SpilledBytes = 0 after spilling")
+	}
+	// MemSize must be far below the logical state (most payload on disk).
+	if a.MemSize() >= a.LiveBytes() {
+		t.Fatalf("MemSize %d not reduced below logical %d", a.MemSize(), a.LiveBytes())
+	}
+}
+
+// Refs must survive seal + spill + compaction unchanged (the stable-ref
+// contract that lets indexes and window queues skip remapping).
+func TestTierStableRefs(t *testing.T) {
+	a := New()
+	a.EnableTier(TierConfig{SegmentRows: 64})
+	var live []Ref
+	var want []types.Tuple
+	for i := 0; i < 1500; i++ {
+		tup := tupleFor(i)
+		r := a.Append(tup)
+		if i%3 == 0 {
+			a.Free(r)
+		} else {
+			live = append(live, r)
+			want = append(want, tup)
+		}
+	}
+	remap := a.Compact() // tiered: identity remap, in-place segment rewrites
+	for i, r := range live {
+		if remap[r] != r {
+			t.Fatalf("remap[%d] = %d, want identity", r, remap[r])
+		}
+		if fmt.Sprint(a.Decode(r)) != fmt.Sprint(want[i]) {
+			t.Fatalf("row %d diverges after compaction", r)
+		}
+	}
+}
+
+// A corrupted spill blob must quarantine the segment and panic with
+// *CorruptSegmentError — never decode garbage into rows.
+func TestTierQuarantine(t *testing.T) {
+	store := newMapStore()
+	store.corrupt = func(key string, blob []byte) []byte {
+		blob[len(blob)/2] ^= 0x40
+		return blob
+	}
+	a := New()
+	a.EnableTier(TierConfig{SegmentRows: 64, Store: store, KeyPrefix: "q"})
+	for i := 0; i < 100; i++ {
+		a.Append(tupleFor(i))
+	}
+	if a.TierStats().SpilledSegments == 0 {
+		t.Fatal("nothing spilled")
+	}
+	func() {
+		defer func() {
+			r := recover()
+			var ce *CorruptSegmentError
+			if err, ok := r.(error); !ok || !errors.As(err, &ce) {
+				t.Fatalf("recover() = %v, want *CorruptSegmentError", r)
+			}
+			if !errors.Is(ce, ErrSegmentCorrupt) {
+				t.Fatalf("error does not wrap ErrSegmentCorrupt: %v", ce)
+			}
+		}()
+		a.RowBytes(0) // faults in segment 0 → CRC mismatch
+		t.Fatal("corrupted read did not panic")
+	}()
+	st := a.TierStats()
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	// The quarantined segment must stay unreadable (no second chance at
+	// serving the bad bytes).
+	func() {
+		defer func() { _ = recover() }()
+		a.RowBytes(0)
+		t.Fatal("second read of quarantined segment did not panic")
+	}()
+}
+
+// Incremental checkpoints: segments persist to the ck store exactly once;
+// later calls reference them by key without rewriting, and the dead
+// bitmaps snapshot checkpoint-time tombstones.
+func TestSealedSegmentCks(t *testing.T) {
+	ck := newMapStore()
+	a := New()
+	a.EnableTier(TierConfig{SegmentRows: 64, CkStore: ck, KeyPrefix: "c"})
+	for i := 0; i < 200; i++ {
+		a.Append(tupleFor(i))
+	}
+	cks, err := a.SealedSegmentCks()
+	if err != nil {
+		t.Fatalf("SealedSegmentCks: %v", err)
+	}
+	if len(cks) != a.SealedSegments() {
+		t.Fatalf("%d cks for %d segments", len(cks), a.SealedSegments())
+	}
+	firstPuts := ck.puts
+	if firstPuts != len(cks) {
+		t.Fatalf("%d puts for %d new segments", firstPuts, len(cks))
+	}
+
+	a.Free(Ref(0)) // tombstone after persistence
+	for i := 200; i < 280; i++ {
+		a.Append(tupleFor(i))
+	}
+	cks2, err := a.SealedSegmentCks()
+	if err != nil {
+		t.Fatalf("second SealedSegmentCks: %v", err)
+	}
+	newSegs := a.SealedSegments() - len(cks)
+	if ck.puts != firstPuts+newSegs {
+		t.Fatalf("incremental violated: %d new puts for %d new segments", ck.puts-firstPuts, newSegs)
+	}
+	if cks2[0].Dead[0]&1 == 0 {
+		t.Fatal("checkpoint-time tombstone not in Dead bitmap")
+	}
+	// Blobs in the store must decode and match their recorded CRC.
+	for _, c := range cks2 {
+		blob, ok, err := ck.GetSegment(c.Key)
+		if err != nil || !ok {
+			t.Fatalf("ck blob %s missing (%v)", c.Key, err)
+		}
+		_, _, crc, err := DecodeSegment(blob)
+		if err != nil || crc != c.CRC {
+			t.Fatalf("ck blob %s: decode %v, crc %08x want %08x", c.Key, err, crc, c.CRC)
+		}
+	}
+}
+
+// Spill-store write failures must leave segments resident and counted, not
+// lose state (degradation, not data loss).
+func TestTierSpillErrorKeepsResident(t *testing.T) {
+	store := newMapStore()
+	store.putErr = errors.New("disk full")
+	a := New()
+	a.EnableTier(TierConfig{SegmentRows: 64, Store: store, KeyPrefix: "e"})
+	for i := 0; i < 200; i++ {
+		a.Append(tupleFor(i))
+	}
+	st := a.TierStats()
+	if st.SpilledSegments != 0 || st.SpillErrors == 0 {
+		t.Fatalf("spill errors mishandled: %+v", st)
+	}
+	for i := 0; i < 200; i++ {
+		if fmt.Sprint(a.Decode(Ref(i))) != fmt.Sprint(tupleFor(i)) {
+			t.Fatalf("row %d lost after spill errors", i)
+		}
+	}
+}
+
+func TestPressureLadder(t *testing.T) {
+	p := NewPressure(1000)
+	g := p.Gauge()
+	cases := []struct {
+		resident int64
+		want     PressureStage
+	}{
+		{0, PressureNormal}, {700, PressureNormal}, {750, PressureSpill},
+		{919, PressureSpill}, {920, PressureBackpressure}, {999, PressureBackpressure},
+		{1000, PressureReject}, {500, PressureNormal},
+	}
+	for _, c := range cases {
+		g.set(c.resident, 0, 0)
+		if got := p.Stage(); got != c.want {
+			t.Fatalf("stage at %d/1000 = %v, want %v", c.resident, got, c.want)
+		}
+	}
+	g.set(800, 300, 5)
+	g2 := p.Gauge()
+	g2.set(100, 50, 2)
+	if p.ResidentBytes() != 900 || p.SpilledBytes() != 350 {
+		t.Fatalf("multi-gauge totals wrong: %d resident, %d spilled", p.ResidentBytes(), p.SpilledBytes())
+	}
+	g.Release()
+	g.Release() // idempotent
+	if p.ResidentBytes() != 100 || p.SpilledBytes() != 50 {
+		t.Fatalf("release refund wrong: %d resident, %d spilled", p.ResidentBytes(), p.SpilledBytes())
+	}
+	st := p.Stats()
+	if st.Stage != "normal" || st.SealedSegments != 2 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	var nilP *Pressure
+	if nilP.Stage() != PressureNormal {
+		t.Fatal("nil pressure must report Normal")
+	}
+}
+
+// A tiered arena under a pressure ladder spills only when the ladder says
+// so, and spilling brings residency back down.
+func TestTierPressureDrivenSpill(t *testing.T) {
+	store := newMapStore()
+	p := NewPressure(40 << 10)
+	a := New()
+	a.EnableTier(TierConfig{SegmentRows: 64, Store: store, Pressure: p, CacheSegments: 2, KeyPrefix: "p"})
+	for i := 0; i < 4000; i++ {
+		a.Append(tupleFor(i))
+	}
+	st := a.TierStats()
+	if st.SpilledSegments == 0 {
+		t.Fatalf("pressure never triggered spilling: %+v (pressure %+v)", st, p.Stats())
+	}
+	if p.SpilledBytes() == 0 {
+		t.Fatal("ladder did not observe spilled bytes")
+	}
+	a.ReleaseTier()
+	if p.ResidentBytes() != 0 {
+		t.Fatalf("ReleaseTier left %dB charged", p.ResidentBytes())
+	}
+}

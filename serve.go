@@ -43,6 +43,14 @@ type EngineOptions struct {
 	// Source tunes the shared-source fan-out (credit window, frame size,
 	// stall timeout).
 	Source serve.SourceOptions
+	// MemCapBytes, when > 0, is the engine-wide resident-state budget (PR
+	// 10). Every registered query's tiered arenas charge one shared pressure
+	// ladder: as residency approaches the cap, cold segments spill; when
+	// spilling cannot keep up, sources throttle; at the cap, new
+	// registrations are rejected with a *serve.BudgetError until pressure
+	// drops. Implies tiered state (Options.Tier defaults apply when the base
+	// Run options leave Tier nil).
+	MemCapBytes int64
 }
 
 // Engine is a long-lived multi-query serving runtime. Zero or more shared
@@ -52,26 +60,35 @@ type EngineOptions struct {
 type Engine struct {
 	opts EngineOptions
 
-	mu      sync.Mutex
-	sources map[string]*serve.SharedSource
-	sizeOf  map[string]int64
-	queries map[string]*ServedQuery
-	order   []string // registration order (eviction picks oldest first)
-	tenants *serve.Tenants
-	started bool
-	closed  bool
+	mu       sync.Mutex
+	sources  map[string]*serve.SharedSource
+	sizeOf   map[string]int64
+	queries  map[string]*ServedQuery
+	order    []string // registration order (eviction picks oldest first)
+	tenants  *serve.Tenants
+	pressure *slab.Pressure // engine-wide ladder (nil without MemCapBytes)
+	started  bool
+	closed   bool
 }
 
 // NewEngine creates an idle engine.
 func NewEngine(opts EngineOptions) *Engine {
-	return &Engine{
+	e := &Engine{
 		opts:    opts,
 		sources: make(map[string]*serve.SharedSource),
 		sizeOf:  make(map[string]int64),
 		queries: make(map[string]*ServedQuery),
 		tenants: serve.NewTenants(),
 	}
+	if opts.MemCapBytes > 0 {
+		e.pressure = slab.NewPressure(opts.MemCapBytes)
+	}
+	return e
 }
+
+// Pressure exposes the engine-wide degradation ladder (nil unless
+// MemCapBytes is set); health endpoints report its stats.
+func (e *Engine) Pressure() *slab.Pressure { return e.pressure }
 
 // AddSource registers one shared scan. Queries whose Source entry names it
 // with a nil Spout are fanned out from this one physical spout; size fills
@@ -194,6 +211,16 @@ func (e *Engine) Register(req RegisterRequest) (*ServedQuery, error) {
 // tryRegister performs one admission + plan attempt; retry=true means an
 // eviction freed room and the caller should try again.
 func (e *Engine) tryRegister(req RegisterRequest) (sq *ServedQuery, retry bool, err error) {
+	// Ladder stage 3: resident state is at the engine-wide cap and spilling
+	// has not relieved it — shed new work before it makes things worse.
+	// Existing queries keep running (degradation, not collapse).
+	if e.pressure != nil && e.pressure.Stage() >= slab.PressureReject {
+		return nil, false, &serve.BudgetError{
+			Tenant: req.Tenant,
+			Used:   e.pressure.ResidentBytes(),
+			Budget: serve.Budget{MaxBytes: e.pressure.Cap()},
+		}
+	}
 	if err := e.tenants.Admit(req.Tenant); err != nil {
 		if req.Evict && errors.Is(err, serve.ErrBudgetExceeded) {
 			if victim := e.oldestQueryOf(req.Tenant); victim != "" {
@@ -232,6 +259,17 @@ func (e *Engine) launch(req RegisterRequest) (*ServedQuery, error) {
 	}
 	if opt.Cluster != nil {
 		return nil, fmt.Errorf("squall: Register: cluster runs cannot be served in-process")
+	}
+	if e.pressure != nil {
+		// Engine-wide cap: every query's arenas run tiered and charge the
+		// one shared ladder (copy the options so the base Run/request
+		// options are never mutated).
+		t := TierOptions{}
+		if opt.Tier != nil {
+			t = *opt.Tier
+		}
+		t.pressure = e.pressure
+		opt.Tier = &t
 	}
 
 	sq := &ServedQuery{
@@ -316,6 +354,13 @@ func (e *Engine) launch(req RegisterRequest) (*ServedQuery, error) {
 	p.dopts.MemObserver = func(comp string, task int, bytes int64) {
 		if gs := gaugesByComp[comp]; task < len(gs) {
 			gs[task].Set(bytes)
+		}
+	}
+	// Spilled state stays on the tenant's books (it owns the disk bytes) but
+	// is never charged against MaxBytes, which caps RAM.
+	p.dopts.SpillObserver = func(comp string, task int, bytes int64) {
+		if gs := gaugesByComp[comp]; task < len(gs) {
+			gs[task].SetSpilled(bytes)
 		}
 	}
 	sq.plan = p
@@ -545,6 +590,8 @@ type EngineStats struct {
 	Queries []QueryStats        `json:"queries"`
 	Tenants []serve.TenantStats `json:"tenants"`
 	Sources []serve.SourceStats `json:"sources"`
+	// Pressure is the engine-wide ladder snapshot (nil without MemCapBytes).
+	Pressure *slab.PressureStats `json:"pressure,omitempty"`
 }
 
 // Stats snapshots the registry: per-query state, per-tenant usage against
@@ -565,6 +612,10 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Unlock()
 
 	st := EngineStats{Tenants: e.tenants.Stats()}
+	if e.pressure != nil {
+		ps := e.pressure.Stats()
+		st.Pressure = &ps
+	}
 	for _, q := range qs {
 		q.mu.Lock()
 		row := QueryStats{

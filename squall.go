@@ -32,6 +32,7 @@ import (
 	"squall/internal/ft"
 	"squall/internal/ops"
 	"squall/internal/recovery"
+	"squall/internal/slab"
 	"squall/internal/types"
 	"squall/internal/wire"
 )
@@ -238,6 +239,40 @@ type Options struct {
 	// registered as a cluster job so every worker can rebuild the identical
 	// plan. Incompatible with NoSerialize.
 	Cluster *ClusterSpec
+	// Tier, when set, runs the joiner's slab state tiered (PR 10): arenas
+	// seal cold segments into checksummed, append-frozen blobs that spill to
+	// a segment store under memory pressure and fault back in on demand, so
+	// a join whose state exceeds MemCapBytes keeps running instead of
+	// aborting. Ignored with LegacyState (the map layouts have no arenas)
+	// and by the aggregate-view fast path.
+	Tier *TierOptions
+}
+
+// TierOptions tune the tiered state layer (Options.Tier).
+type TierOptions struct {
+	// SegmentRows is the rows per sealed segment (default 1024; rounded to a
+	// multiple of 64).
+	SegmentRows int
+	// CacheSegments caps how many spilled segments one arena keeps faulted
+	// in at a time (default 4).
+	CacheSegments int
+	// MemCapBytes, when > 0, is the resident-state budget driving the
+	// degradation ladder: sealed segments spill as residency approaches the
+	// cap, sources throttle when spilling cannot keep up, and (under the
+	// serving engine) new registrations are rejected at the cap. Unlike
+	// MemLimitPerTask — which aborts — the cap degrades.
+	MemCapBytes int64
+	// SpillDir, when set (and Store is nil), spills segments to files in
+	// this directory. With both empty, segments spill to an in-process
+	// store: residency still drops, durability does not.
+	SpillDir string
+	// Store overrides the segment store (tests, custom media).
+	Store slab.SegmentStore
+
+	// pressure, when set, is a shared ladder injected by the serving engine
+	// (EngineOptions.MemCapBytes): every query's arenas charge it instead of
+	// a per-run ladder built from MemCapBytes.
+	pressure *slab.Pressure
 }
 
 // PackedMode selects the execution path (Options.PackedExec).
@@ -288,6 +323,12 @@ type Result struct {
 	Hypercube *core.Hypercube
 	// JoinerComponent is the metrics key of the join component.
 	JoinerComponent string
+	// Pressure is the end-of-run snapshot of the tiered-state degradation
+	// ladder (nil unless the run set Tier with a MemCapBytes): peak resident
+	// bytes against the cap, spill/fault/quarantine counts and throttle
+	// events. ResidentBytes reads zero here — finished tasks refund their
+	// charges — so cap compliance is judged by PeakResident.
+	Pressure *slab.PressureStats
 }
 
 // SortedRows returns collected rows in lexicographic order.
@@ -452,6 +493,9 @@ type queryPlan struct {
 	sink   *limitSink
 	hc     *core.Hypercube
 	joiner string
+	// pressure is the run's ladder (nil when untiered or uncapped), kept so
+	// the Result can snapshot its counters after the run.
+	pressure *slab.Pressure
 	// components lists every component name in topology order — the
 	// placement domain for cluster runs.
 	components []string
@@ -459,13 +503,18 @@ type queryPlan struct {
 
 // result assembles the Result for a finished run of this plan.
 func (p *queryPlan) result(metrics *RunMetrics) *Result {
-	return &Result{
+	r := &Result{
 		Rows:            p.sink.rows,
 		RowCount:        p.sink.count,
 		Metrics:         metrics,
 		Hypercube:       p.hc,
 		JoinerComponent: p.joiner,
 	}
+	if p.pressure != nil {
+		ps := p.pressure.Stats()
+		r.Pressure = &ps
+	}
+	return r
 }
 
 // Run executes the query to completion and returns rows plus metrics. The
@@ -533,6 +582,37 @@ func (q *JoinQuery) plan(opt Options) (*queryPlan, error) {
 	if opt.FaultPlan != nil && opt.Recovery == nil {
 		opt.Recovery = &RecoveryOptions{}
 	}
+	// Tiered state (PR 10): resolve the segment store and pressure ladder up
+	// front; the join bolts below capture the config. CkStore is wired after
+	// the recovery policy resolves its checkpoint store.
+	var tier *slab.TierConfig
+	var pressure *slab.Pressure
+	if opt.Tier != nil && !opt.LegacyState {
+		to := opt.Tier
+		store := to.Store
+		if store == nil && to.SpillDir != "" {
+			ds, err := recovery.NewDiskStore(to.SpillDir)
+			if err != nil {
+				return nil, err
+			}
+			store = ds
+		}
+		if store == nil {
+			store = recovery.NewMemStore()
+		}
+		if to.pressure != nil {
+			pressure = to.pressure
+		} else if to.MemCapBytes > 0 {
+			pressure = slab.NewPressure(to.MemCapBytes)
+		}
+		tier = &slab.TierConfig{
+			SegmentRows:   to.SegmentRows,
+			Store:         store,
+			CacheSegments: to.CacheSegments,
+			Pressure:      pressure,
+			KeyPrefix:     joiner,
+		}
+	}
 	useAggViews := q.Agg != nil && q.Local == DBToaster && q.Graph.IsEquiOnly() &&
 		!q.ForceDeltaJoin && !q.AdaptiveJoin && opt.Recovery == nil
 	switch {
@@ -569,13 +649,13 @@ func (q *JoinQuery) plan(opt Options) (*queryPlan, error) {
 			}
 			sumE = expr.C(offsets[q.Agg.Sum.Rel] + col)
 		}
-		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, nil, opt.LegacyState, packed))
+		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, nil, opt.LegacyState, packed, tier))
 		b.Bolt("agg", opt.FinalPar, ops.AggBolt(groupEs, q.Agg.Kind, sumE, false, opt.LegacyState, packed))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("agg", joiner, dataflow.Fields(groupCols...))
 		b.Input("sink", "agg", dataflow.Global())
 	default:
-		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, q.Post, opt.LegacyState, packed))
+		b.Bolt(joiner, joinerPar, ops.JoinBolt(q.Graph, q.Local, relOf, q.Post, opt.LegacyState, packed, tier))
 		b.Bolt("sink", 1, sink.factory())
 		b.Input("sink", joiner, dataflow.Global())
 	}
@@ -595,14 +675,28 @@ func (q *JoinQuery) plan(opt Options) (*queryPlan, error) {
 	}
 	var recPolicy *dataflow.RecoveryPolicy
 	if opt.Recovery != nil {
+		recStore := opt.Recovery.Store
+		if recStore == nil && tier != nil {
+			// Resolve the default store here (rather than letting the policy
+			// default it) so tiered checkpoints can reference segments in it.
+			recStore = recovery.NewMemStore()
+		}
 		recPolicy = &dataflow.RecoveryPolicy{
 			Component:       joiner,
 			RelOf:           relOf,
 			NumRels:         len(q.Sources),
-			Store:           opt.Recovery.Store,
+			Store:           recStore,
 			CheckpointEvery: opt.Recovery.CheckpointEvery,
 			DisablePeer:     opt.Recovery.DisablePeer,
 			Fault:           opt.FaultPlan,
+		}
+		if tier != nil {
+			// Checkpoints go incremental when the checkpoint store can hold
+			// sealed segments: spilling writes the checkpoint copy once, and
+			// later manifests reference it instead of re-exporting the rows.
+			if ss, ok := recStore.(slab.SegmentStore); ok {
+				tier.CkStore = ss
+			}
 		}
 		if !q.AdaptiveJoin {
 			// The §5 plan made live: a relation is peer-recoverable at a
@@ -643,10 +737,12 @@ func (q *JoinQuery) plan(opt Options) (*queryPlan, error) {
 			VecExec:         packed && opt.VecExec != VecOff,
 			Adaptive:        policy,
 			Recovery:        recPolicy,
+			Pressure:        pressure,
 		},
 		sink:       sink,
 		hc:         hc,
 		joiner:     joiner,
+		pressure:   pressure,
 		components: components,
 	}, nil
 }

@@ -23,6 +23,7 @@ import (
 
 	"squall/internal/dataflow"
 	"squall/internal/recovery"
+	"squall/internal/slab"
 	"squall/internal/transport"
 )
 
@@ -44,6 +45,12 @@ type WorkerServer struct {
 	// snapshot — a process hosting a serving Engine next to this worker
 	// exposes its query/tenant registry through the same probe endpoint.
 	registry func() any
+	// pressure, when set (SetMemCap), is the process-wide degradation ladder
+	// (PR 10): every session's tiered arenas charge it, /healthz reports it,
+	// and /readyz degrades once the ladder passes Backpressure — an external
+	// balancer should stop routing new jobs here before registrations start
+	// bouncing.
+	pressure *slab.Pressure
 }
 
 // sessionInfo is one live session's observable state.
@@ -272,10 +279,26 @@ func (s *WorkerServer) SetRegistry(fn func() any) {
 	s.mu.Unlock()
 }
 
+// SetMemCap installs a process-wide resident-state budget: sessions run
+// their slab state tiered against one shared pressure ladder (spill →
+// throttle → reject), and the health endpoints report the ladder's stage.
+// Call before Serve.
+func (s *WorkerServer) SetMemCap(bytes int64) {
+	s.mu.Lock()
+	if bytes > 0 {
+		s.pressure = slab.NewPressure(bytes)
+	} else {
+		s.pressure = nil
+	}
+	s.mu.Unlock()
+}
+
 // healthSnapshot builds the liveness + readiness report. A worker is ready
 // when every heartbeat-armed link of every live session has seen traffic
 // within twice its detection window; a stalled link means a wedged or
-// partitioned process an external supervisor should restart.
+// partitioned process an external supervisor should restart. A pressure
+// ladder past Backpressure also drops readiness: the node still serves its
+// sessions but should not be handed new work.
 func (s *WorkerServer) healthSnapshot() (map[string]any, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -324,6 +347,13 @@ func (s *WorkerServer) healthSnapshot() (map[string]any, bool) {
 	}
 	if s.registry != nil {
 		snap["serving"] = s.registry()
+	}
+	if s.pressure != nil {
+		snap["pressure"] = s.pressure.Stats()
+		if s.pressure.Stage() >= slab.PressureBackpressure {
+			ready = false
+			snap["ready"] = false
+		}
 	}
 	return snap, ready
 }
@@ -395,6 +425,18 @@ func (s *WorkerServer) runSession(conn *transport.Conn, h transport.Hello) {
 		return
 	}
 	opt.Cluster = nil // the worker runs its local share, it does not recurse
+	s.mu.Lock()
+	if p := s.pressure; p != nil {
+		// Process-wide memory cap: this worker's share of every job runs
+		// tiered against the one shared ladder.
+		t := TierOptions{}
+		if opt.Tier != nil {
+			t = *opt.Tier
+		}
+		t.pressure = p
+		opt.Tier = &t
+	}
+	s.mu.Unlock()
 	if opt.NoSerialize {
 		failSession(conn, fmt.Errorf("cluster job %q asks for NoSerialize", spec.Job))
 		return
